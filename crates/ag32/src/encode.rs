@@ -1,0 +1,229 @@
+//! Binary instruction encoding.
+//!
+//! The paper does not publish ag32's bit-level encoding, so this crate
+//! defines one (a documented substitution, see `DESIGN.md`). Every
+//! instruction is a 32-bit little-endian word:
+//!
+//! ```text
+//! bit 31 = 1                LoadConstant
+//!   [30:25] w  [24] negate  [23] 0  [22:0] imm23
+//!
+//! bits 31:30 = 01           LoadUpperConstant
+//!   [29:24] w  [23:9] 0  [8:0] imm9
+//!
+//! bits 31:30 = 00           general form
+//!   [29:25] opcode  [24:21] func  [20:14] w  [13:7] a  [6:0] b
+//! ```
+//!
+//! A seven-bit operand field encodes an [`Ri`]: bit 6 set means a six-bit
+//! sign-extended immediate in the low bits, clear means a register index.
+//! Destination-register fields (`w` in most instructions) must have bit 6
+//! clear; a set bit decodes as [`Instr::Reserved`].
+//!
+//! General opcodes:
+//!
+//! | op | instruction    | op | instruction     |
+//! |----|----------------|----|-----------------|
+//! | 0  | Normal         | 7  | Out             |
+//! | 1  | Shift          | 8  | Accelerator     |
+//! | 2  | StoreMem       | 9  | Jump            |
+//! | 3  | StoreMemByte   | 10 | JumpIfZero      |
+//! | 4  | LoadMem        | 11 | JumpIfNotZero   |
+//! | 5  | LoadMemByte    | 12 | Interrupt       |
+//! | 6  | In             | —  | others Reserved |
+//!
+//! For `Shift` the two low bits of the func field select the shift kind.
+//! Unused fields are ignored on decode and emitted as zero by [`encode`],
+//! so `decode(encode(i)) == i` for every canonical instruction, and decode
+//! is total: every 32-bit word decodes to *some* instruction (possibly
+//! [`Instr::Reserved`]), exactly as the ISA's instruction decoder must be.
+
+use crate::insn::{Func, Instr, Reg, Ri, Shift};
+
+const OP_NORMAL: u32 = 0;
+const OP_SHIFT: u32 = 1;
+const OP_STORE: u32 = 2;
+const OP_STORE_BYTE: u32 = 3;
+const OP_LOAD: u32 = 4;
+const OP_LOAD_BYTE: u32 = 5;
+const OP_IN: u32 = 6;
+const OP_OUT: u32 = 7;
+const OP_ACCEL: u32 = 8;
+const OP_JUMP: u32 = 9;
+const OP_JUMP_IF_ZERO: u32 = 10;
+const OP_JUMP_IF_NOT_ZERO: u32 = 11;
+const OP_INTERRUPT: u32 = 12;
+
+fn ri_bits(ri: Ri) -> u32 {
+    match ri {
+        Ri::Reg(r) => r.bits(),
+        Ri::Imm(v) => {
+            debug_assert!((-32..=31).contains(&v));
+            0x40 | (v as u32 & 0x3F)
+        }
+    }
+}
+
+fn ri_from_bits(bits: u32) -> Ri {
+    let low = (bits & 0x3F) as u8;
+    if bits & 0x40 != 0 {
+        // Sign-extend the six-bit immediate.
+        let v = ((low << 2) as i8) >> 2;
+        Ri::Imm(v)
+    } else {
+        Ri::Reg(Reg::new(low))
+    }
+}
+
+/// Decodes a destination-register field; `None` when bit 6 is set.
+fn reg_from_bits(bits: u32) -> Option<Reg> {
+    if bits & 0x40 != 0 {
+        None
+    } else {
+        Some(Reg::new((bits & 0x3F) as u8))
+    }
+}
+
+fn general(op: u32, func: u32, w: u32, a: u32, b: u32) -> u32 {
+    debug_assert!(op < 32 && func < 16 && w < 128 && a < 128 && b < 128);
+    (op << 25) | (func << 21) | (w << 14) | (a << 7) | b
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if the instruction is not [canonical](Instr::is_canonical)
+/// (immediate out of range).
+#[must_use]
+pub fn encode(instr: Instr) -> u32 {
+    assert!(instr.is_canonical(), "non-canonical instruction {instr:?}");
+    match instr {
+        Instr::LoadConstant { w, negate, imm } => {
+            (1 << 31) | (w.bits() << 25) | (u32::from(negate) << 24) | imm
+        }
+        Instr::LoadUpperConstant { w, imm } => {
+            (0b01 << 30) | (w.bits() << 24) | u32::from(imm)
+        }
+        Instr::Normal { func, w, a, b } => {
+            general(OP_NORMAL, func.bits(), w.bits(), ri_bits(a), ri_bits(b))
+        }
+        Instr::Shift { kind, w, a, b } => {
+            general(OP_SHIFT, kind.bits(), w.bits(), ri_bits(a), ri_bits(b))
+        }
+        Instr::StoreMem { a, b } => general(OP_STORE, 0, 0, ri_bits(a), ri_bits(b)),
+        Instr::StoreMemByte { a, b } => general(OP_STORE_BYTE, 0, 0, ri_bits(a), ri_bits(b)),
+        Instr::LoadMem { w, a } => general(OP_LOAD, 0, w.bits(), ri_bits(a), 0),
+        Instr::LoadMemByte { w, a } => general(OP_LOAD_BYTE, 0, w.bits(), ri_bits(a), 0),
+        Instr::In { w } => general(OP_IN, 0, w.bits(), 0, 0),
+        Instr::Out { func, w, a, b } => {
+            general(OP_OUT, func.bits(), w.bits(), ri_bits(a), ri_bits(b))
+        }
+        Instr::Accelerator { w, a } => general(OP_ACCEL, 0, w.bits(), ri_bits(a), 0),
+        Instr::Jump { func, w, a } => general(OP_JUMP, func.bits(), w.bits(), ri_bits(a), 0),
+        Instr::JumpIfZero { func, w, a, b } => {
+            general(OP_JUMP_IF_ZERO, func.bits(), ri_bits(w), ri_bits(a), ri_bits(b))
+        }
+        Instr::JumpIfNotZero { func, w, a, b } => {
+            general(OP_JUMP_IF_NOT_ZERO, func.bits(), ri_bits(w), ri_bits(a), ri_bits(b))
+        }
+        Instr::Interrupt => general(OP_INTERRUPT, 0, 0, 0, 0),
+        Instr::Reserved => general(31, 0, 0, 0, 0),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction. Total: unknown opcodes and
+/// malformed destination fields decode to [`Instr::Reserved`].
+#[must_use]
+pub fn decode(word: u32) -> Instr {
+    if word >> 31 == 1 {
+        return Instr::LoadConstant {
+            w: Reg::new(((word >> 25) & 0x3F) as u8),
+            negate: (word >> 24) & 1 == 1,
+            imm: word & 0x7F_FFFF,
+        };
+    }
+    if word >> 30 == 0b01 {
+        return Instr::LoadUpperConstant {
+            w: Reg::new(((word >> 24) & 0x3F) as u8),
+            imm: (word & 0x1FF) as u16,
+        };
+    }
+    let op = (word >> 25) & 0x1F;
+    let func = Func::from_bits((word >> 21) & 0xF);
+    let wf = (word >> 14) & 0x7F;
+    let af = (word >> 7) & 0x7F;
+    let bf = word & 0x7F;
+    let a = ri_from_bits(af);
+    let b = ri_from_bits(bf);
+    let reg_w = reg_from_bits(wf);
+    match (op, reg_w) {
+        (OP_NORMAL, Some(w)) => Instr::Normal { func, w, a, b },
+        (OP_SHIFT, Some(w)) => Instr::Shift { kind: Shift::from_bits(func.bits()), w, a, b },
+        (OP_STORE, _) => Instr::StoreMem { a, b },
+        (OP_STORE_BYTE, _) => Instr::StoreMemByte { a, b },
+        (OP_LOAD, Some(w)) => Instr::LoadMem { w, a },
+        (OP_LOAD_BYTE, Some(w)) => Instr::LoadMemByte { w, a },
+        (OP_IN, Some(w)) => Instr::In { w },
+        (OP_OUT, Some(w)) => Instr::Out { func, w, a, b },
+        (OP_ACCEL, Some(w)) => Instr::Accelerator { w, a },
+        (OP_JUMP, Some(w)) => Instr::Jump { func, w, a },
+        (OP_JUMP_IF_ZERO, _) => Instr::JumpIfZero { func, w: ri_from_bits(wf), a, b },
+        (OP_JUMP_IF_NOT_ZERO, _) => Instr::JumpIfNotZero { func, w: ri_from_bits(wf), a, b },
+        (OP_INTERRUPT, _) => Instr::Interrupt,
+        _ => Instr::Reserved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let cases = [
+            Instr::Normal {
+                func: Func::Add,
+                w: Reg::new(5),
+                a: Ri::Reg(Reg::new(6)),
+                b: Ri::Imm(-7),
+            },
+            Instr::Shift {
+                kind: Shift::Ror,
+                w: Reg::new(63),
+                a: Ri::Imm(31),
+                b: Ri::Imm(-32),
+            },
+            Instr::StoreMem { a: Ri::Reg(Reg::new(0)), b: Ri::Reg(Reg::new(63)) },
+            Instr::LoadConstant { w: Reg::new(9), negate: true, imm: 0x7F_FFFF },
+            Instr::LoadUpperConstant { w: Reg::new(9), imm: 0x1FF },
+            Instr::Jump { func: Func::Snd, w: Reg::new(1), a: Ri::Imm(0) },
+            Instr::JumpIfZero {
+                func: Func::Sub,
+                w: Ri::Imm(8),
+                a: Ri::Reg(Reg::new(2)),
+                b: Ri::Imm(0),
+            },
+            Instr::Interrupt,
+            Instr::Reserved,
+        ];
+        for c in cases {
+            assert_eq!(decode(encode(c)), c, "case {c:?}");
+        }
+    }
+
+    #[test]
+    fn decode_is_total() {
+        // Any word decodes without panicking; spot-check a spread.
+        for i in 0..10_000u32 {
+            let w = i.wrapping_mul(0x9E37_79B9) ^ 0xDEAD_BEEF;
+            let _ = decode(w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-canonical")]
+    fn oversized_constant_panics() {
+        let _ = encode(Instr::LoadConstant { w: Reg::new(0), negate: false, imm: 1 << 23 });
+    }
+}

@@ -1,0 +1,424 @@
+//! Execution semantics for each instruction (§4.1.1).
+
+use crate::insn::{Func, Instr, Shift};
+use crate::state::{IoEvent, State};
+use crate::WORD_BYTES;
+
+/// Result of an ALU evaluation: the value plus the flag outputs, when the
+/// function drives them. Only `Add`, `AddWithCarry` and `Sub` update flags.
+pub(crate) struct AluOut {
+    pub value: u32,
+    pub carry: Option<bool>,
+    pub overflow: Option<bool>,
+}
+
+/// The ALU. Pure: takes the current flags, returns new ones when driven.
+pub(crate) fn alu(func: Func, a: u32, b: u32, carry_in: bool, overflow_in: bool) -> AluOut {
+    let mut carry = None;
+    let mut overflow = None;
+    let value = match func {
+        Func::Add => {
+            let wide = u64::from(a) + u64::from(b);
+            carry = Some(wide >> 32 != 0);
+            let (v, ov) = (a as i32).overflowing_add(b as i32);
+            overflow = Some(ov);
+            v as u32
+        }
+        Func::AddWithCarry => {
+            let wide = u64::from(a) + u64::from(b) + u64::from(carry_in);
+            carry = Some(wide >> 32 != 0);
+            // Signed overflow of the full three-operand sum.
+            let exact = i64::from(a as i32) + i64::from(b as i32) + i64::from(carry_in);
+            overflow = Some(exact != i64::from(wide as u32 as i32));
+            wide as u32
+        }
+        Func::Sub => {
+            // Carry is the "no borrow" convention: set when a >= b.
+            carry = Some(a >= b);
+            let (v, ov) = (a as i32).overflowing_sub(b as i32);
+            overflow = Some(ov);
+            v as u32
+        }
+        Func::Carry => u32::from(carry_in),
+        Func::Overflow => u32::from(overflow_in),
+        Func::Inc => b.wrapping_add(1),
+        Func::Dec => b.wrapping_sub(1),
+        Func::Mul => (u64::from(a) * u64::from(b)) as u32,
+        Func::MulHi => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        Func::And => a & b,
+        Func::Or => a | b,
+        Func::Xor => a ^ b,
+        Func::Equal => u32::from(a == b),
+        Func::Less => u32::from((a as i32) < (b as i32)),
+        Func::Lower => u32::from(a < b),
+        Func::Snd => b,
+    };
+    AluOut { value, carry, overflow }
+}
+
+/// Shifter. The shift amount is taken modulo 32, for every kind.
+pub(crate) fn shifter(kind: Shift, a: u32, b: u32) -> u32 {
+    let amount = b & 31;
+    match kind {
+        Shift::Ll => a << amount,
+        Shift::Lr => a >> amount,
+        Shift::Ar => ((a as i32) >> amount) as u32,
+        Shift::Ror => a.rotate_right(amount),
+    }
+}
+
+fn alu_step(s: &mut State, func: Func, a: u32, b: u32) -> u32 {
+    let out = alu(func, a, b, s.carry, s.overflow);
+    if let Some(c) = out.carry {
+        s.carry = c;
+    }
+    if let Some(v) = out.overflow {
+        s.overflow = v;
+    }
+    out.value
+}
+
+/// Executes one (non-`Reserved`) decoded instruction against the state.
+pub(crate) fn execute(s: &mut State, instr: Instr) {
+    match instr {
+        Instr::Normal { func, w, a, b } => {
+            let v = alu_step(s, func, s.ri(a), s.ri(b));
+            s.regs[w.index()] = v;
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::Shift { kind, w, a, b } => {
+            s.regs[w.index()] = shifter(kind, s.ri(a), s.ri(b));
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::StoreMem { a, b } => {
+            let addr = s.ri(b) & !3;
+            let value = s.ri(a);
+            s.mem.write_word(addr, value);
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::StoreMemByte { a, b } => {
+            let addr = s.ri(b);
+            let value = s.ri(a) as u8;
+            s.mem.write_byte(addr, value);
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::LoadMem { w, a } => {
+            let addr = s.ri(a) & !3;
+            s.regs[w.index()] = s.mem.read_word(addr);
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::LoadMemByte { w, a } => {
+            let addr = s.ri(a);
+            s.regs[w.index()] = u32::from(s.mem.read_byte(addr));
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::In { w } => {
+            s.regs[w.index()] = s.data_in;
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::Out { func, w, a, b } => {
+            let v = alu_step(s, func, s.ri(a), s.ri(b));
+            s.regs[w.index()] = v;
+            s.data_out = v;
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::Accelerator { w, a } => {
+            s.regs[w.index()] = (s.accel)(s.ri(a));
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::Jump { func, w, a } => {
+            let target = alu_step(s, func, s.pc, s.ri(a));
+            s.regs[w.index()] = s.pc.wrapping_add(WORD_BYTES);
+            s.pc = target;
+        }
+        Instr::JumpIfZero { func, w, a, b } => {
+            let v = alu_step(s, func, s.ri(a), s.ri(b));
+            let off = if v == 0 { s.ri(w) } else { WORD_BYTES };
+            s.pc = s.pc.wrapping_add(off);
+        }
+        Instr::JumpIfNotZero { func, w, a, b } => {
+            let v = alu_step(s, func, s.ri(a), s.ri(b));
+            let off = if v != 0 { s.ri(w) } else { WORD_BYTES };
+            s.pc = s.pc.wrapping_add(off);
+        }
+        Instr::LoadConstant { w, negate, imm } => {
+            let v = if negate { (imm).wrapping_neg() } else { imm };
+            s.regs[w.index()] = v;
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::LoadUpperConstant { w, imm } => {
+            let old = s.regs[w.index()];
+            s.regs[w.index()] = (u32::from(imm) << 23) | (old & 0x7F_FFFF);
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::Interrupt => {
+            let (base, len) = s.io_window;
+            let window = s.mem.read_bytes(base, len);
+            s.io_events.push(IoEvent { data_out: s.data_out, window });
+            s.pc = s.pc.wrapping_add(WORD_BYTES);
+        }
+        Instr::Reserved => unreachable!("Reserved is filtered by State::next"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Reg, Ri};
+    use crate::{decode, encode};
+
+    fn machine_with(instrs: &[Instr]) -> State {
+        let mut s = State::new();
+        for (i, &ins) in instrs.iter().enumerate() {
+            s.mem.write_word(i as u32 * 4, encode(ins));
+        }
+        s
+    }
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let mut s = State::new();
+        s.regs[1] = u32::MAX;
+        s.regs[2] = 1;
+        s.mem.write_word(
+            0,
+            encode(Instr::Normal {
+                func: Func::Add,
+                w: Reg::new(3),
+                a: Ri::Reg(Reg::new(1)),
+                b: Ri::Reg(Reg::new(2)),
+            }),
+        );
+        s.next();
+        assert_eq!(s.regs[3], 0);
+        assert!(s.carry);
+        assert!(!s.overflow, "unsigned wrap is not signed overflow");
+        assert_eq!(s.pc, 4);
+    }
+
+    #[test]
+    fn signed_overflow_detected() {
+        let out = alu(Func::Add, i32::MAX as u32, 1, false, false);
+        assert_eq!(out.overflow, Some(true));
+        assert_eq!(out.carry, Some(false));
+        let out = alu(Func::Sub, i32::MIN as u32, 1, false, false);
+        assert_eq!(out.overflow, Some(true));
+    }
+
+    #[test]
+    fn add_with_carry_chains() {
+        // 64-bit addition via Add + AddWithCarry.
+        let a: u64 = 0xFFFF_FFFF_0000_0001;
+        let b: u64 = 0x0000_0001_FFFF_FFFF;
+        let lo = alu(Func::Add, a as u32, b as u32, false, false);
+        let hi = alu(
+            Func::AddWithCarry,
+            (a >> 32) as u32,
+            (b >> 32) as u32,
+            lo.carry.unwrap(),
+            false,
+        );
+        let got = (u64::from(hi.value) << 32) | u64::from(lo.value);
+        assert_eq!(got, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn sub_carry_is_no_borrow() {
+        assert_eq!(alu(Func::Sub, 5, 3, false, false).carry, Some(true));
+        assert_eq!(alu(Func::Sub, 3, 5, false, false).carry, Some(false));
+        assert_eq!(alu(Func::Sub, 3, 3, false, false).carry, Some(true));
+    }
+
+    #[test]
+    fn carry_and_overflow_readback() {
+        let mut s = machine_with(&[
+            Instr::Normal { func: Func::Add, w: Reg::new(1), a: Ri::Imm(-1), b: Ri::Imm(-1) },
+            Instr::Normal { func: Func::Carry, w: Reg::new(2), a: Ri::Imm(0), b: Ri::Imm(0) },
+            Instr::Normal { func: Func::Overflow, w: Reg::new(3), a: Ri::Imm(0), b: Ri::Imm(0) },
+        ]);
+        s.run(3);
+        assert_eq!(s.regs[2], 1, "adding -1 + -1 carries (unsigned wrap)");
+        assert_eq!(s.regs[3], 0);
+    }
+
+    #[test]
+    fn mul_pair_gives_full_product() {
+        let a = 0xDEAD_BEEFu32;
+        let b = 0xCAFE_BABEu32;
+        let lo = alu(Func::Mul, a, b, false, false).value;
+        let hi = alu(Func::MulHi, a, b, false, false).value;
+        assert_eq!((u64::from(hi) << 32) | u64::from(lo), u64::from(a) * u64::from(b));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(alu(Func::Less, (-1i32) as u32, 1, false, false).value, 1);
+        assert_eq!(alu(Func::Lower, (-1i32) as u32, 1, false, false).value, 0);
+        assert_eq!(alu(Func::Equal, 7, 7, false, false).value, 1);
+        assert_eq!(alu(Func::Snd, 1, 99, false, false).value, 99);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(shifter(Shift::Ll, 1, 31), 1 << 31);
+        assert_eq!(shifter(Shift::Lr, 0x8000_0000, 31), 1);
+        assert_eq!(shifter(Shift::Ar, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(shifter(Shift::Ror, 0x0000_0001, 1), 0x8000_0000);
+        assert_eq!(shifter(Shift::Ll, 0xFFFF, 32), 0xFFFF, "amount is mod 32");
+    }
+
+    #[test]
+    fn load_store_word_aligns_address() {
+        let mut s = machine_with(&[
+            Instr::StoreMem { a: Ri::Imm(-1), b: Ri::Reg(Reg::new(1)) },
+            Instr::LoadMem { w: Reg::new(2), a: Ri::Reg(Reg::new(1)) },
+        ]);
+        s.regs[1] = 0x1002; // misaligned; hardware drops the low bits
+        s.run(2);
+        assert_eq!(s.mem.read_word(0x1000), u32::MAX);
+        assert_eq!(s.regs[2], u32::MAX);
+    }
+
+    #[test]
+    fn byte_load_zero_extends() {
+        let mut s = machine_with(&[
+            Instr::StoreMemByte { a: Ri::Imm(-1), b: Ri::Reg(Reg::new(1)) },
+            Instr::LoadMemByte { w: Reg::new(2), a: Ri::Reg(Reg::new(1)) },
+        ]);
+        s.regs[1] = 0x2001;
+        s.run(2);
+        assert_eq!(s.regs[2], 0xFF);
+        assert_eq!(s.mem.read_word(0x2000), 0xFF00);
+    }
+
+    #[test]
+    fn jump_links_and_targets() {
+        let mut s = machine_with(&[Instr::Jump {
+            func: Func::Snd,
+            w: Reg::new(5),
+            a: Ri::Reg(Reg::new(1)),
+        }]);
+        s.regs[1] = 0x100;
+        s.next();
+        assert_eq!(s.pc, 0x100);
+        assert_eq!(s.regs[5], 4, "link register holds PC + 4");
+    }
+
+    #[test]
+    fn conditional_jumps_are_pc_relative() {
+        let mut s = machine_with(&[Instr::JumpIfZero {
+            func: Func::Sub,
+            w: Ri::Imm(16),
+            a: Ri::Reg(Reg::new(1)),
+            b: Ri::Imm(7),
+        }]);
+        s.regs[1] = 7;
+        s.next();
+        assert_eq!(s.pc, 16, "taken: PC += w");
+        let mut s2 = machine_with(&[Instr::JumpIfNotZero {
+            func: Func::Sub,
+            w: Ri::Imm(16),
+            a: Ri::Reg(Reg::new(1)),
+            b: Ri::Imm(7),
+        }]);
+        s2.regs[1] = 7;
+        s2.next();
+        assert_eq!(s2.pc, 4, "not taken: PC += 4");
+    }
+
+    #[test]
+    fn load_constant_and_upper_compose_full_word() {
+        let target = 0xFFC0_1234u32;
+        let mut s = machine_with(&[
+            Instr::LoadConstant { w: Reg::new(1), negate: false, imm: target & 0x7F_FFFF },
+            Instr::LoadUpperConstant { w: Reg::new(1), imm: (target >> 23) as u16 },
+        ]);
+        s.run(2);
+        assert_eq!(s.regs[1], target);
+    }
+
+    #[test]
+    fn negated_constant() {
+        let mut s = machine_with(&[Instr::LoadConstant {
+            w: Reg::new(1),
+            negate: true,
+            imm: 5,
+        }]);
+        s.next();
+        assert_eq!(s.regs[1] as i32, -5);
+    }
+
+    #[test]
+    fn interrupt_records_io_window() {
+        let mut s = machine_with(&[Instr::Interrupt]);
+        s.io_window = (0x3000, 4);
+        s.mem.write_word(0x3000, 0xAABB_CCDD);
+        s.next();
+        assert_eq!(s.io_events.len(), 1);
+        assert_eq!(s.io_events[0].window, vec![0xDD, 0xCC, 0xBB, 0xAA]);
+    }
+
+    #[test]
+    fn in_out_ports() {
+        let mut s = machine_with(&[
+            Instr::In { w: Reg::new(1) },
+            Instr::Out { func: Func::Add, w: Reg::new(2), a: Ri::Reg(Reg::new(1)), b: Ri::Imm(1) },
+        ]);
+        s.data_in = 41;
+        s.run(2);
+        assert_eq!(s.regs[1], 41);
+        assert_eq!(s.data_out, 42);
+        assert_eq!(s.regs[2], 42);
+    }
+
+    #[test]
+    fn accelerator_applies_configured_function() {
+        let mut s = machine_with(&[Instr::Accelerator { w: Reg::new(1), a: Ri::Imm(21) }]);
+        s.accel = |x| x * 2;
+        s.next();
+        assert_eq!(s.regs[1], 42);
+    }
+
+    #[test]
+    fn reserved_wedges_machine() {
+        let mut s = State::new();
+        s.mem.write_word(0, encode(Instr::Reserved));
+        let before = s.clone();
+        assert_eq!(s.next(), crate::StepOutcome::Wedged);
+        assert!(s.isa_visible_eq(&before));
+        assert!(s.is_halted());
+    }
+
+    #[test]
+    fn halt_self_jump_is_quiescent() {
+        // Jump Snd with register target equal to PC: the canonical halt.
+        let mut s = State::new();
+        s.regs[1] = 0;
+        s.mem.write_word(
+            0,
+            encode(Instr::Jump { func: Func::Snd, w: Reg::new(2), a: Ri::Reg(Reg::new(1)) }),
+        );
+        assert!(s.is_halted());
+        s.next();
+        assert_eq!(s.pc, 0);
+        // After one lap the link write is idempotent: state is a fixpoint.
+        let fix = s.clone();
+        s.next();
+        assert!(s.isa_visible_eq(&fix));
+    }
+
+    #[test]
+    fn decode_encode_execute_roundtrip_on_fetch() {
+        let i = Instr::Normal {
+            func: Func::Xor,
+            w: Reg::new(1),
+            a: Ri::Reg(Reg::new(1)),
+            b: Ri::Reg(Reg::new(1)),
+        };
+        let mut s = machine_with(&[i]);
+        assert_eq!(decode(s.mem.read_word(0)), i);
+        s.regs[1] = 0x55AA;
+        s.next();
+        assert_eq!(s.regs[1], 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sparse byte-addressed memory covering the full 4 GiB address space.
+//!
+//! The ISA models memory as a total function from 32-bit addresses to
+//! bytes; unwritten locations read as zero. Storage is allocated in 4 KiB
+//! pages on first write so that realistic memory images (Figure 2 of the
+//! paper places code low and lets the heap grow upward) stay cheap.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse 4 GiB memory. Words are little-endian.
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Reads one byte; unwritten addresses read as zero.
+    #[must_use]
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the containing page if needed.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian word. `addr` is used as given (callers align).
+    /// Wraps around the 4 GiB boundary like the hardware bus does.
+    #[must_use]
+    pub fn read_word(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_byte(addr),
+            self.read_byte(addr.wrapping_add(1)),
+            self.read_byte(addr.wrapping_add(2)),
+            self.read_byte(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(addr.wrapping_add(i))).collect()
+    }
+
+    /// Number of resident (allocated) pages — a proxy for footprint.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory").field("resident_pages", &self.pages.len()).finish()
+    }
+}
+
+impl PartialEq for Memory {
+    /// Semantic equality: two memories are equal when every address reads
+    /// the same byte (all-zero pages are identified with absent pages).
+    fn eq(&self, other: &Self) -> bool {
+        let zero = [0u8; PAGE_SIZE];
+        let check = |a: &Memory, b: &Memory| {
+            a.pages.iter().all(|(k, p)| match b.pages.get(k) {
+                Some(q) => p[..] == q[..],
+                None => p[..] == zero[..],
+            })
+        };
+        check(self, other) && check(other, self)
+    }
+}
+
+impl Eq for Memory {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let m = Memory::new();
+        assert_eq!(m.read_byte(0), 0);
+        assert_eq!(m.read_word(u32::MAX), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip_little_endian() {
+        let mut m = Memory::new();
+        m.write_word(0x1000, 0x1234_5678);
+        assert_eq!(m.read_byte(0x1000), 0x78);
+        assert_eq!(m.read_byte(0x1003), 0x12);
+        assert_eq!(m.read_word(0x1000), 0x1234_5678);
+    }
+
+    #[test]
+    fn wraps_at_address_space_end() {
+        let mut m = Memory::new();
+        m.write_word(u32::MAX - 1, 0xAABB_CCDD);
+        assert_eq!(m.read_byte(u32::MAX - 1), 0xDD);
+        assert_eq!(m.read_byte(0), 0xBB);
+        assert_eq!(m.read_word(u32::MAX - 1), 0xAABB_CCDD);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_zero_pages() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        a.write_byte(123, 0); // allocates a page full of zeros
+        assert_eq!(a, b);
+        a.write_byte(123, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn write_bytes_spans_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(4096 - 100, &data);
+        assert_eq!(m.read_bytes(4096 - 100, 256), data);
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

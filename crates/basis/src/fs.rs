@@ -1,0 +1,188 @@
+//! The external-world model: command line and filesystem (`basis_ffi cl
+//! fs` in §5 of the paper).
+//!
+//! `fsin input` — the state the paper starts `wc` in — is a filesystem
+//! with no files but with `input` on standard input. The model also
+//! supports named files for interpreter-level runs; the bare-metal Silver
+//! setup realises only the standard streams and the command line as
+//! in-memory devices (§2.4), so machine-level runs use file-less states.
+
+use std::collections::HashMap;
+
+/// Open-descriptor state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Descriptor {
+    /// File name (`""` for the standard streams).
+    pub name: String,
+    /// Read cursor.
+    pub pos: usize,
+    /// Whether the descriptor was opened for writing.
+    pub writable: bool,
+    /// Whether `close` has been called.
+    pub closed: bool,
+}
+
+/// The filesystem + command-line model.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsState {
+    /// Command-line arguments (`cl`), including the program name.
+    pub args: Vec<String>,
+    /// Standard input contents.
+    pub stdin: Vec<u8>,
+    /// Standard input read cursor.
+    pub stdin_pos: usize,
+    /// Bytes written to standard output.
+    pub stdout: Vec<u8>,
+    /// Bytes written to standard error.
+    pub stderr: Vec<u8>,
+    /// Named files.
+    pub files: HashMap<String, Vec<u8>>,
+    /// Descriptors; index + 3 is the descriptor number (0–2 are the
+    /// standard streams).
+    pub descriptors: Vec<Descriptor>,
+}
+
+impl FsState {
+    /// `fsin input`: no files, `input` on stdin, the given command line.
+    #[must_use]
+    pub fn stdin_only(args: &[&str], input: &[u8]) -> FsState {
+        FsState {
+            args: args.iter().map(ToString::to_string).collect(),
+            stdin: input.to_vec(),
+            ..FsState::default()
+        }
+    }
+
+    /// Reads up to `max` bytes from descriptor `fd`. Returns the bytes
+    /// read, or `None` if the descriptor cannot be read.
+    pub fn read(&mut self, fd: u64, max: usize) -> Option<Vec<u8>> {
+        if fd == 0 {
+            let avail = &self.stdin[self.stdin_pos.min(self.stdin.len())..];
+            let take = avail.len().min(max);
+            let out = avail[..take].to_vec();
+            self.stdin_pos += take;
+            return Some(out);
+        }
+        let d = self.descriptors.get_mut(fd.checked_sub(3)? as usize)?;
+        if d.closed || d.writable {
+            return None;
+        }
+        let contents = self.files.get(&d.name)?;
+        let avail = &contents[d.pos.min(contents.len())..];
+        let take = avail.len().min(max);
+        let out = avail[..take].to_vec();
+        d.pos += take;
+        Some(out)
+    }
+
+    /// Writes `data` to descriptor `fd`. Returns how many bytes were
+    /// written, or `None` if the descriptor cannot be written.
+    pub fn write(&mut self, fd: u64, data: &[u8]) -> Option<usize> {
+        match fd {
+            1 => {
+                self.stdout.extend_from_slice(data);
+                Some(data.len())
+            }
+            2 => {
+                self.stderr.extend_from_slice(data);
+                Some(data.len())
+            }
+            0 => None,
+            _ => {
+                let d = self.descriptors.get_mut(fd as usize - 3)?;
+                if d.closed || !d.writable {
+                    return None;
+                }
+                let name = d.name.clone();
+                self.files.entry(name).or_default().extend_from_slice(data);
+                Some(data.len())
+            }
+        }
+    }
+
+    /// Opens a file for reading; returns the descriptor number.
+    pub fn open_in(&mut self, name: &str) -> Option<u64> {
+        if !self.files.contains_key(name) {
+            return None;
+        }
+        self.descriptors.push(Descriptor {
+            name: name.to_string(),
+            pos: 0,
+            writable: false,
+            closed: false,
+        });
+        Some(self.descriptors.len() as u64 + 2)
+    }
+
+    /// Opens (creates/truncates) a file for writing.
+    pub fn open_out(&mut self, name: &str) -> Option<u64> {
+        self.files.insert(name.to_string(), Vec::new());
+        self.descriptors.push(Descriptor {
+            name: name.to_string(),
+            pos: 0,
+            writable: true,
+            closed: false,
+        });
+        Some(self.descriptors.len() as u64 + 2)
+    }
+
+    /// Closes a descriptor; `false` if unknown or already closed.
+    pub fn close(&mut self, fd: u64) -> bool {
+        match fd.checked_sub(3).and_then(|i| self.descriptors.get_mut(i as usize)) {
+            Some(d) if !d.closed => {
+                d.closed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Standard output as a string (lossy).
+    #[must_use]
+    pub fn stdout_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+
+    /// Standard error as a string (lossy).
+    #[must_use]
+    pub fn stderr_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stderr).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdin_reads_in_order() {
+        let mut fs = FsState::stdin_only(&["prog"], b"hello world");
+        assert_eq!(fs.read(0, 5), Some(b"hello".to_vec()));
+        assert_eq!(fs.read(0, 100), Some(b" world".to_vec()));
+        assert_eq!(fs.read(0, 100), Some(vec![]), "EOF reads empty");
+    }
+
+    #[test]
+    fn std_streams_collect_writes() {
+        let mut fs = FsState::default();
+        assert_eq!(fs.write(1, b"out"), Some(3));
+        assert_eq!(fs.write(2, b"err"), Some(3));
+        assert_eq!(fs.stdout_utf8(), "out");
+        assert_eq!(fs.stderr_utf8(), "err");
+        assert_eq!(fs.write(0, b"x"), None, "stdin is not writable");
+    }
+
+    #[test]
+    fn files_roundtrip() {
+        let mut fs = FsState::default();
+        assert_eq!(fs.open_in("missing"), None);
+        let w = fs.open_out("f.txt").unwrap();
+        fs.write(w, b"contents").unwrap();
+        assert!(fs.close(w));
+        assert!(!fs.close(w), "double close fails");
+        let r = fs.open_in("f.txt").unwrap();
+        assert_eq!(fs.read(r, 4), Some(b"cont".to_vec()));
+        assert_eq!(fs.read(r, 100), Some(b"ents".to_vec()));
+        assert_eq!(fs.write(r, b"x"), None, "read descriptor is not writable");
+    }
+}

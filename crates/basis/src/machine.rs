@@ -1,0 +1,189 @@
+//! Machine-level execution and the `machine_sem` oracle mode.
+//!
+//! Two ways to run a loaded image:
+//!
+//! * [`run_to_halt`] — pure `Next` steps; system calls execute their real
+//!   machine code; output is recovered from the `Interrupt` I/O events
+//!   (what the lab setup's ARM core would print). This is the theorem-(6)
+//!   level of the paper.
+//! * [`run_with_oracle`] — the paper's `machine_sem`: ordinary steps use
+//!   `Next`, but when the PC reaches an FFI entry point the *interference
+//!   oracle* (`basis_ffi`) services the call directly on the model
+//!   filesystem and execution resumes at the return address. This is the
+//!   theorem-(4) level.
+//!
+//! The `ffi_equiv` test-suite checks the two agree — the §6 obligation
+//! (theorems (11)–(13)) that lets the paper replace `installedAg` by
+//! `initAg`.
+
+use ag32::{IoEvent, State};
+use cakeml::TargetLayout;
+
+use crate::fs::FsState;
+use crate::image::EXIT_UNSET;
+use crate::oracle::{call_ffi, FfiOutcome};
+
+/// How a machine-level run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Program stored an exit code and halted.
+    Exited(u8),
+    /// Machine halted without ever storing an exit code (or wedged on a
+    /// `Reserved` instruction).
+    Wedged,
+    /// Fuel ran out before halting.
+    OutOfFuel,
+    /// (Oracle mode only) an FFI call failed — the `Fail` behaviour.
+    FfiFailed(String),
+}
+
+/// Result of a machine-level run.
+#[derive(Clone, Debug)]
+pub struct MachineResult {
+    /// Exit classification.
+    pub exit: ExitStatus,
+    /// Bytes written to standard output.
+    pub stdout: Vec<u8>,
+    /// Bytes written to standard error.
+    pub stderr: Vec<u8>,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Final machine state.
+    pub state: State,
+}
+
+impl MachineResult {
+    /// Standard output as a string (lossy).
+    #[must_use]
+    pub fn stdout_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+
+    /// Standard error as a string (lossy).
+    #[must_use]
+    pub fn stderr_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stderr).into_owned()
+    }
+}
+
+/// Recovers the `(stdout, stderr)` streams from `Interrupt` I/O events —
+/// exactly what the board-side handler does with each output-buffer
+/// snapshot (`id | length | contents`).
+#[must_use]
+pub fn extract_streams(events: &[IoEvent]) -> (Vec<u8>, Vec<u8>) {
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    for e in events {
+        if e.window.len() < 8 {
+            continue;
+        }
+        let id = u32::from_le_bytes(e.window[0..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(e.window[4..8].try_into().expect("4 bytes")) as usize;
+        let data = e.window.get(8..8 + len).unwrap_or(&[]);
+        match id {
+            1 => stdout.extend_from_slice(data),
+            2 => stderr.extend_from_slice(data),
+            _ => {}
+        }
+    }
+    (stdout, stderr)
+}
+
+fn classify(state: &State, layout: &TargetLayout, fuel_left: bool) -> ExitStatus {
+    if !fuel_left && !state.is_halted() {
+        return ExitStatus::OutOfFuel;
+    }
+    let code = state.mem.read_word(layout.exit_code_addr);
+    if state.pc == layout.halt_addr && code != EXIT_UNSET {
+        ExitStatus::Exited(code as u8)
+    } else {
+        ExitStatus::Wedged
+    }
+}
+
+/// Runs a loaded image under pure `Next` steps until it halts.
+#[must_use]
+pub fn run_to_halt(mut state: State, layout: &TargetLayout, fuel: u64) -> MachineResult {
+    let instructions = state.run(fuel);
+    let exit = classify(&state, layout, instructions < fuel);
+    let (stdout, stderr) = extract_streams(&state.io_events);
+    MachineResult { exit, stdout, stderr, instructions, state }
+}
+
+/// Runs a loaded image under `machine_sem`: FFI entry points are serviced
+/// by the `basis_ffi` oracle over `fs` instead of executing the
+/// system-call machine code.
+#[must_use]
+pub fn run_with_oracle(
+    mut state: State,
+    layout: &TargetLayout,
+    ffi_names: &[String],
+    mut fs: FsState,
+    fuel: u64,
+) -> MachineResult {
+    // Entry addresses from the jump table (the image builder wrote them).
+    let entries: Vec<(u32, String)> = ffi_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (state.mem.read_word(layout.ffi_entry_addr(i as u32)), n.clone()))
+        .collect();
+    let mut instructions = 0u64;
+    let exit = loop {
+        if instructions >= fuel {
+            break classify(&state, layout, false);
+        }
+        if state.is_halted() {
+            break classify(&state, layout, true);
+        }
+        if let Some((_, name)) = entries.iter().find(|(a, _)| *a == state.pc) {
+            // The interference-oracle step: read the call's arguments
+            // from the machine state (conf in r1/r2, array in r3/r4),
+            // apply the oracle, write back, return to the caller.
+            let conf = state.mem.read_bytes(state.regs[1], state.regs[2]);
+            let mut bytes = state.mem.read_bytes(state.regs[3], state.regs[4]);
+            match call_ffi(&mut fs, name, &conf, &mut bytes) {
+                FfiOutcome::Return => {
+                    state.mem.write_bytes(state.regs[3], &bytes);
+                    state.pc = state.regs[62];
+                }
+                FfiOutcome::Exit(c) => {
+                    state.mem.write_word(layout.exit_code_addr, u32::from(c));
+                    state.pc = layout.halt_addr;
+                    break ExitStatus::Exited(c);
+                }
+                FfiOutcome::Failed => break ExitStatus::FfiFailed(name.clone()),
+            }
+            continue;
+        }
+        state.next();
+        instructions += 1;
+    };
+    MachineResult {
+        exit,
+        stdout: fs.stdout.clone(),
+        stderr: fs.stderr.clone(),
+        instructions,
+        state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_extraction_parses_windows() {
+        let mk = |id: u32, data: &[u8]| {
+            let mut w = Vec::new();
+            w.extend_from_slice(&id.to_le_bytes());
+            w.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            w.extend_from_slice(data);
+            w.resize(32, 0);
+            IoEvent { data_out: 0, window: w }
+        };
+        let events = vec![mk(1, b"out1 "), mk(2, b"err"), mk(1, b"out2"), mk(9, b"ignored")];
+        let (o, e) = extract_streams(&events);
+        assert_eq!(o, b"out1 out2");
+        assert_eq!(e, b"err");
+    }
+}

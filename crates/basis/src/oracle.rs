@@ -1,0 +1,256 @@
+//! The `basis_ffi` oracle (§5): the specification each FFI call's machine
+//! code must implement.
+//!
+//! Each call receives a configuration string and the shared byte array
+//! and mutates the array in place. The byte protocols (documented
+//! substitutions for CakeML's — see `DESIGN.md`):
+//!
+//! | call | conf | bytes in | bytes out |
+//! |------|------|----------|-----------|
+//! | `write` | fd as decimal string | `[_, n_hi, n_lo, data…]` | `bytes[0] = 0` ok / `1` fail |
+//! | `read` | fd as decimal | `[n_hi, n_lo, …]` | `[0, cnt_hi, cnt_lo, data…]` or `[1, …]` |
+//! | `get_arg_count` | — | — | `[cnt_hi, cnt_lo]` |
+//! | `get_arg_length` | — | `[i_hi, i_lo]` | `[len_hi, len_lo]` |
+//! | `get_arg` | — | `[i_hi, i_lo, …]` | arg bytes from offset 2 |
+//! | `open_in` / `open_out` | file name | — | `[0, fd_hi, fd_lo]` or `[1, …]` |
+//! | `close` | fd as decimal | — | `[0]` or `[1]` |
+//! | `exit` | — | `[code]` | terminates |
+//!
+//! The oracle is both the [`cakeml::FfiHost`] used when interpreting
+//! programs (the `basis_ffi cl fs` of the compiler correctness theorem)
+//! and the specification side of the machine-code equivalence tests
+//! (theorems (11)–(13)).
+
+use cakeml::FfiHost;
+
+use crate::fs::FsState;
+
+/// Outcome of one oracle call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FfiOutcome {
+    /// Call serviced (array mutated).
+    Return,
+    /// The program requested termination with this exit code.
+    Exit(u8),
+    /// Unknown FFI name — the `FFI_failed` behaviour.
+    Failed,
+}
+
+fn parse_fd(conf: &[u8]) -> Option<u64> {
+    if conf.is_empty() || conf.len() > 10 {
+        return None;
+    }
+    let mut fd = 0u64;
+    for &b in conf {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        fd = fd * 10 + u64::from(b - b'0');
+    }
+    Some(fd)
+}
+
+fn put16(bytes: &mut [u8], at: usize, v: usize) {
+    bytes[at] = (v >> 8) as u8;
+    bytes[at + 1] = (v & 0xFF) as u8;
+}
+
+fn get16(bytes: &[u8], at: usize) -> usize {
+    (usize::from(bytes[at]) << 8) | usize::from(bytes[at + 1])
+}
+
+/// Services one FFI call against the world state — `basis_ffi_oracle`.
+pub fn call_ffi(fs: &mut FsState, name: &str, conf: &[u8], bytes: &mut [u8]) -> FfiOutcome {
+    match name {
+        "write" => {
+            if bytes.len() < 3 {
+                return FfiOutcome::Return;
+            }
+            let n = get16(bytes, 1);
+            let ok = parse_fd(conf).and_then(|fd| {
+                let data = bytes.get(3..3 + n)?.to_vec();
+                fs.write(fd, &data)
+            });
+            bytes[0] = u8::from(ok.is_none());
+            FfiOutcome::Return
+        }
+        "read" => {
+            if bytes.len() < 3 {
+                return FfiOutcome::Return;
+            }
+            let n = get16(bytes, 0).min(bytes.len() - 3);
+            match parse_fd(conf).and_then(|fd| fs.read(fd, n)) {
+                Some(data) => {
+                    bytes[0] = 0;
+                    put16(bytes, 1, data.len());
+                    bytes[3..3 + data.len()].copy_from_slice(&data);
+                }
+                None => bytes[0] = 1,
+            }
+            FfiOutcome::Return
+        }
+        "get_arg_count" => {
+            if bytes.len() >= 2 {
+                put16(bytes, 0, fs.args.len());
+            }
+            FfiOutcome::Return
+        }
+        "get_arg_length" => {
+            if bytes.len() >= 2 {
+                let i = get16(bytes, 0);
+                let len = fs.args.get(i).map_or(0, String::len);
+                put16(bytes, 0, len);
+            }
+            FfiOutcome::Return
+        }
+        "get_arg" => {
+            if bytes.len() >= 2 {
+                let i = get16(bytes, 0);
+                if let Some(arg) = fs.args.get(i) {
+                    let n = arg.len().min(bytes.len() - 2);
+                    bytes[2..2 + n].copy_from_slice(&arg.as_bytes()[..n]);
+                }
+            }
+            FfiOutcome::Return
+        }
+        "open_in" | "open_out" => {
+            let file = String::from_utf8_lossy(conf).into_owned();
+            let fd = if bytes.len() < 3 || file.is_empty() {
+                None
+            } else if name == "open_in" {
+                fs.open_in(&file)
+            } else {
+                fs.open_out(&file)
+            };
+            match fd {
+                Some(fd) => {
+                    bytes[0] = 0;
+                    put16(bytes, 1, fd as usize);
+                }
+                None => {
+                    if !bytes.is_empty() {
+                        bytes[0] = 1;
+                    }
+                }
+            }
+            FfiOutcome::Return
+        }
+        "close" => {
+            let ok = parse_fd(conf).is_some_and(|fd| fs.close(fd));
+            if !bytes.is_empty() {
+                bytes[0] = u8::from(!ok);
+            }
+            FfiOutcome::Return
+        }
+        "exit" => FfiOutcome::Exit(bytes.first().copied().unwrap_or(0)),
+        _ => FfiOutcome::Failed,
+    }
+}
+
+/// [`FfiHost`] adapter over [`FsState`] for the interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct BasisHost {
+    /// The world state.
+    pub fs: FsState,
+    /// Set when the program called the `exit` FFI.
+    pub exited: Option<u8>,
+}
+
+impl BasisHost {
+    /// Wraps a world state.
+    #[must_use]
+    pub fn new(fs: FsState) -> Self {
+        BasisHost { fs, exited: None }
+    }
+}
+
+impl FfiHost for BasisHost {
+    fn call(&mut self, name: &str, conf: &[u8], bytes: &mut [u8]) -> Result<(), String> {
+        match call_ffi(&mut self.fs, name, conf, bytes) {
+            FfiOutcome::Return => Ok(()),
+            FfiOutcome::Exit(c) => {
+                self.exited = Some(c);
+                Err(format!("exit({c})"))
+            }
+            FfiOutcome::Failed => Err(format!("unknown FFI `{name}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_protocol() {
+        let mut fs = FsState::default();
+        let mut bytes = vec![9, 0, 5, b'h', b'e', b'l', b'l', b'o'];
+        assert_eq!(call_ffi(&mut fs, "write", b"1", &mut bytes), FfiOutcome::Return);
+        assert_eq!(bytes[0], 0);
+        assert_eq!(fs.stdout_utf8(), "hello");
+        // Bad fd fails.
+        let mut bytes = vec![9, 0, 1, b'x'];
+        call_ffi(&mut fs, "write", b"junk", &mut bytes);
+        assert_eq!(bytes[0], 1);
+    }
+
+    #[test]
+    fn read_protocol() {
+        let mut fs = FsState::stdin_only(&[], b"abcdef");
+        let mut bytes = vec![0, 4, 0, 0, 0, 0, 0];
+        call_ffi(&mut fs, "read", b"0", &mut bytes);
+        assert_eq!(&bytes[..3], &[0, 0, 4]);
+        assert_eq!(&bytes[3..7], b"abcd");
+        // Second read gets the tail, third hits EOF with count 0.
+        let mut bytes = vec![0, 4, 0, 0, 0, 0, 0];
+        call_ffi(&mut fs, "read", b"0", &mut bytes);
+        assert_eq!(&bytes[..3], &[0, 0, 2]);
+        assert_eq!(&bytes[3..5], b"ef");
+        let mut bytes = vec![0, 4, 0, 0, 0, 0, 0];
+        call_ffi(&mut fs, "read", b"0", &mut bytes);
+        assert_eq!(&bytes[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn command_line_protocol() {
+        let mut fs = FsState::stdin_only(&["wc", "-l", "input.txt"], b"");
+        let mut bytes = vec![0, 0];
+        call_ffi(&mut fs, "get_arg_count", b"", &mut bytes);
+        assert_eq!(bytes, vec![0, 3]);
+        let mut bytes = vec![0, 2];
+        call_ffi(&mut fs, "get_arg_length", b"", &mut bytes);
+        assert_eq!(bytes, vec![0, 9], "input.txt has 9 bytes");
+        let mut bytes = vec![0, 1, 0, 0];
+        call_ffi(&mut fs, "get_arg", b"", &mut bytes);
+        assert_eq!(&bytes[2..4], b"-l");
+    }
+
+    #[test]
+    fn open_close_protocol() {
+        let mut fs = FsState::default();
+        fs.files.insert("in.txt".into(), b"data".to_vec());
+        let mut bytes = vec![0; 3];
+        call_ffi(&mut fs, "open_in", b"in.txt", &mut bytes);
+        assert_eq!(bytes[0], 0);
+        let fd = (u64::from(bytes[1]) << 8) | u64::from(bytes[2]);
+        assert_eq!(fd, 3);
+        let mut rd = vec![0, 4, 0, 0, 0, 0, 0];
+        call_ffi(&mut fs, "read", fd.to_string().as_bytes(), &mut rd);
+        assert_eq!(&rd[3..7], b"data");
+        let mut cb = vec![9];
+        call_ffi(&mut fs, "close", fd.to_string().as_bytes(), &mut cb);
+        assert_eq!(cb, vec![0]);
+        // Missing file fails.
+        let mut bytes = vec![0; 3];
+        call_ffi(&mut fs, "open_in", b"missing", &mut bytes);
+        assert_eq!(bytes[0], 1);
+    }
+
+    #[test]
+    fn exit_and_unknown() {
+        let mut fs = FsState::default();
+        let mut bytes = vec![7];
+        assert_eq!(call_ffi(&mut fs, "exit", b"", &mut bytes), FfiOutcome::Exit(7));
+        assert_eq!(call_ffi(&mut fs, "nonsense", b"", &mut bytes), FfiOutcome::Failed);
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-written Silver machine code implementing the system calls (§6).
+//!
+//! "For Silver, we have realised the standard streams std{in,out,err},
+//! and the command line, as in-memory devices accessed by Silver machine
+//! code that we have verified to implement the system calls required by
+//! CakeML." Here the verification is the differential test in
+//! `tests/ffi_equiv.rs`: executing this code under pure `Next` steps has
+//! exactly the effect the [`oracle`](crate::oracle) specifies.
+//!
+//! # Calling convention
+//!
+//! `r1` = configuration-string data pointer, `r2` = its length, `r3` =
+//! shared-array data pointer, `r4` = its length, return address in `r62`.
+//! The code may clobber `r1`–`r12` and `r59`–`r61`. Every call first
+//! records its index in the "called id" word (Figure 2); `write`
+//! additionally fills the output buffer and executes `Interrupt` to
+//! notify the interrupt handler (the lab setup's ARM core).
+//!
+//! # Region layout (based at `layout.ffi_base`)
+//!
+//! `[called id][jump table: one address per FFI name][code...]`
+
+use ag32::asm::{AsmError, Assembler};
+use ag32::{Func, Instr, Reg, Ri};
+use cakeml::TargetLayout;
+
+const R1: Reg = Reg::new(1);
+const R2: Reg = Reg::new(2);
+const R3: Reg = Reg::new(3);
+const R4: Reg = Reg::new(4);
+const R5: Reg = Reg::new(5);
+const R7: Reg = Reg::new(7);
+const R8: Reg = Reg::new(8);
+const R9: Reg = Reg::new(9);
+const R10: Reg = Reg::new(10);
+const R11: Reg = Reg::new(11);
+const R12: Reg = Reg::new(12);
+const S0: Reg = Reg::new(59);
+const LINK: Reg = Reg::new(62);
+
+struct Sys<'l> {
+    asm: Assembler,
+    layout: &'l TargetLayout,
+}
+
+/// Generates the system-call region for the given FFI names (in
+/// jump-table order, as collected by the compiler).
+///
+/// # Errors
+///
+/// Assembler errors indicate a bug in this generator.
+pub fn generate_syscalls(layout: &TargetLayout, ffi_names: &[String]) -> Result<Vec<u8>, AsmError> {
+    let mut s = Sys { asm: Assembler::new(layout.ffi_base), layout };
+    // Called-id word, then the jump table.
+    s.asm.word(0);
+    for name in ffi_names {
+        s.asm.word_label(format!("sc_{name}"));
+    }
+    for (i, name) in ffi_names.iter().enumerate() {
+        s.asm.label(format!("sc_{name}"));
+        s.store_called_id(i as u32);
+        match name.as_str() {
+            "write" => s.emit_write(),
+            "read" => s.emit_read(),
+            "get_arg_count" => s.emit_get_arg_count(),
+            "get_arg_length" => s.emit_get_arg_length(),
+            "get_arg" => s.emit_get_arg(),
+            "exit" => s.emit_exit(),
+            // No files exist at the machine level (§2.4: streams and the
+            // command line only); open/close report failure, matching an
+            // oracle over a file-less filesystem.
+            _ => s.emit_fail_only(),
+        }
+    }
+    s.asm.assemble()
+}
+
+impl Sys<'_> {
+    fn ret(&mut self) {
+        self.asm.instr(Instr::Jump { func: Func::Snd, w: S0, a: Ri::Reg(LINK) });
+    }
+
+    fn store_called_id(&mut self, id: u32) {
+        self.asm.li(R9, id);
+        self.asm.li(R10, self.layout.ffi_called_id_addr());
+        self.asm.instr(Instr::StoreMem { a: Ri::Reg(R9), b: Ri::Reg(R10) });
+    }
+
+    /// Parses the decimal fd in the configuration string into `r5`.
+    fn emit_parse_fd(&mut self, p: &str) {
+        self.asm.li(R5, 0);
+        self.asm.normal(Func::Add, R7, Ri::Reg(R1), Ri::Imm(0));
+        self.asm.normal(Func::Add, R8, Ri::Reg(R1), Ri::Reg(R2));
+        self.asm.label(format!("{p}_fdl"));
+        self.asm.branch_zero_sub(Ri::Reg(R7), Ri::Reg(R8), format!("{p}_fdd"), S0);
+        self.asm.instr(Instr::LoadMemByte { w: R9, a: Ri::Reg(R7) });
+        self.asm.li(R10, 48);
+        self.asm.normal(Func::Sub, R9, Ri::Reg(R9), Ri::Reg(R10));
+        self.asm.li(R10, 10);
+        self.asm.normal(Func::Mul, R5, Ri::Reg(R5), Ri::Reg(R10));
+        self.asm.normal(Func::Add, R5, Ri::Reg(R5), Ri::Reg(R9));
+        self.asm.normal(Func::Inc, R7, Ri::Imm(0), Ri::Reg(R7));
+        self.asm.jmp(format!("{p}_fdl"), Reg::new(60), Reg::new(61));
+        self.asm.label(format!("{p}_fdd"));
+    }
+
+    /// Byte-copy loop `while src != end { *dst++ = *src++ }` using `R7`
+    /// as the byte temporary.
+    fn emit_copy(&mut self, p: &str, src: Reg, dst: Reg, end: Reg) {
+        self.asm.label(format!("{p}_cp"));
+        self.asm.branch_zero_sub(Ri::Reg(src), Ri::Reg(end), format!("{p}_cpd"), S0);
+        self.asm.instr(Instr::LoadMemByte { w: R7, a: Ri::Reg(src) });
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(R7), b: Ri::Reg(dst) });
+        self.asm.normal(Func::Inc, src, Ri::Imm(0), Ri::Reg(src));
+        self.asm.normal(Func::Inc, dst, Ri::Imm(0), Ri::Reg(dst));
+        self.asm.jmp(format!("{p}_cp"), Reg::new(60), Reg::new(61));
+        self.asm.label(format!("{p}_cpd"));
+    }
+
+    fn emit_status_and_ret(&mut self, status: u8) {
+        self.asm.li(R7, u32::from(status));
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(R7), b: Ri::Reg(R3) });
+        self.ret();
+    }
+
+    fn emit_write(&mut self) {
+        self.emit_parse_fd("wr");
+        // n = bytes[1] << 8 | bytes[2].
+        self.asm.normal(Func::Add, R7, Ri::Reg(R3), Ri::Imm(1));
+        self.asm.instr(Instr::LoadMemByte { w: R8, a: Ri::Reg(R7) });
+        self.asm.shift(ag32::Shift::Ll, R8, Ri::Reg(R8), Ri::Imm(8));
+        self.asm.normal(Func::Add, R7, Ri::Reg(R3), Ri::Imm(2));
+        self.asm.instr(Instr::LoadMemByte { w: R9, a: Ri::Reg(R7) });
+        self.asm.normal(Func::Or, R8, Ri::Reg(R8), Ri::Reg(R9));
+        // Validate: n + 3 <= bytes len, n <= out_size, fd in {1, 2}.
+        self.asm.normal(Func::Add, R9, Ri::Reg(R8), Ri::Imm(3));
+        self.asm.branch_nonzero(Func::Lower, Ri::Reg(R4), Ri::Reg(R9), "wr_fail", S0);
+        self.asm.li(R9, self.layout.out_size);
+        self.asm.branch_nonzero(Func::Lower, Ri::Reg(R9), Ri::Reg(R8), "wr_fail", S0);
+        self.asm.branch_zero_sub(Ri::Reg(R5), Ri::Imm(1), "wr_ok", S0);
+        self.asm.branch_zero_sub(Ri::Reg(R5), Ri::Imm(2), "wr_ok", S0);
+        self.asm.jmp("wr_fail", Reg::new(60), Reg::new(61));
+        self.asm.label("wr_ok");
+        // Output buffer: [id][len][contents].
+        self.asm.li(R9, self.layout.out_base);
+        self.asm.instr(Instr::StoreMem { a: Ri::Reg(R5), b: Ri::Reg(R9) });
+        self.asm.normal(Func::Add, R10, Ri::Reg(R9), Ri::Imm(4));
+        self.asm.instr(Instr::StoreMem { a: Ri::Reg(R8), b: Ri::Reg(R10) });
+        self.asm.normal(Func::Add, R10, Ri::Reg(R9), Ri::Imm(8));
+        self.asm.normal(Func::Add, R11, Ri::Reg(R3), Ri::Imm(3));
+        self.asm.normal(Func::Add, R12, Ri::Reg(R11), Ri::Reg(R8));
+        self.emit_copy("wr", R11, R10, R12);
+        // Notify the interrupt handler (§4.1.1 Interrupt).
+        self.asm.instr(Instr::Interrupt);
+        self.emit_status_and_ret(0);
+        self.asm.label("wr_fail");
+        self.emit_status_and_ret(1);
+    }
+
+    fn emit_read(&mut self) {
+        self.emit_parse_fd("rd");
+        // Only stdin (fd 0) exists as an input device.
+        self.asm.branch_nonzero_sub(Ri::Reg(R5), Ri::Imm(0), "rd_fail", S0);
+        // n = bytes[0] << 8 | bytes[1], clamped to bytes len - 3.
+        self.asm.instr(Instr::LoadMemByte { w: R8, a: Ri::Reg(R3) });
+        self.asm.shift(ag32::Shift::Ll, R8, Ri::Reg(R8), Ri::Imm(8));
+        self.asm.normal(Func::Add, R7, Ri::Reg(R3), Ri::Imm(1));
+        self.asm.instr(Instr::LoadMemByte { w: R9, a: Ri::Reg(R7) });
+        self.asm.normal(Func::Or, R8, Ri::Reg(R8), Ri::Reg(R9));
+        self.asm.normal(Func::Add, R9, Ri::Reg(R8), Ri::Imm(3));
+        self.asm.branch_zero(Func::Lower, Ri::Reg(R4), Ri::Reg(R9), "rd_nok", S0);
+        self.asm.normal(Func::Sub, R8, Ri::Reg(R4), Ri::Imm(3));
+        self.asm.label("rd_nok");
+        // avail = stdin len - cursor; take = min(n, avail).
+        self.asm.li(R9, self.layout.stdin_base);
+        self.asm.instr(Instr::LoadMem { w: R10, a: Ri::Reg(R9) });
+        self.asm.normal(Func::Add, R11, Ri::Reg(R9), Ri::Imm(4));
+        self.asm.instr(Instr::LoadMem { w: R12, a: Ri::Reg(R11) });
+        self.asm.normal(Func::Sub, R10, Ri::Reg(R10), Ri::Reg(R12));
+        self.asm.branch_zero(Func::Lower, Ri::Reg(R10), Ri::Reg(R8), "rd_t", S0);
+        self.asm.normal(Func::Add, R8, Ri::Reg(R10), Ri::Imm(0));
+        self.asm.label("rd_t");
+        // Copy take bytes from stdin contents + cursor to bytes[3..].
+        self.asm.li(R9, self.layout.stdin_base + 8);
+        self.asm.normal(Func::Add, R9, Ri::Reg(R9), Ri::Reg(R12));
+        self.asm.normal(Func::Add, R10, Ri::Reg(R3), Ri::Imm(3));
+        self.asm.normal(Func::Add, R11, Ri::Reg(R9), Ri::Reg(R8));
+        self.emit_copy("rd", R9, R10, R11);
+        // cursor += take.
+        self.asm.li(R9, self.layout.stdin_base + 4);
+        self.asm.instr(Instr::LoadMem { w: R11, a: Ri::Reg(R9) });
+        self.asm.normal(Func::Add, R11, Ri::Reg(R11), Ri::Reg(R8));
+        self.asm.instr(Instr::StoreMem { a: Ri::Reg(R11), b: Ri::Reg(R9) });
+        // bytes[0] = 0; bytes[1..2] = take (big-endian).
+        self.asm.li(R7, 0);
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(R7), b: Ri::Reg(R3) });
+        self.asm.shift(ag32::Shift::Lr, R9, Ri::Reg(R8), Ri::Imm(8));
+        self.asm.normal(Func::Add, R10, Ri::Reg(R3), Ri::Imm(1));
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(R9), b: Ri::Reg(R10) });
+        self.asm.normal(Func::Add, R10, Ri::Reg(R3), Ri::Imm(2));
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(R8), b: Ri::Reg(R10) });
+        self.ret();
+        self.asm.label("rd_fail");
+        self.emit_status_and_ret(1);
+    }
+
+    fn emit_get_arg_count(&mut self) {
+        self.asm.li(R7, self.layout.cl_base);
+        self.asm.instr(Instr::LoadMem { w: R8, a: Ri::Reg(R7) });
+        self.emit_put16_at_r3(R8);
+        self.ret();
+    }
+
+    /// Stores `val` big-endian into `bytes[0..2]`.
+    fn emit_put16_at_r3(&mut self, val: Reg) {
+        self.asm.shift(ag32::Shift::Lr, R9, Ri::Reg(val), Ri::Imm(8));
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(R9), b: Ri::Reg(R3) });
+        self.asm.normal(Func::Add, R10, Ri::Reg(R3), Ri::Imm(1));
+        self.asm.instr(Instr::StoreMemByte { a: Ri::Reg(val), b: Ri::Reg(R10) });
+    }
+
+    /// Loads `bytes[0..2]` big-endian into `r5`.
+    fn emit_get16_from_r3(&mut self) {
+        self.asm.instr(Instr::LoadMemByte { w: R5, a: Ri::Reg(R3) });
+        self.asm.shift(ag32::Shift::Ll, R5, Ri::Reg(R5), Ri::Imm(8));
+        self.asm.normal(Func::Add, R7, Ri::Reg(R3), Ri::Imm(1));
+        self.asm.instr(Instr::LoadMemByte { w: R8, a: Ri::Reg(R7) });
+        self.asm.normal(Func::Or, R5, Ri::Reg(R5), Ri::Reg(R8));
+    }
+
+    /// Walks the argument list (each entry: length word, bytes padded to
+    /// 4) leaving the address of argument `r5`'s length word in `r9`.
+    fn emit_arg_walk(&mut self, p: &str) {
+        self.asm.li(R9, self.layout.cl_base + 4);
+        self.asm.label(format!("{p}_wk"));
+        self.asm.branch_zero_sub(Ri::Reg(R5), Ri::Imm(0), format!("{p}_fnd"), S0);
+        self.asm.instr(Instr::LoadMem { w: R10, a: Ri::Reg(R9) });
+        self.asm.normal(Func::Add, R10, Ri::Reg(R10), Ri::Imm(3));
+        self.asm.li(R11, 0xFFFF_FFFC);
+        self.asm.normal(Func::And, R10, Ri::Reg(R10), Ri::Reg(R11));
+        self.asm.normal(Func::Add, R9, Ri::Reg(R9), Ri::Imm(4));
+        self.asm.normal(Func::Add, R9, Ri::Reg(R9), Ri::Reg(R10));
+        self.asm.normal(Func::Dec, R5, Ri::Imm(0), Ri::Reg(R5));
+        self.asm.jmp(format!("{p}_wk"), Reg::new(60), Reg::new(61));
+        self.asm.label(format!("{p}_fnd"));
+    }
+
+    fn emit_get_arg_length(&mut self) {
+        self.emit_get16_from_r3();
+        self.emit_arg_walk("al");
+        self.asm.instr(Instr::LoadMem { w: R8, a: Ri::Reg(R9) });
+        self.emit_put16_at_r3(R8);
+        self.ret();
+    }
+
+    fn emit_get_arg(&mut self) {
+        self.emit_get16_from_r3();
+        self.emit_arg_walk("ga");
+        self.asm.instr(Instr::LoadMem { w: R8, a: Ri::Reg(R9) });
+        self.asm.normal(Func::Add, R10, Ri::Reg(R9), Ri::Imm(4)); // src
+        self.asm.normal(Func::Add, R11, Ri::Reg(R3), Ri::Imm(2)); // dst
+        self.asm.normal(Func::Add, R12, Ri::Reg(R10), Ri::Reg(R8)); // end
+        self.emit_copy("ga", R10, R11, R12);
+        self.ret();
+    }
+
+    fn emit_exit(&mut self) {
+        self.asm.instr(Instr::LoadMemByte { w: R7, a: Ri::Reg(R3) });
+        self.asm.li(R8, self.layout.exit_code_addr);
+        self.asm.instr(Instr::StoreMem { a: Ri::Reg(R7), b: Ri::Reg(R8) });
+        self.asm.li(R8, self.layout.halt_addr);
+        self.asm.instr(Instr::Jump { func: Func::Snd, w: S0, a: Ri::Reg(R8) });
+    }
+
+    fn emit_fail_only(&mut self) {
+        self.emit_status_and_ret(1);
+    }
+}

@@ -1,0 +1,46 @@
+//! R1 (§7): the application suite runs on the stack. Reports per-app
+//! instruction counts and projected board times for fixed inputs — the
+//! table behind "we have successfully run all of the programs mentioned
+//! in the introduction".
+
+use bench::{measure_cpi, project_seconds, random_lines, run_isa};
+use criterion::{criterion_group, criterion_main, Criterion};
+use silver_stack::apps;
+
+fn bench_apps(c: &mut Criterion) {
+    let cpi = measure_cpi();
+    let sort_input = random_lines(100, 3);
+    let proof = b"S a iaa a\nK a iaa\nMP 0 1\nK a a\nMP 2 3\n".to_vec();
+    let cases: Vec<(&str, &str, Vec<u8>)> = vec![
+        ("hello", apps::HELLO, b"".to_vec()),
+        ("wc", apps::WC, b"the quick brown fox jumps over the lazy dog\n".repeat(20)),
+        ("cat", apps::CAT, random_lines(50, 1)),
+        ("sort", apps::SORT, sort_input),
+        ("proof_checker", apps::PROOF_CHECKER, proof),
+        ("mini_compiler", apps::MINI_COMPILER, b"(1+2)*(3+4)\n".to_vec()),
+    ];
+
+    eprintln!("--- R1: application suite on the verified stack ---");
+    eprintln!("{:<14} {:>12} {:>10} {:>12}", "app", "instructions", "stdout", "projected");
+    for (name, src, stdin) in &cases {
+        let r = run_isa(src, &[name], stdin);
+        eprintln!(
+            "{name:<14} {:>12} {:>10} {:>10.3} s",
+            r.instructions,
+            r.stdout.len(),
+            project_seconds(r.instructions, cpi)
+        );
+    }
+
+    c.bench_function("wc_isa_sim", |b| {
+        let input = b"words words words\n".repeat(50);
+        b.iter(|| run_isa(apps::WC, &["wc"], &input).instructions);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_apps
+}
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! R3 (§7): "compiling a one-line hello world program on a modern Intel
+//! processor takes around two to three seconds, whereas compiling the
+//! same program on Silver takes around four hours."
+//!
+//! The paper compares the *same compiler* running on an Intel host and
+//! on Silver. We regenerate that shape exactly: the mini compiler
+//! (written in the source language) compiles the same input once on the
+//! host (under the source interpreter, the fastest host execution of the
+//! same algorithm we have) and once on the simulated Silver processor
+//! (projected to board wall-clock). For context we also time the real
+//! Rust compiler on hello world.
+
+use bench::{measure_cpi, project_seconds, run_isa};
+use basis::{BasisHost, FsState};
+use cakeml::{compile_source, frontend, run_program, CompilerConfig, TargetLayout};
+use criterion::{criterion_group, criterion_main, Criterion};
+use silver_stack::apps;
+
+/// A sizeable expression so the workload dominates constant overheads.
+fn big_expression() -> Vec<u8> {
+    let mut e = String::from("1");
+    for i in 2..400 {
+        e.push_str(&format!(" + {} * ({} - 2)", i % 97, i % 13));
+    }
+    e.push('\n');
+    e.into_bytes()
+}
+
+fn bench_compile_gap(c: &mut Criterion) {
+    let program = big_expression();
+    let cpi = measure_cpi();
+
+    // The mini compiler on the host (source interpreter).
+    let cfg = CompilerConfig::default();
+    let (ast, _) = frontend(apps::MINI_COMPILER, &cfg).expect("frontend");
+    // "The same compiler on a modern Intel processor": a native Rust
+    // implementation of the identical lex/parse/emit/eval algorithm.
+    fn native_minicc(input: &[u8]) -> String {
+        #[derive(Clone, Copy, PartialEq)]
+        enum T {
+            Num(i64),
+            Plus,
+            Minus,
+            Times,
+            Lp,
+            Rp,
+        }
+        let mut toks = Vec::new();
+        let b = input;
+        let mut i = 0;
+        while i < b.len() {
+            match b[i] {
+                b' ' | b'\n' => i += 1,
+                b'+' => {
+                    toks.push(T::Plus);
+                    i += 1;
+                }
+                b'-' => {
+                    toks.push(T::Minus);
+                    i += 1;
+                }
+                b'*' => {
+                    toks.push(T::Times);
+                    i += 1;
+                }
+                b'(' => {
+                    toks.push(T::Lp);
+                    i += 1;
+                }
+                b')' => {
+                    toks.push(T::Rp);
+                    i += 1;
+                }
+                _ => {
+                    let mut v = 0i64;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        v = v * 10 + i64::from(b[i] - b'0');
+                        i += 1;
+                    }
+                    toks.push(T::Num(v));
+                }
+            }
+        }
+        enum E {
+            Lit(i64),
+            Add(Box<E>, Box<E>),
+            Sub(Box<E>, Box<E>),
+            Mul(Box<E>, Box<E>),
+        }
+        fn atom(t: &[T], p: &mut usize) -> E {
+            match t[*p] {
+                T::Num(v) => {
+                    *p += 1;
+                    E::Lit(v)
+                }
+                T::Lp => {
+                    *p += 1;
+                    let e = expr(t, p);
+                    *p += 1; // Rp
+                    e
+                }
+                _ => panic!("parse"),
+            }
+        }
+        fn term(t: &[T], p: &mut usize) -> E {
+            let mut e = atom(t, p);
+            while *p < t.len() && t[*p] == T::Times {
+                *p += 1;
+                e = E::Mul(Box::new(e), Box::new(atom(t, p)));
+            }
+            e
+        }
+        fn expr(t: &[T], p: &mut usize) -> E {
+            let mut e = term(t, p);
+            while *p < t.len() && (t[*p] == T::Plus || t[*p] == T::Minus) {
+                let op = t[*p];
+                *p += 1;
+                let rhs = term(t, p);
+                e = if op == T::Plus {
+                    E::Add(Box::new(e), Box::new(rhs))
+                } else {
+                    E::Sub(Box::new(e), Box::new(rhs))
+                };
+            }
+            e
+        }
+        fn emit(e: &E, out: &mut String) -> i64 {
+            match e {
+                E::Lit(v) => {
+                    out.push_str(&format!("  LoadConstant r1, {v}\n  Push r1\n"));
+                    *v
+                }
+                E::Add(a, b2) | E::Sub(a, b2) | E::Mul(a, b2) => {
+                    let x = emit(a, out);
+                    let y = emit(b2, out);
+                    let (name, v) = match e {
+                        E::Add(..) => ("fAdd", x.wrapping_add(y)),
+                        E::Sub(..) => ("fSub", x.wrapping_sub(y)),
+                        _ => ("fMul", x.wrapping_mul(y)),
+                    };
+                    out.push_str(&format!(
+                        "  Pop r2\n  Pop r1\n  Normal {name} r1, r1, r2\n  Push r1\n"
+                    ));
+                    v
+                }
+            }
+        }
+        let mut p = 0;
+        let e = expr(&toks, &mut p);
+        let mut out = String::from("; silver-stack mini compiler output\n");
+        let v = emit(&e, &mut out);
+        out.push_str(&format!("  Out r1 ; = {v}\n"));
+        out
+    }
+    let native_start = std::time::Instant::now();
+    let mut native_out = String::new();
+    for _ in 0..20 {
+        native_out = native_minicc(&program);
+    }
+    let native_secs = native_start.elapsed().as_secs_f64() / 20.0;
+
+    // The interpreter recurses on the Rust stack; give it room.
+    let (host_secs, host) = {
+        let ast = ast.clone();
+        let program = program.clone();
+        std::thread::Builder::new()
+            .stack_size(512 * 1024 * 1024)
+            .spawn(move || {
+                let host_start = std::time::Instant::now();
+                let mut host = BasisHost::new(FsState::stdin_only(&["minicc"], &program));
+                run_program(&ast, &mut host, 4_000_000_000).expect("interprets");
+                (host_start.elapsed().as_secs_f64(), host)
+            })
+            .expect("spawn")
+            .join()
+            .expect("join")
+    };
+
+    // The same compiler on Silver (projected).
+    let r = run_isa(apps::MINI_COMPILER, &["minicc"], &program);
+    assert_eq!(r.stdout, host.fs.stdout, "same compiler output on both hosts");
+    let projected = project_seconds(r.instructions, cpi);
+
+    // Context: the real (Rust) compiler on hello world.
+    let rust_start = std::time::Instant::now();
+    let compiled = compile_source(apps::HELLO, TargetLayout::default(), &cfg).expect("compiles");
+    let rust_secs = rust_start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        String::from_utf8_lossy(&r.stdout).replace("~", "-"),
+        native_out,
+        "silver and native agree on the output (modulo ML negative-literal syntax)"
+    );
+    eprintln!("--- R3: the same compiler on an Intel host vs on Silver ---");
+    eprintln!(
+        "native (rust) mini compiler  : {native_secs:.6} s ({} bytes of assembly)",
+        native_out.len()
+    );
+    eprintln!("interpreted ML mini compiler : {host_secs:.4} s");
+    eprintln!("mini compiler on Silver      : {} instructions", r.instructions);
+    eprintln!("projected board time         : {projected:.3} s");
+    eprintln!(
+        "slowdown vs native           : {:.0}x (paper: ~2-3 s vs ~4 h ≈ 5000x)",
+        projected / native_secs.max(1e-9)
+    );
+    eprintln!("(context: rust compiler on hello world: {rust_secs:.4} s, {} bytes out)", compiled.code.len());
+
+    c.bench_function("host_compile_hello", |b| {
+        b.iter(|| {
+            compile_source(apps::HELLO, TargetLayout::default(), &CompilerConfig::default())
+                .expect("compiles")
+                .code
+                .len()
+        });
+    });
+    c.bench_function("mini_compiler_on_silver_sim", |b| {
+        b.iter(|| run_isa(apps::MINI_COMPILER, &["minicc"], b"1 + 2 * 3\n").instructions);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile_gap
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! B3 (ablation): what the compiler's optimisations buy, measured in
+//! retired Silver instructions on fixed workloads.
+//!
+//! * `direct_calls` — saturated known calls vs generic curried applies
+//!   (the CakeML-style known-function optimisation),
+//! * `tail_calls` — constant-stack loops vs stack frames per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silver_stack::{Backend, RunConfig, Stack};
+
+const WORKLOAD: &str = r#"
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2);
+fun sum_to n acc = if n = 0 then acc else sum_to (n - 1) (acc + n);
+val xs = merge_sort (fn a => fn b => a < b) [9,3,7,1,8,2,6,4,5,0,19,13,17,11];
+val _ = exit ((fib 15 + sum_to 500 0 + nth xs 3) mod 97);
+"#;
+
+fn instructions_with_cfg(direct_calls: bool, tail_calls: bool, gc: bool) -> u64 {
+    instructions_full(direct_calls, tail_calls, gc, true)
+}
+
+fn instructions_full(direct_calls: bool, tail_calls: bool, gc: bool, const_fold: bool) -> u64 {
+    let mut stack = Stack::new();
+    stack.compiler.direct_calls = direct_calls;
+    stack.compiler.tail_calls = tail_calls;
+    stack.compiler.gc = gc;
+    stack.compiler.const_fold = const_fold;
+    let r = stack
+        .run_source(WORKLOAD, &["abl"], b"", Backend::Isa, &RunConfig::default())
+        .expect("runs");
+    let code = r.exit_code().expect("exits");
+    assert_eq!(code, ((610u64 + 125_250 + 3) % 97) as u8, "all configs agree on the answer");
+    r.instructions
+}
+
+fn instructions_with(direct_calls: bool, tail_calls: bool) -> u64 {
+    instructions_with_cfg(direct_calls, tail_calls, false)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let full = instructions_with(true, true);
+    let no_direct = instructions_with(false, true);
+    let no_tail = instructions_with(true, false);
+    let neither = instructions_with(false, false);
+    let with_gc = instructions_with_cfg(true, true, true);
+    let no_fold = instructions_full(true, true, false, false);
+    eprintln!("--- B3: optimisation ablation (retired instructions) ---");
+    eprintln!("direct+tail     : {full}");
+    eprintln!("no direct calls : {no_direct}  (+{:.1}%)", excess(no_direct, full));
+    eprintln!("no tail calls   : {no_tail}  (+{:.1}%)", excess(no_tail, full));
+    eprintln!("neither         : {neither}  (+{:.1}%)", excess(neither, full));
+    eprintln!("no const fold   : {no_fold}  (+{:.1}%)", excess(no_fold, full));
+    eprintln!("gc runtime      : {with_gc}  (+{:.1}% — frame zeroing + allocator calls)", excess(with_gc, full));
+    assert!(no_direct > full, "direct calls must help");
+
+    c.bench_function("ablation_full_opt_sim", |b| {
+        b.iter(|| instructions_with(true, true));
+    });
+}
+
+fn excess(x: u64, base: u64) -> f64 {
+    (x as f64 / base as f64 - 1.0) * 100.0
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

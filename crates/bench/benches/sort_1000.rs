@@ -1,0 +1,45 @@
+//! R2 (§7): "Running sort on a 1000-line file takes a few seconds."
+//!
+//! Regenerates the claim: sorts 1000 random lines on the stack, counts
+//! Silver instructions, projects board wall-clock from the measured
+//! circuit-level CPI, and compares against a host-native sort of the
+//! same data. The *shape* to reproduce: seconds on Silver, microseconds
+//! natively.
+
+use bench::{measure_cpi, project_seconds, random_lines, run_isa};
+use criterion::{criterion_group, criterion_main, Criterion};
+use silver_stack::apps;
+
+fn bench_sort_1000(c: &mut Criterion) {
+    let input = random_lines(1000, 42);
+    let cpi = measure_cpi();
+
+    // The paper's headline numbers, printed once.
+    let r = run_isa(apps::SORT, &["sort"], &input);
+    let projected = project_seconds(r.instructions, cpi);
+    let mut host_lines: Vec<&[u8]> = input.split(|&b| b == b'\n').collect();
+    let host_start = std::time::Instant::now();
+    host_lines.sort();
+    let host_secs = host_start.elapsed().as_secs_f64();
+    eprintln!("--- R2: sort on a 1000-line file ---");
+    eprintln!("silver instructions : {}", r.instructions);
+    eprintln!("measured CPI        : {cpi:.2}");
+    eprintln!("projected on board  : {projected:.2} s (paper: \"a few seconds\")");
+    eprintln!("host-native sort    : {host_secs:.6} s");
+    eprintln!("slowdown vs native  : {:.0}x", projected / host_secs.max(1e-9));
+    assert!(!r.stdout.is_empty());
+
+    // Criterion-timed: the simulator cost of the run (smaller input so
+    // iterations stay reasonable).
+    let small = random_lines(200, 7);
+    c.bench_function("sort_200_lines_isa_sim", |b| {
+        b.iter(|| run_isa(apps::SORT, &["sort"], &small).instructions);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sort_1000
+}
+criterion_main!(benches);

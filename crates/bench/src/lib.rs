@@ -1,0 +1,96 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The paper's evaluation (§7) reports wall-clock times on a PYNQ-Z1
+//! board; we cannot synthesise a bitstream, so hardware time is
+//! *projected*: ISA-level instruction counts are combined with the
+//! cycles-per-instruction ratio measured on the circuit-level simulator
+//! and an assumed board clock. The projection method and its constants
+//! are documented in `EXPERIMENTS.md`.
+
+use silver_stack::{Backend, RunConfig, Stack, StackResult};
+
+/// Assumed board clock for projections. Silver is unpipelined; tens of
+/// MHz is the plausible range for such a design on the PYNQ-Z1's Artix-7
+/// fabric (the paper does not state its clock).
+pub const BOARD_HZ: f64 = 40_000_000.0;
+
+/// Runs an application on the ISA backend and returns the result.
+///
+/// # Panics
+///
+/// Panics when compilation or execution fails — benchmarks require
+/// working programs.
+#[must_use]
+pub fn run_isa(src: &str, args: &[&str], stdin: &[u8]) -> StackResult {
+    let stack = Stack::new();
+    let r = stack
+        .run_source(src, args, stdin, Backend::Isa, &RunConfig::default())
+        .expect("program runs");
+    assert!(r.exit_code().is_some(), "program must exit cleanly: {:?}", r.exit);
+    r
+}
+
+/// Runs an application on the circuit-level backend.
+///
+/// # Panics
+///
+/// Panics when compilation or execution fails.
+#[must_use]
+pub fn run_rtl(src: &str, args: &[&str], stdin: &[u8]) -> StackResult {
+    let stack = Stack::new();
+    let r = stack
+        .run_source(src, args, stdin, Backend::Rtl, &RunConfig::default())
+        .expect("program runs");
+    assert!(r.exit_code().is_some(), "program must exit cleanly: {:?}", r.exit);
+    r
+}
+
+/// Measures the clock-cycles-per-instruction ratio of the Silver
+/// implementation on a small calibration program.
+#[must_use]
+pub fn measure_cpi() -> f64 {
+    let src = "fun loop i acc = if i = 0 then acc else loop (i - 1) (acc + i);
+               val _ = exit (loop 200 0 mod 91);";
+    let r = run_rtl(src, &["cal"], b"");
+    r.cycles.expect("cycles") as f64 / r.instructions as f64
+}
+
+/// Projects wall-clock seconds on the board from an ISA instruction
+/// count and a measured CPI.
+#[must_use]
+pub fn project_seconds(instructions: u64, cpi: f64) -> f64 {
+    instructions as f64 * cpi / BOARD_HZ
+}
+
+/// Deterministic pseudo-random lines for the sort workload.
+#[must_use]
+pub fn random_lines(n: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let len = 8 + (state % 24) as usize;
+        for _ in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.push(b'a' + ((state >> 33) % 26) as u8);
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_program_runs() {
+        let cpi = measure_cpi();
+        assert!(cpi > 1.0 && cpi < 20.0, "plausible CPI, got {cpi}");
+    }
+
+    #[test]
+    fn random_lines_deterministic() {
+        assert_eq!(random_lines(10, 7), random_lines(10, 7));
+        assert_eq!(random_lines(5, 1).iter().filter(|&&b| b == b'\n').count(), 5);
+    }
+}

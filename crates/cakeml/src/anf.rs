@@ -1,0 +1,768 @@
+//! Lowering to A-normal form.
+//!
+//! This pass resolves variables to numeric ids, compiles pattern matches
+//! into explicit tag tests and projections, collects string literals into
+//! a pool, uncurries function definitions (up to the ABI arity), and
+//! names every intermediate value — the first half of the optimising
+//! backend, corresponding to CakeML's early intermediate languages.
+
+use std::collections::HashMap;
+
+use crate::ast::{self, Decl, Expr, FunBind, Lit, Pat, Prim, Program, EXIT_MATCH};
+use crate::types::DataEnv;
+
+/// A variable id, unique across the whole program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// An index into the program's string pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StrId(pub u32);
+
+/// Atomic values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Atom {
+    /// A variable.
+    Var(VarId),
+    /// An integer (31-bit range).
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A character.
+    Char(u8),
+    /// Unit.
+    Unit,
+    /// A pooled string literal.
+    Str(StrId),
+}
+
+/// Right-hand sides of `let`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rhs {
+    /// Copy an atom.
+    Atom(Atom),
+    /// A primitive with atomic arguments.
+    Prim(Prim, Vec<Atom>),
+    /// Allocate a tuple.
+    Tuple(Vec<Atom>),
+    /// A constructor value. Nullary constructors are represented as
+    /// immediates; unary ones allocate a tagged block.
+    Con {
+        /// Numeric constructor tag.
+        tag: u32,
+        /// Payload, if the constructor has one.
+        arg: Option<Atom>,
+    },
+    /// Project a field of a tuple (or the payload of a constructor,
+    /// field 0).
+    Proj {
+        /// Field index (0-based).
+        index: usize,
+        /// The block.
+        of: Atom,
+    },
+    /// The constructor tag of a value, as an integer.
+    TagOf(Atom),
+    /// An anonymous function (lifted by closure conversion).
+    Lam(Lam),
+    /// Generic application of a closure to one argument.
+    App {
+        /// The closure.
+        f: Atom,
+        /// The argument.
+        arg: Atom,
+    },
+    /// Saturated call of a statically-known function variable.
+    CallKnown {
+        /// The function variable (bound by a `fun` group).
+        f: VarId,
+        /// Exactly the function's arity of arguments.
+        args: Vec<Atom>,
+    },
+    /// A nested computation with control flow inside.
+    Sub(Box<Anf>),
+}
+
+/// A lambda: uncurried parameters (at most [`MAX_ARITY`]) and body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lam {
+    /// Parameters.
+    pub params: Vec<VarId>,
+    /// Body.
+    pub body: Box<Anf>,
+}
+
+/// ANF expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Anf {
+    /// Return an atom.
+    Ret(Atom),
+    /// `let dst = rhs in body`.
+    Let {
+        /// Destination variable.
+        dst: VarId,
+        /// Right-hand side.
+        rhs: Rhs,
+        /// Continuation.
+        body: Box<Anf>,
+    },
+    /// Conditional on a boolean atom.
+    If {
+        /// Condition.
+        cond: Atom,
+        /// Then branch.
+        then_: Box<Anf>,
+        /// Else branch.
+        else_: Box<Anf>,
+    },
+    /// Recursive function group.
+    LetRec {
+        /// `(variable, lambda)` bindings, mutually recursive.
+        binds: Vec<(VarId, Lam)>,
+        /// Continuation.
+        body: Box<Anf>,
+    },
+    /// Terminate with an exit code (match failure etc.).
+    Crash(u8),
+}
+
+/// Maximum direct-call arity; extra parameters become a nested lambda.
+pub const MAX_ARITY: usize = 5;
+
+/// The lowered program: one big ANF term plus the pools.
+#[derive(Clone, Debug)]
+pub struct AnfProgram {
+    /// The whole program as one expression (declarations sequenced).
+    pub main: Anf,
+    /// String literal pool.
+    pub strings: Vec<String>,
+    /// FFI names in first-use order; the image builder lays out the
+    /// system-call table in this order.
+    pub ffi_names: Vec<String>,
+    /// Number of variable ids allocated (fresh ids continue from here).
+    pub var_count: u32,
+    /// Arities of `fun`-bound variables (used by closure conversion).
+    pub arities: HashMap<VarId, usize>,
+}
+
+type Scope = HashMap<String, VarId>;
+type Binds = Vec<(VarId, Rhs)>;
+
+struct Lower<'d> {
+    data: &'d DataEnv,
+    next_var: u32,
+    strings: Vec<String>,
+    string_ids: HashMap<String, StrId>,
+    ffi_names: Vec<String>,
+    arities: HashMap<VarId, usize>,
+    direct_calls: bool,
+}
+
+/// Lowers a type-checked program to ANF (direct calls enabled).
+#[must_use]
+pub fn lower_program(prog: &Program, data: &DataEnv) -> AnfProgram {
+    lower_program_with(prog, data, true)
+}
+
+/// Lowers a type-checked program to ANF. With `direct_calls` disabled,
+/// every call goes through the generic one-argument apply path — the
+/// known-call ablation measured by the benchmark harness.
+#[must_use]
+pub fn lower_program_with(prog: &Program, data: &DataEnv, direct_calls: bool) -> AnfProgram {
+    let mut lo = Lower {
+        data,
+        next_var: 0,
+        strings: Vec::new(),
+        string_ids: HashMap::new(),
+        ffi_names: Vec::new(),
+        arities: HashMap::new(),
+        direct_calls,
+    };
+    let main = lo.lower_decls(&Scope::new(), &prog.decls);
+    AnfProgram {
+        main,
+        strings: lo.strings,
+        ffi_names: lo.ffi_names,
+        var_count: lo.next_var,
+        arities: lo.arities,
+    }
+}
+
+fn wrap(binds: Binds, tail: Anf) -> Anf {
+    let mut out = tail;
+    for (dst, rhs) in binds.into_iter().rev() {
+        out = Anf::Let { dst, rhs, body: Box::new(out) };
+    }
+    out
+}
+
+impl Lower<'_> {
+    fn fresh(&mut self) -> VarId {
+        self.next_var += 1;
+        VarId(self.next_var - 1)
+    }
+
+    fn str_id(&mut self, s: &str) -> StrId {
+        if let Some(id) = self.string_ids.get(s) {
+            return *id;
+        }
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.string_ids.insert(s.to_string(), id);
+        id
+    }
+
+    fn con_tag(&self, name: &str) -> u32 {
+        self.data
+            .constructors
+            .get(name)
+            .map(|(tag, _, _)| *tag)
+            .unwrap_or_else(|| panic!("unknown constructor `{name}` after type checking"))
+    }
+
+    fn lower_decls(&mut self, scope: &Scope, decls: &[Decl]) -> Anf {
+        let Some((first, rest)) = decls.split_first() else {
+            return Anf::Ret(Atom::Unit);
+        };
+        match first {
+            Decl::Datatype(..) => self.lower_decls(scope, rest),
+            Decl::Fun(fbinds) => {
+                let (binds, inner) = self.lower_fun_group(scope, fbinds);
+                let body = self.lower_decls(&inner, rest);
+                Anf::LetRec { binds, body: Box::new(body) }
+            }
+            Decl::Val(pat, e) => {
+                let mut binds = Binds::new();
+                let atom = self.atomize(scope, e, &mut binds);
+                let tail = match pat {
+                    Pat::Var(x) => {
+                        let mut inner = scope.clone();
+                        let v = self.materialize(atom, &mut binds);
+                        inner.insert(x.clone(), v);
+                        self.lower_decls(&inner, rest)
+                    }
+                    Pat::Wild | Pat::Lit(Lit::Unit) => self.lower_decls(scope, rest),
+                    _ => {
+                        let rest = rest.to_vec();
+                        self.compile_case_with(scope, atom, std::slice::from_ref(pat), |me, inner| {
+                            me.lower_decls(inner, &rest)
+                        })
+                    }
+                };
+                wrap(binds, tail)
+            }
+        }
+    }
+
+    fn materialize(&mut self, atom: Atom, binds: &mut Binds) -> VarId {
+        match atom {
+            Atom::Var(v) => v,
+            other => {
+                let dst = self.fresh();
+                binds.push((dst, Rhs::Atom(other)));
+                dst
+            }
+        }
+    }
+
+    fn lower_fun_group(
+        &mut self,
+        scope: &Scope,
+        fbinds: &[FunBind],
+    ) -> (Vec<(VarId, Lam)>, Scope) {
+        let mut inner = scope.clone();
+        let mut vars = Vec::new();
+        for fb in fbinds {
+            let v = self.fresh();
+            if self.direct_calls {
+                self.arities.insert(v, fb.params.len().min(MAX_ARITY));
+            }
+            inner.insert(fb.name.clone(), v);
+            vars.push(v);
+        }
+        let mut out = Vec::new();
+        for (fb, v) in fbinds.iter().zip(&vars) {
+            let lam = self.lower_lambda(&inner, &fb.params, &fb.body);
+            out.push((*v, lam));
+        }
+        (out, inner)
+    }
+
+    fn lower_lambda(&mut self, scope: &Scope, params: &[String], body: &Expr) -> Lam {
+        let take = params.len().min(MAX_ARITY);
+        let mut inner = scope.clone();
+        let mut ids = Vec::new();
+        for p in &params[..take] {
+            let v = self.fresh();
+            inner.insert(p.clone(), v);
+            ids.push(v);
+        }
+        let body_anf = if params.len() > take {
+            // Overflow parameters become a nested lambda.
+            let lam = self.lower_lambda(&inner, &params[take..], body);
+            let dst = self.fresh();
+            Anf::Let { dst, rhs: Rhs::Lam(lam), body: Box::new(Anf::Ret(Atom::Var(dst))) }
+        } else {
+            self.lower_full(&inner, body)
+        };
+        Lam { params: ids, body: Box::new(body_anf) }
+    }
+
+    /// Lowers an expression in tail position.
+    fn lower_full(&mut self, scope: &Scope, e: &Expr) -> Anf {
+        match e {
+            Expr::If(c, t, f) => {
+                let mut binds = Binds::new();
+                let cond = self.atomize(scope, c, &mut binds);
+                let then_ = self.lower_full(scope, t);
+                let else_ = self.lower_full(scope, f);
+                wrap(
+                    binds,
+                    Anf::If { cond, then_: Box::new(then_), else_: Box::new(else_) },
+                )
+            }
+            Expr::Case(scrut, arms) => {
+                let mut binds = Binds::new();
+                let s = self.atomize(scope, scrut, &mut binds);
+                let pats: Vec<Pat> = arms.iter().map(|(p, _)| p.clone()).collect();
+                let bodies: Vec<Expr> = arms.iter().map(|(_, b)| b.clone()).collect();
+                let tail = self.compile_case_multi(scope, s, &pats, &bodies);
+                wrap(binds, tail)
+            }
+            Expr::Let(pat, rhs, body) => {
+                let mut binds = Binds::new();
+                let atom = self.atomize(scope, rhs, &mut binds);
+                let tail = match pat {
+                    Pat::Var(x) => {
+                        let v = self.materialize(atom, &mut binds);
+                        let mut inner = scope.clone();
+                        inner.insert(x.clone(), v);
+                        self.lower_full(&inner, body)
+                    }
+                    Pat::Wild | Pat::Lit(Lit::Unit) => self.lower_full(scope, body),
+                    _ => {
+                        let body = (**body).clone();
+                        self.compile_case_with(scope, atom, std::slice::from_ref(pat), |me, inner| {
+                            me.lower_full(inner, &body)
+                        })
+                    }
+                };
+                wrap(binds, tail)
+            }
+            Expr::LetFun(fbinds, body) => {
+                let (binds, inner) = self.lower_fun_group(scope, fbinds);
+                let tail = self.lower_full(&inner, body);
+                Anf::LetRec { binds, body: Box::new(tail) }
+            }
+            Expr::Seq(a, b) => {
+                let mut binds = Binds::new();
+                let _ = self.atomize(scope, a, &mut binds);
+                let tail = self.lower_full(scope, b);
+                wrap(binds, tail)
+            }
+            _ => {
+                let mut binds = Binds::new();
+                let atom = self.atomize(scope, e, &mut binds);
+                wrap(binds, Anf::Ret(atom))
+            }
+        }
+    }
+
+    /// Lowers `e` to an atom, appending bindings to `binds`.
+    fn atomize(&mut self, scope: &Scope, e: &Expr, binds: &mut Binds) -> Atom {
+        match e {
+            Expr::Lit(l) => match l {
+                Lit::Int(v) => Atom::Int(ast::wrap_int(*v)),
+                Lit::Bool(b) => Atom::Bool(*b),
+                Lit::Char(c) => Atom::Char(*c),
+                Lit::Unit => Atom::Unit,
+                Lit::Str(s) => Atom::Str(self.str_id(s)),
+            },
+            Expr::Var(x) => Atom::Var(
+                *scope.get(x).unwrap_or_else(|| panic!("unbound `{x}` after checking")),
+            ),
+            Expr::Con(name, arg) => {
+                let tag = self.con_tag(name);
+                let arg = arg.as_ref().map(|a| self.atomize(scope, a, binds));
+                let dst = self.fresh();
+                binds.push((dst, Rhs::Con { tag, arg }));
+                Atom::Var(dst)
+            }
+            Expr::Tuple(parts) => {
+                let atoms: Vec<Atom> =
+                    parts.iter().map(|p| self.atomize(scope, p, binds)).collect();
+                let dst = self.fresh();
+                binds.push((dst, Rhs::Tuple(atoms)));
+                Atom::Var(dst)
+            }
+            Expr::Prim(p, args) => {
+                if let Prim::Ffi(name) = p {
+                    if !self.ffi_names.iter().any(|n| n == name) {
+                        self.ffi_names.push(name.clone());
+                    }
+                }
+                let atoms: Vec<Atom> =
+                    args.iter().map(|a| self.atomize(scope, a, binds)).collect();
+                let dst = self.fresh();
+                binds.push((dst, Rhs::Prim(p.clone(), atoms)));
+                Atom::Var(dst)
+            }
+            Expr::App(..) => {
+                let mut spine = Vec::new();
+                let mut head = e;
+                while let Expr::App(f, a) = head {
+                    spine.push(a.as_ref());
+                    head = f;
+                }
+                spine.reverse();
+                // Saturated call of a known `fun`-bound function?
+                if let Expr::Var(name) = head {
+                    if let Some(&v) = scope.get(name) {
+                        if let Some(&arity) = self.arities.get(&v).filter(|&&k| spine.len() >= k)
+                        {
+                            let args: Vec<Atom> = spine[..arity]
+                                .iter()
+                                .map(|a| self.atomize(scope, a, binds))
+                                .collect();
+                            let dst = self.fresh();
+                            binds.push((dst, Rhs::CallKnown { f: v, args }));
+                            let mut acc = Atom::Var(dst);
+                            for extra in &spine[arity..] {
+                                let arg = self.atomize(scope, extra, binds);
+                                let dst = self.fresh();
+                                binds.push((dst, Rhs::App { f: acc, arg }));
+                                acc = Atom::Var(dst);
+                            }
+                            return acc;
+                        }
+                    }
+                }
+                let mut acc = self.atomize(scope, head, binds);
+                for a in spine {
+                    let arg = self.atomize(scope, a, binds);
+                    let dst = self.fresh();
+                    binds.push((dst, Rhs::App { f: acc, arg }));
+                    acc = Atom::Var(dst);
+                }
+                acc
+            }
+            Expr::Fn(..) => {
+                // Uncurry nested fn-chains.
+                let mut params = Vec::new();
+                let mut body = e;
+                while let Expr::Fn(p, b) = body {
+                    if params.len() == MAX_ARITY {
+                        break;
+                    }
+                    params.push(p.clone());
+                    body = b;
+                }
+                let lam = self.lower_lambda(scope, &params, body);
+                let dst = self.fresh();
+                binds.push((dst, Rhs::Lam(lam)));
+                Atom::Var(dst)
+            }
+            Expr::AndAlso(a, b) => {
+                let ca = self.atomize(scope, a, binds);
+                let rhs = self.lower_full(scope, b);
+                let dst = self.fresh();
+                binds.push((
+                    dst,
+                    Rhs::Sub(Box::new(Anf::If {
+                        cond: ca,
+                        then_: Box::new(rhs),
+                        else_: Box::new(Anf::Ret(Atom::Bool(false))),
+                    })),
+                ));
+                Atom::Var(dst)
+            }
+            Expr::OrElse(a, b) => {
+                let ca = self.atomize(scope, a, binds);
+                let rhs = self.lower_full(scope, b);
+                let dst = self.fresh();
+                binds.push((
+                    dst,
+                    Rhs::Sub(Box::new(Anf::If {
+                        cond: ca,
+                        then_: Box::new(Anf::Ret(Atom::Bool(true))),
+                        else_: Box::new(rhs),
+                    })),
+                ));
+                Atom::Var(dst)
+            }
+            Expr::If(..) | Expr::Case(..) | Expr::Let(..) | Expr::LetFun(..) | Expr::Seq(..) => {
+                let sub = self.lower_full(scope, e);
+                let dst = self.fresh();
+                binds.push((dst, Rhs::Sub(Box::new(sub))));
+                Atom::Var(dst)
+            }
+        }
+    }
+
+    // ---- pattern compilation ----
+
+    fn compile_case_multi(
+        &mut self,
+        scope: &Scope,
+        scrut: Atom,
+        pats: &[Pat],
+        bodies: &[Expr],
+    ) -> Anf {
+        let mut result = Anf::Crash(EXIT_MATCH);
+        for (pat, body) in pats.iter().zip(bodies).rev() {
+            let mut ops = Vec::new();
+            let mut namebinds = Vec::new();
+            self.plan_pat(scrut, pat, &mut ops, &mut namebinds);
+            let mut inner = scope.clone();
+            for (name, v) in namebinds {
+                inner.insert(name, v);
+            }
+            let success = self.lower_full(&inner, body);
+            result = self.emit_ops(&ops, success, &result);
+        }
+        result
+    }
+
+    /// Single-pattern variant whose success continuation is supplied by
+    /// the caller (used for `val`/`let` pattern bindings).
+    fn compile_case_with(
+        &mut self,
+        scope: &Scope,
+        scrut: Atom,
+        pats: &[Pat],
+        success: impl FnOnce(&mut Self, &Scope) -> Anf,
+    ) -> Anf {
+        let mut ops = Vec::new();
+        let mut namebinds = Vec::new();
+        self.plan_pat(scrut, &pats[0], &mut ops, &mut namebinds);
+        let mut inner = scope.clone();
+        for (name, v) in namebinds {
+            inner.insert(name, v);
+        }
+        let body = success(self, &inner);
+        self.emit_ops(&ops, body, &Anf::Crash(EXIT_MATCH))
+    }
+
+    fn plan_pat(
+        &mut self,
+        scrut: Atom,
+        pat: &Pat,
+        ops: &mut Vec<POp>,
+        binds: &mut Vec<(String, VarId)>,
+    ) {
+        match pat {
+            Pat::Wild | Pat::Lit(Lit::Unit) => {}
+            Pat::Var(x) => {
+                let dst = self.fresh();
+                ops.push(POp::Let(dst, Rhs::Atom(scrut)));
+                binds.push((x.clone(), dst));
+            }
+            Pat::Lit(Lit::Int(v)) => {
+                ops.push(POp::Check(Rhs::Prim(
+                    Prim::Eq,
+                    vec![scrut, Atom::Int(ast::wrap_int(*v))],
+                )));
+            }
+            Pat::Lit(Lit::Bool(b)) => {
+                ops.push(POp::Check(Rhs::Prim(Prim::Eq, vec![scrut, Atom::Bool(*b)])));
+            }
+            Pat::Lit(Lit::Char(c)) => {
+                ops.push(POp::Check(Rhs::Prim(Prim::Eq, vec![scrut, Atom::Char(*c)])));
+            }
+            Pat::Lit(Lit::Str(s)) => {
+                let id = self.str_id(s);
+                ops.push(POp::Check(Rhs::Prim(Prim::EqStr, vec![scrut, Atom::Str(id)])));
+            }
+            Pat::Tuple(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if matches!(p, Pat::Wild) {
+                        continue;
+                    }
+                    let f = self.fresh();
+                    ops.push(POp::Let(f, Rhs::Proj { index: i, of: scrut }));
+                    self.plan_pat(Atom::Var(f), p, ops, binds);
+                }
+            }
+            Pat::ListNil => {
+                let t = self.fresh();
+                ops.push(POp::Let(t, Rhs::TagOf(scrut)));
+                ops.push(POp::Check(Rhs::Prim(Prim::Eq, vec![Atom::Var(t), Atom::Int(0)])));
+            }
+            Pat::Cons(h, tl) => {
+                let t = self.fresh();
+                ops.push(POp::Let(t, Rhs::TagOf(scrut)));
+                ops.push(POp::Check(Rhs::Prim(Prim::Eq, vec![Atom::Var(t), Atom::Int(1)])));
+                let payload = self.fresh();
+                ops.push(POp::Let(payload, Rhs::Proj { index: 0, of: scrut }));
+                if !matches!(**h, Pat::Wild) {
+                    let hf = self.fresh();
+                    ops.push(POp::Let(hf, Rhs::Proj { index: 0, of: Atom::Var(payload) }));
+                    self.plan_pat(Atom::Var(hf), h, ops, binds);
+                }
+                if !matches!(**tl, Pat::Wild) {
+                    let tf = self.fresh();
+                    ops.push(POp::Let(tf, Rhs::Proj { index: 1, of: Atom::Var(payload) }));
+                    self.plan_pat(Atom::Var(tf), tl, ops, binds);
+                }
+            }
+            Pat::Con(name, arg) => {
+                let tag = self.con_tag(name);
+                let t = self.fresh();
+                ops.push(POp::Let(t, Rhs::TagOf(scrut)));
+                ops.push(POp::Check(Rhs::Prim(
+                    Prim::Eq,
+                    vec![Atom::Var(t), Atom::Int(i64::from(tag))],
+                )));
+                if let Some(p) = arg {
+                    if !matches!(**p, Pat::Wild) {
+                        let f = self.fresh();
+                        ops.push(POp::Let(f, Rhs::Proj { index: 0, of: scrut }));
+                        self.plan_pat(Atom::Var(f), p, ops, binds);
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_ops(&mut self, ops: &[POp], success: Anf, fail: &Anf) -> Anf {
+        match ops.split_first() {
+            None => success,
+            Some((POp::Let(dst, rhs), rest)) => {
+                let body = self.emit_ops(rest, success, fail);
+                Anf::Let { dst: *dst, rhs: rhs.clone(), body: Box::new(body) }
+            }
+            Some((POp::Check(rhs), rest)) => {
+                let cond = self.fresh();
+                let body = self.emit_ops(rest, success, fail);
+                Anf::Let {
+                    dst: cond,
+                    rhs: rhs.clone(),
+                    body: Box::new(Anf::If {
+                        cond: Atom::Var(cond),
+                        then_: Box::new(body),
+                        else_: Box::new(fail.clone()),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+enum POp {
+    Let(VarId, Rhs),
+    Check(Rhs),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::types::check_program;
+
+    fn lower(src: &str) -> AnfProgram {
+        let mut prog = parse_program(src).expect("parses");
+        let data = check_program(&mut prog).expect("typechecks");
+        lower_program(&prog, &data)
+    }
+
+    fn count_rhs(anf: &Anf, pred: &dyn Fn(&Rhs) -> bool) -> usize {
+        fn go(a: &Anf, pred: &dyn Fn(&Rhs) -> bool, n: &mut usize) {
+            match a {
+                Anf::Ret(_) | Anf::Crash(_) => {}
+                Anf::Let { rhs, body, .. } => {
+                    if pred(rhs) {
+                        *n += 1;
+                    }
+                    match rhs {
+                        Rhs::Lam(l) => go(&l.body, pred, n),
+                        Rhs::Sub(s) => go(s, pred, n),
+                        _ => {}
+                    }
+                    go(body, pred, n);
+                }
+                Anf::If { then_, else_, .. } => {
+                    go(then_, pred, n);
+                    go(else_, pred, n);
+                }
+                Anf::LetRec { binds, body } => {
+                    for (_, l) in binds {
+                        go(&l.body, pred, n);
+                    }
+                    go(body, pred, n);
+                }
+            }
+        }
+        let mut n = 0;
+        go(anf, pred, &mut n);
+        n
+    }
+
+    #[test]
+    fn known_calls_are_direct() {
+        let p = lower("fun add a b = a + b; val x = add 1 2;");
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::CallKnown { .. })), 1);
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::App { .. })), 0);
+    }
+
+    #[test]
+    fn partial_application_falls_back_to_apply() {
+        let p = lower("fun add a b = a + b; val inc = add 1; val x = inc 2;");
+        // `add 1` under-applies (one Apply); `inc 2` applies the result.
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::App { .. })), 2);
+    }
+
+    #[test]
+    fn over_application_applies_the_rest() {
+        let p = lower("fun const a = fn b => a; val x = const 1 2;");
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::CallKnown { .. })), 1);
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::App { .. })), 1);
+    }
+
+    #[test]
+    fn string_pool_dedups() {
+        let p = lower("val a = \"x\"; val b = \"x\"; val c = \"y\";");
+        assert_eq!(p.strings, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn ffi_names_collected_in_order() {
+        let p = lower(
+            "val buf = Word8Array.array 8 #\"a\";
+             val _ = #(write) \"\" buf;
+             val _ = #(read) \"\" buf;
+             val _ = #(write) \"\" buf;",
+        );
+        assert_eq!(p.ffi_names, vec!["write".to_string(), "read".to_string()]);
+    }
+
+    #[test]
+    fn case_compiles_to_tag_tests() {
+        let p = lower(
+            "fun len xs = case xs of [] => 0 | _ :: t => 1 + len t;
+             val n = len [1, 2];",
+        );
+        assert!(count_rhs(&p.main, &|r| matches!(r, Rhs::TagOf(_))) >= 2);
+        assert!(count_rhs(&p.main, &|r| matches!(r, Rhs::Proj { .. })) >= 2);
+    }
+
+    #[test]
+    fn arity_capped_with_nested_lambda() {
+        let p = lower("fun six a b c d e f = a + b + c + d + e + f; val x = six 1 2 3 4 5 6;");
+        // The known call passes MAX_ARITY args, then applies the rest.
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::CallKnown { args, .. } if args.len() == MAX_ARITY)), 1);
+        assert_eq!(count_rhs(&p.main, &|r| matches!(r, Rhs::App { .. })), 1);
+    }
+
+    #[test]
+    fn letrec_groups_stay_together() {
+        let p = lower(
+            "fun even n = if n = 0 then true else odd (n - 1)
+             and odd n = if n = 0 then false else even (n - 1);
+             val t = even 4;",
+        );
+        match &p.main {
+            Anf::LetRec { binds, .. } => assert_eq!(binds.len(), 2),
+            other => panic!("expected LetRec, got {other:?}"),
+        }
+    }
+}

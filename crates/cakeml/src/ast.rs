@@ -1,0 +1,300 @@
+//! Abstract syntax of the source language.
+//!
+//! The language is a strict, impure ML in the CakeML family: curried
+//! functions, algebraic datatypes, pattern matching, references, byte
+//! arrays, strings, and the foreign-function-call primitive
+//! `ffi "name" conf bytes` that CakeML programs use to reach the basis
+//! library's system calls (§5 of the paper).
+//!
+//! Documented deviations from CakeML (see `DESIGN.md`): integers are
+//! 31-bit wrapping (CakeML has bignums), user datatypes are monomorphic
+//! (lists are the built-in polymorphic container), equality is restricted
+//! to the equality types `int`, `bool`, `char`, `string`, and there is no
+//! exception mechanism — failures (division by zero, out-of-bounds,
+//! unmatched case) terminate the program with a documented exit code.
+
+use std::fmt;
+
+/// Signed integers are 31-bit two's complement; all arithmetic wraps.
+pub const INT_BITS: u32 = 31;
+
+/// Wraps an integer to the language's 31-bit signed range.
+#[must_use]
+pub fn wrap_int(v: i64) -> i64 {
+    let m = 1i64 << (INT_BITS - 1);
+    ((v + m).rem_euclid(1i64 << INT_BITS)) - m
+}
+
+/// Exit code for division/modulo by zero.
+pub const EXIT_DIV: u8 = 2;
+/// Exit code for out-of-bounds string/array access or `chr` overflow.
+pub const EXIT_SUBSCRIPT: u8 = 3;
+/// Exit code for an unmatched `case`.
+pub const EXIT_MATCH: u8 = 4;
+/// Exit code when the bump allocator exhausts the heap — the
+/// out-of-memory behaviour that `extend_with_oom` permits (§2.3).
+pub const EXIT_OOM: u8 = 5;
+
+/// Built-in primitive operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Prim {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (wrapping).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `div` (truncating; traps on zero).
+    Div,
+    /// `mod` (truncating remainder; traps on zero).
+    Mod,
+    /// `<` on ints or chars.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `=` on equality types. After type elaboration this denotes *word*
+    /// equality (int, bool, char, unit); string equality is rewritten to
+    /// [`Prim::EqStr`].
+    Eq,
+    /// `<>` on equality types (rewritten to `not (= ...)` by elaboration).
+    Ne,
+    /// String equality (internal; produced by type elaboration).
+    EqStr,
+    /// `not`.
+    Not,
+    /// `^` string concatenation.
+    Concat,
+    /// `String.size`.
+    StrSize,
+    /// `String.sub` (traps out of bounds).
+    StrSub,
+    /// `String.substring s off len` (traps out of bounds).
+    StrSubstr,
+    /// `Char.ord`.
+    Ord,
+    /// `Char.chr` (traps outside 0..=255).
+    Chr,
+    /// `Word8Array.array n c` — fresh byte array of length `n` filled
+    /// with the byte of char `c`.
+    BytesNew,
+    /// `Word8Array.length`.
+    BytesLen,
+    /// `Word8Array.sub` — returns a char (traps out of bounds).
+    BytesGet,
+    /// `Word8Array.update arr i c` (traps out of bounds).
+    BytesSet,
+    /// `Word8Array.substring arr off len` — copy out as a string.
+    BytesToStr,
+    /// `Word8Array.copyStr s arr off` — copy a string into an array.
+    StrToBytes,
+    /// `ref e`.
+    RefNew,
+    /// `!e`.
+    RefGet,
+    /// `e := e`.
+    RefSet,
+    /// `ffi "name" conf bytes` — call the foreign function `name` with a
+    /// configuration string and a mutable byte array (CakeML's FFI).
+    Ffi(String),
+    /// `exit n` — terminate with the given exit code.
+    Exit,
+}
+
+impl Prim {
+    /// Number of value arguments the primitive takes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            Prim::Not
+            | Prim::StrSize
+            | Prim::Ord
+            | Prim::Chr
+            | Prim::BytesLen
+            | Prim::RefNew
+            | Prim::RefGet
+            | Prim::Exit => 1,
+            Prim::Add
+            | Prim::Sub
+            | Prim::Mul
+            | Prim::Div
+            | Prim::Mod
+            | Prim::Lt
+            | Prim::Le
+            | Prim::Gt
+            | Prim::Ge
+            | Prim::Eq
+            | Prim::Ne
+            | Prim::EqStr
+            | Prim::Concat
+            | Prim::StrSub
+            | Prim::BytesNew
+            | Prim::BytesGet
+            | Prim::RefSet
+            | Prim::Ffi(_) => 2,
+            Prim::BytesSet | Prim::BytesToStr | Prim::StrToBytes | Prim::StrSubstr => 3,
+        }
+    }
+}
+
+/// Literal constants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lit {
+    /// Integer literal (wrapped to 31 bits).
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Character literal `#"c"`.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// `()`.
+    Unit,
+}
+
+/// Patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pat {
+    /// `_`.
+    Wild,
+    /// A binder.
+    Var(String),
+    /// A literal pattern (int, bool, char, string, unit).
+    Lit(Lit),
+    /// Tuple pattern `(p1, ..., pn)`, n >= 2.
+    Tuple(Vec<Pat>),
+    /// Constructor pattern: `Nil`, `Cons p`, `C (p1, p2)` is `C` applied
+    /// to a tuple pattern. The built-in list constructors are `::`
+    /// (binary, via [`Pat::Cons`]) and `[]` ([`Pat::ListNil`]).
+    Con(String, Option<Box<Pat>>),
+    /// `p :: p`.
+    Cons(Box<Pat>, Box<Pat>),
+    /// `[]` (also produced by `[p1, ..., pn]` sugar).
+    ListNil,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal.
+    Lit(Lit),
+    /// A variable (or constructor used as a value, resolved later).
+    Var(String),
+    /// Constructor application `C` or `C e`.
+    Con(String, Option<Box<Expr>>),
+    /// Tuple `(e1, ..., en)`, n >= 2.
+    Tuple(Vec<Expr>),
+    /// Primitive application, fully applied.
+    Prim(Prim, Vec<Expr>),
+    /// Function application `f x` (curried, left-associative).
+    App(Box<Expr>, Box<Expr>),
+    /// `fn x => e`.
+    Fn(String, Box<Expr>),
+    /// `let val x = e1 in e2 end` (also `val _ = ...` for sequencing).
+    Let(Pat, Box<Expr>, Box<Expr>),
+    /// `let fun f x y = e1 (and g ...)* in e2 end` — local recursive
+    /// (possibly mutually recursive) functions.
+    LetFun(Vec<FunBind>, Box<Expr>),
+    /// `if c then t else e`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `case e of p1 => e1 | ... | pn => en`.
+    Case(Box<Expr>, Vec<(Pat, Expr)>),
+    /// `e1 andalso e2` (short-circuit).
+    AndAlso(Box<Expr>, Box<Expr>),
+    /// `e1 orelse e2` (short-circuit).
+    OrElse(Box<Expr>, Box<Expr>),
+    /// `e1; e2` sequencing.
+    Seq(Box<Expr>, Box<Expr>),
+}
+
+/// One function binding in a `fun ... and ...` group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunBind {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (curried; at least one).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Expr,
+}
+
+/// One constructor in a datatype declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConDef {
+    /// Constructor name (capitalised by convention).
+    pub name: String,
+    /// Argument type, if any (`of ty`).
+    pub arg: Option<TyExpr>,
+}
+
+/// Surface type expressions (used in datatype declarations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TyExpr {
+    /// `int`, `bool`, `char`, `string`, `unit`, or a datatype name.
+    Name(String),
+    /// `ty list`.
+    List(Box<TyExpr>),
+    /// `ty ref`.
+    Ref(Box<TyExpr>),
+    /// `ty1 * ... * tyn`.
+    Tuple(Vec<TyExpr>),
+    /// `ty -> ty`.
+    Fun(Box<TyExpr>, Box<TyExpr>),
+}
+
+/// Top-level declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decl {
+    /// `val p = e`.
+    Val(Pat, Expr),
+    /// `fun f x .. = e and g y .. = e ...`.
+    Fun(Vec<FunBind>),
+    /// `datatype t = C1 | C2 of ty | ...`.
+    Datatype(String, Vec<ConDef>),
+}
+
+/// A complete program: declarations evaluated in order. The program's
+/// effect is whatever its declarations' FFI calls perform.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level declarations.
+    pub decls: Vec<Decl>,
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(v) => write!(f, "{v}"),
+            Lit::Bool(b) => write!(f, "{b}"),
+            Lit::Char(c) => write!(f, "#\"{}\"", *c as char),
+            Lit::Str(s) => write!(f, "{s:?}"),
+            Lit::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_int_covers_range() {
+        assert_eq!(wrap_int(0), 0);
+        assert_eq!(wrap_int(1 << 30), -(1i64 << 30));
+        assert_eq!(wrap_int((1 << 30) - 1), (1 << 30) - 1);
+        assert_eq!(wrap_int(-(1i64 << 30)), -(1i64 << 30));
+        assert_eq!(wrap_int(1 << 31), 0);
+        assert_eq!(wrap_int(-1), -1);
+    }
+
+    #[test]
+    fn prim_arities() {
+        assert_eq!(Prim::Add.arity(), 2);
+        assert_eq!(Prim::BytesSet.arity(), 3);
+        assert_eq!(Prim::Ffi("write".into()).arity(), 2);
+        assert_eq!(Prim::Exit.arity(), 1);
+    }
+}

@@ -1,0 +1,641 @@
+//! Closure conversion: ANF with nested lambdas → first-order [`FlatIR`].
+//!
+//! Every lambda is lifted to a top-level function taking its parameters
+//! plus an *environment tuple* of captured values. Recursive groups share
+//! one environment and reach each other through it, so no cyclic heap
+//! structures are ever built (bump-allocator friendly). Saturated calls
+//! of statically-known functions become [`FRhs::CallDirect`]; everything
+//! else goes through the uniform one-argument [`FRhs::Apply`], with
+//! automatically generated *curry wrappers* providing first-class values
+//! for multi-parameter functions.
+//!
+//! [`FlatIR`]: FlatProgram
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::anf::{Anf, AnfProgram, Atom, Lam, Rhs, VarId};
+use crate::ast::Prim;
+
+/// Index of a lifted function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FunId(pub u32);
+
+/// Right-hand sides (first-order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FRhs {
+    /// Copy an atom.
+    Atom(Atom),
+    /// Primitive application.
+    Prim(Prim, Vec<Atom>),
+    /// Tuple allocation.
+    Tuple(Vec<Atom>),
+    /// Constructor value.
+    Con {
+        /// Numeric tag.
+        tag: u32,
+        /// Payload.
+        arg: Option<Atom>,
+    },
+    /// Field projection.
+    Proj {
+        /// Field index.
+        index: usize,
+        /// Block.
+        of: Atom,
+    },
+    /// Constructor tag of a value.
+    TagOf(Atom),
+    /// Allocate a closure `[code, env]`.
+    MakeClosure {
+        /// Code.
+        fun: FunId,
+        /// Environment tuple (or any value).
+        env: Atom,
+    },
+    /// Call a closure with one argument.
+    Apply {
+        /// The closure.
+        f: Atom,
+        /// The argument.
+        arg: Atom,
+    },
+    /// Direct call with an explicit environment argument.
+    CallDirect {
+        /// Callee.
+        fun: FunId,
+        /// Arguments (the callee's arity).
+        args: Vec<Atom>,
+        /// Environment value.
+        env: Atom,
+    },
+    /// Nested computation.
+    Sub(Box<FExpr>),
+}
+
+/// First-order expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FExpr {
+    /// Return an atom.
+    Ret(Atom),
+    /// Let binding.
+    Let {
+        /// Destination.
+        dst: VarId,
+        /// Right-hand side.
+        rhs: FRhs,
+        /// Continuation.
+        body: Box<FExpr>,
+    },
+    /// Conditional.
+    If {
+        /// Condition atom.
+        cond: Atom,
+        /// Then branch.
+        then_: Box<FExpr>,
+        /// Else branch.
+        else_: Box<FExpr>,
+    },
+    /// Terminate with an exit code.
+    Crash(u8),
+}
+
+/// A lifted function.
+#[derive(Clone, Debug)]
+pub struct FlatFun {
+    /// Debug name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<VarId>,
+    /// The environment parameter.
+    pub env_var: VarId,
+    /// Body.
+    pub body: FExpr,
+}
+
+/// The closure-converted program.
+#[derive(Clone, Debug)]
+pub struct FlatProgram {
+    /// All functions; index is [`FunId`].
+    pub funs: Vec<FlatFun>,
+    /// The program entry (no parameters).
+    pub main: FunId,
+    /// String pool (from lowering).
+    pub strings: Vec<String>,
+    /// FFI names in table order (from lowering).
+    pub ffi_names: Vec<String>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EnvSource {
+    /// The current function's own environment parameter.
+    CurrentEnv,
+    /// A local variable holding the group's environment tuple.
+    Var(VarId),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Known {
+    fun: FunId,
+    arity: usize,
+    env: EnvSource,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    known: HashMap<VarId, Known>,
+    env_var: VarId,
+}
+
+struct Conv {
+    funs: Vec<FlatFun>,
+    wrappers: HashMap<FunId, FunId>,
+    next_var: u32,
+}
+
+/// Converts a lowered program.
+#[must_use]
+pub fn convert_program(p: &AnfProgram) -> FlatProgram {
+    let mut conv = Conv { funs: Vec::new(), wrappers: HashMap::new(), next_var: p.var_count };
+    let env_var = conv.fresh();
+    let ctx = Ctx { known: HashMap::new(), env_var };
+    let body = conv.convert(&p.main, &ctx);
+    let main = conv.push_fun(FlatFun {
+        name: "main".into(),
+        params: vec![],
+        env_var,
+        body,
+    });
+    FlatProgram {
+        funs: conv.funs,
+        main,
+        strings: p.strings.clone(),
+        ffi_names: p.ffi_names.clone(),
+    }
+}
+
+impl Conv {
+    fn fresh(&mut self) -> VarId {
+        self.next_var += 1;
+        VarId(self.next_var - 1)
+    }
+
+    fn push_fun(&mut self, f: FlatFun) -> FunId {
+        self.funs.push(f);
+        FunId(self.funs.len() as u32 - 1)
+    }
+
+    fn env_atom(&self, ctx: &Ctx, src: EnvSource) -> Atom {
+        match src {
+            EnvSource::CurrentEnv => Atom::Var(ctx.env_var),
+            EnvSource::Var(v) => Atom::Var(v),
+        }
+    }
+
+    /// Uses an atom, materialising known functions into closure values
+    /// (re-binding the function's own `VarId`, which is slot-idempotent).
+    fn use_atom(&mut self, a: Atom, ctx: &Ctx, lets: &mut Vec<(VarId, FRhs)>) -> Atom {
+        if let Atom::Var(v) = a {
+            if let Some(k) = ctx.known.get(&v).copied() {
+                let env = self.env_atom(ctx, k.env);
+                let code = if k.arity == 1 { k.fun } else { self.wrapper_for(k.fun, k.arity) };
+                lets.push((v, FRhs::MakeClosure { fun: code, env }));
+                return Atom::Var(v);
+            }
+        }
+        a
+    }
+
+    fn use_atoms(&mut self, atoms: &[Atom], ctx: &Ctx, lets: &mut Vec<(VarId, FRhs)>) -> Vec<Atom> {
+        atoms.iter().map(|a| self.use_atom(*a, ctx, lets)).collect()
+    }
+
+    /// The curry-wrapper entry for a multi-parameter function: a chain of
+    /// one-argument functions accumulating `(…(E, x1), x2)…` environments
+    /// and finally calling `fun` directly.
+    fn wrapper_for(&mut self, fun: FunId, arity: usize) -> FunId {
+        if let Some(w) = self.wrappers.get(&fun) {
+            return *w;
+        }
+        debug_assert!(arity >= 2);
+        // Build from the last wrapper backwards: w_1 .. w_arity, where
+        // w_arity (the `None` case below) performs the direct call.
+        let base_name = self.funs[fun.0 as usize].name.clone();
+        let mut next: Option<FunId> = None;
+        for i in (1..=arity).rev() {
+            // Wrapper w_i takes x_i with env (..(E,x1)..,x_{i-1}).
+            let x = self.fresh();
+            let env_var = self.fresh();
+            let body = if let Some(next_fun) = next {
+                // return MakeClosure(next, (env, x))
+                let pair = self.fresh();
+                let dst = self.fresh();
+                FExpr::Let {
+                    dst: pair,
+                    rhs: FRhs::Tuple(vec![Atom::Var(env_var), Atom::Var(x)]),
+                    body: Box::new(FExpr::Let {
+                        dst,
+                        rhs: FRhs::MakeClosure { fun: next_fun, env: Atom::Var(pair) },
+                        body: Box::new(FExpr::Ret(Atom::Var(dst))),
+                    }),
+                }
+            } else {
+                // Last wrapper (takes x_k where k = arity): unwind the env
+                // chain to recover E and x_1..x_{k-1}, then call directly.
+                let mut lets: Vec<(VarId, FRhs)> = Vec::new();
+                let mut chain = env_var;
+                let mut xs_rev = vec![Atom::Var(x)];
+                for _ in (1..arity).rev() {
+                    let xj = self.fresh();
+                    lets.push((xj, FRhs::Proj { index: 1, of: Atom::Var(chain) }));
+                    let rest = self.fresh();
+                    lets.push((rest, FRhs::Proj { index: 0, of: Atom::Var(chain) }));
+                    xs_rev.push(Atom::Var(xj));
+                    chain = rest;
+                }
+                let args: Vec<Atom> = xs_rev.into_iter().rev().collect();
+                let dst = self.fresh();
+                let mut out = FExpr::Let {
+                    dst,
+                    rhs: FRhs::CallDirect { fun, args, env: Atom::Var(chain) },
+                    body: Box::new(FExpr::Ret(Atom::Var(dst))),
+                };
+                for (d, r) in lets.into_iter().rev() {
+                    out = FExpr::Let { dst: d, rhs: r, body: Box::new(out) };
+                }
+                out
+            };
+            // Wrapper w_i is the one taking x_i; the chain is built from
+            // w_{arity} (the caller above maps i = arity-1 .. 1, with the
+            // `None` case being w_{arity}).
+            let id = self.push_fun(FlatFun {
+                name: format!("{base_name}#curry{i}"),
+                params: vec![x],
+                env_var,
+                body,
+            });
+            next = Some(id);
+        }
+        let w1 = next.expect("arity >= 2 produces wrappers");
+        self.wrappers.insert(fun, w1);
+        w1
+    }
+
+    fn lift_lambda(
+        &mut self,
+        name: String,
+        lam: &Lam,
+        group: &[(VarId, Known)],
+        fvs: &[VarId],
+    ) -> FunId {
+        let env_var = self.fresh();
+        let inner = Ctx { known: group.iter().copied().collect(), env_var };
+        let converted = self.convert(&lam.body, &inner);
+        // Prefix: rebind each captured variable from the env tuple.
+        let mut body = converted;
+        for (i, v) in fvs.iter().enumerate().rev() {
+            body = FExpr::Let {
+                dst: *v,
+                rhs: FRhs::Proj { index: i, of: Atom::Var(env_var) },
+                body: Box::new(body),
+            };
+        }
+        self.push_fun(FlatFun { name, params: lam.params.clone(), env_var, body })
+    }
+
+    fn convert(&mut self, a: &Anf, ctx: &Ctx) -> FExpr {
+        match a {
+            Anf::Ret(atom) => {
+                let mut lets = Vec::new();
+                let at = self.use_atom(*atom, ctx, &mut lets);
+                wrap_lets(lets, FExpr::Ret(at))
+            }
+            Anf::Crash(c) => FExpr::Crash(*c),
+            Anf::If { cond, then_, else_ } => {
+                let mut lets = Vec::new();
+                let c = self.use_atom(*cond, ctx, &mut lets);
+                let t = self.convert(then_, ctx);
+                let e = self.convert(else_, ctx);
+                wrap_lets(
+                    lets,
+                    FExpr::If { cond: c, then_: Box::new(t), else_: Box::new(e) },
+                )
+            }
+            Anf::Let { dst, rhs, body } => {
+                let mut lets = Vec::new();
+                let frhs = match rhs {
+                    Rhs::Atom(at) => FRhs::Atom(self.use_atom(*at, ctx, &mut lets)),
+                    Rhs::Prim(p, args) => {
+                        FRhs::Prim(p.clone(), self.use_atoms(args, ctx, &mut lets))
+                    }
+                    Rhs::Tuple(parts) => FRhs::Tuple(self.use_atoms(parts, ctx, &mut lets)),
+                    Rhs::Con { tag, arg } => FRhs::Con {
+                        tag: *tag,
+                        arg: arg.map(|a| self.use_atom(a, ctx, &mut lets)),
+                    },
+                    Rhs::Proj { index, of } => FRhs::Proj {
+                        index: *index,
+                        of: self.use_atom(*of, ctx, &mut lets),
+                    },
+                    Rhs::TagOf(at) => FRhs::TagOf(self.use_atom(*at, ctx, &mut lets)),
+                    Rhs::App { f, arg } => FRhs::Apply {
+                        f: self.use_atom(*f, ctx, &mut lets),
+                        arg: self.use_atom(*arg, ctx, &mut lets),
+                    },
+                    Rhs::CallKnown { f, args } => {
+                        if let Some(k) = ctx.known.get(f).copied() {
+                            let env = self.env_atom(ctx, k.env);
+                            FRhs::CallDirect {
+                                fun: k.fun,
+                                args: self.use_atoms(args, ctx, &mut lets),
+                                env,
+                            }
+                        } else {
+                            // The function escaped its defining scope (it
+                            // was captured first-class); apply one by one.
+                            let mut acc = self.use_atom(Atom::Var(*f), ctx, &mut lets);
+                            let args = self.use_atoms(args, ctx, &mut lets);
+                            for (i, arg) in args.iter().enumerate() {
+                                let d = if i + 1 == args.len() { *dst } else { self.fresh() };
+                                lets.push((d, FRhs::Apply { f: acc, arg: *arg }));
+                                acc = Atom::Var(d);
+                            }
+                            let tail = self.convert(body, ctx);
+                            return wrap_lets(lets, tail);
+                        }
+                    }
+                    Rhs::Sub(sub) => FRhs::Sub(Box::new(self.convert(sub, ctx))),
+                    Rhs::Lam(lam) => {
+                        // Anonymous lambda: capture free variables.
+                        let fvs = ordered_free_vars(std::slice::from_ref(lam), &[]);
+                        let fv_atoms = self.use_atoms(
+                            &fvs.iter().map(|v| Atom::Var(*v)).collect::<Vec<_>>(),
+                            ctx,
+                            &mut lets,
+                        );
+                        let env_tuple = self.fresh();
+                        lets.push((env_tuple, FRhs::Tuple(fv_atoms)));
+                        let fun = self.lift_lambda(format!("lam{}", dst.0), lam, &[], &fvs);
+                        let code = if lam.params.len() == 1 {
+                            fun
+                        } else {
+                            self.wrapper_for(fun, lam.params.len())
+                        };
+                        FRhs::MakeClosure { fun: code, env: Atom::Var(env_tuple) }
+                    }
+                };
+                let tail = self.convert(body, ctx);
+                wrap_lets(
+                    lets,
+                    FExpr::Let { dst: *dst, rhs: frhs, body: Box::new(tail) },
+                )
+            }
+            Anf::LetRec { binds, body } => {
+                let group_vars: Vec<VarId> = binds.iter().map(|(v, _)| *v).collect();
+                let lams: Vec<Lam> = binds.iter().map(|(_, l)| l.clone()).collect();
+                let fvs = ordered_free_vars(&lams, &group_vars);
+                let mut lets = Vec::new();
+                let fv_atoms = self.use_atoms(
+                    &fvs.iter().map(|v| Atom::Var(*v)).collect::<Vec<_>>(),
+                    ctx,
+                    &mut lets,
+                );
+                let env_tuple = self.fresh();
+                lets.push((env_tuple, FRhs::Tuple(fv_atoms)));
+                // Reserve FunIds in order so group members can refer to
+                // each other before their bodies are converted.
+                let mut ids = Vec::new();
+                for (v, lam) in binds {
+                    let id = self.push_fun(FlatFun {
+                        name: format!("fun{}", v.0),
+                        params: lam.params.clone(),
+                        env_var: VarId(u32::MAX),
+                        body: FExpr::Crash(0),
+                    });
+                    ids.push(id);
+                }
+                let group: Vec<(VarId, Known)> = group_vars
+                    .iter()
+                    .zip(&ids)
+                    .zip(binds)
+                    .map(|((v, id), (_, lam))| {
+                        (
+                            *v,
+                            Known { fun: *id, arity: lam.params.len(), env: EnvSource::CurrentEnv },
+                        )
+                    })
+                    .collect();
+                for ((_, lam), id) in binds.iter().zip(&ids) {
+                    let env_var = self.fresh();
+                    let inner = Ctx { known: group.iter().copied().collect(), env_var };
+                    let converted = self.convert(&lam.body, &inner);
+                    let mut fbody = converted;
+                    for (i, v) in fvs.iter().enumerate().rev() {
+                        fbody = FExpr::Let {
+                            dst: *v,
+                            rhs: FRhs::Proj { index: i, of: Atom::Var(env_var) },
+                            body: Box::new(fbody),
+                        };
+                    }
+                    let f = &mut self.funs[id.0 as usize];
+                    f.env_var = env_var;
+                    f.body = fbody;
+                }
+                // Continuation: group members known through the env var.
+                let mut outer = ctx.clone();
+                for ((v, id), (_, lam)) in group_vars.iter().zip(&ids).zip(binds) {
+                    outer.known.insert(
+                        *v,
+                        Known {
+                            fun: *id,
+                            arity: lam.params.len(),
+                            env: EnvSource::Var(env_tuple),
+                        },
+                    );
+                }
+                let tail = self.convert(body, &outer);
+                wrap_lets(lets, tail)
+            }
+        }
+    }
+}
+
+fn wrap_lets(lets: Vec<(VarId, FRhs)>, tail: FExpr) -> FExpr {
+    let mut out = tail;
+    for (dst, rhs) in lets.into_iter().rev() {
+        out = FExpr::Let { dst, rhs, body: Box::new(out) };
+    }
+    out
+}
+
+/// Free variables of a lambda group, in deterministic order: every
+/// variable used inside any of the bodies that is bound outside them.
+/// Variable ids are globally unique, so "bound outside" is computable
+/// without scope information.
+fn ordered_free_vars(lams: &[Lam], group: &[VarId]) -> Vec<VarId> {
+    let mut bound: HashSet<VarId> = group.iter().copied().collect();
+    let mut used: BTreeSet<VarId> = BTreeSet::new();
+    for lam in lams {
+        bound.extend(lam.params.iter().copied());
+    }
+    fn collect(a: &Anf, bound: &mut HashSet<VarId>, used: &mut BTreeSet<VarId>) {
+        let atom = |at: &Atom, bound: &HashSet<VarId>, used: &mut BTreeSet<VarId>| {
+            if let Atom::Var(v) = at {
+                if !bound.contains(v) {
+                    used.insert(*v);
+                }
+            }
+        };
+        match a {
+            Anf::Ret(at) => atom(at, bound, used),
+            Anf::Crash(_) => {}
+            Anf::If { cond, then_, else_ } => {
+                atom(cond, bound, used);
+                collect(then_, bound, used);
+                collect(else_, bound, used);
+            }
+            Anf::Let { dst, rhs, body } => {
+                match rhs {
+                    Rhs::Atom(at) | Rhs::TagOf(at) => atom(at, bound, used),
+                    Rhs::Prim(_, args) | Rhs::Tuple(args) => {
+                        args.iter().for_each(|at| atom(at, bound, used));
+                    }
+                    Rhs::Con { arg, .. } => {
+                        if let Some(at) = arg {
+                            atom(at, bound, used);
+                        }
+                    }
+                    Rhs::Proj { of, .. } => atom(of, bound, used),
+                    Rhs::App { f, arg } => {
+                        atom(f, bound, used);
+                        atom(arg, bound, used);
+                    }
+                    Rhs::CallKnown { f, args } => {
+                        atom(&Atom::Var(*f), bound, used);
+                        args.iter().for_each(|at| atom(at, bound, used));
+                    }
+                    Rhs::Sub(sub) => collect(sub, bound, used),
+                    Rhs::Lam(lam) => {
+                        let mut inner_bound = bound.clone();
+                        inner_bound.extend(lam.params.iter().copied());
+                        collect(&lam.body, &mut inner_bound, used);
+                    }
+                }
+                bound.insert(*dst);
+                collect(body, bound, used);
+            }
+            Anf::LetRec { binds, body } => {
+                for (v, _) in binds {
+                    bound.insert(*v);
+                }
+                for (_, lam) in binds {
+                    let mut inner_bound = bound.clone();
+                    inner_bound.extend(lam.params.iter().copied());
+                    collect(&lam.body, &mut inner_bound, used);
+                }
+                collect(body, bound, used);
+            }
+        }
+    }
+    for lam in lams {
+        let mut b = bound.clone();
+        collect(&lam.body, &mut b, &mut used);
+    }
+    used.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::lower_program;
+    use crate::parser::parse_program;
+    use crate::types::check_program;
+
+    fn flat(src: &str) -> FlatProgram {
+        let mut prog = parse_program(src).expect("parses");
+        let data = check_program(&mut prog).expect("typechecks");
+        convert_program(&lower_program(&prog, &data))
+    }
+
+    fn count_rhs(p: &FlatProgram, pred: &dyn Fn(&FRhs) -> bool) -> usize {
+        fn go(e: &FExpr, pred: &dyn Fn(&FRhs) -> bool, n: &mut usize) {
+            match e {
+                FExpr::Ret(_) | FExpr::Crash(_) => {}
+                FExpr::Let { rhs, body, .. } => {
+                    if pred(rhs) {
+                        *n += 1;
+                    }
+                    if let FRhs::Sub(s) = rhs {
+                        go(s, pred, n);
+                    }
+                    go(body, pred, n);
+                }
+                FExpr::If { then_, else_, .. } => {
+                    go(then_, pred, n);
+                    go(else_, pred, n);
+                }
+            }
+        }
+        let mut n = 0;
+        for f in &p.funs {
+            go(&f.body, pred, &mut n);
+        }
+        n
+    }
+
+    #[test]
+    fn direct_calls_survive_conversion() {
+        let p = flat("fun add a b = a + b; val x = add 1 2;");
+        assert_eq!(count_rhs(&p, &|r| matches!(r, FRhs::CallDirect { .. })), 1);
+    }
+
+    #[test]
+    fn recursion_is_direct_through_current_env() {
+        let p = flat("fun fact n = if n = 0 then 1 else n * fact (n - 1); val x = fact 5;");
+        // Two direct calls: the recursive one and the top-level one.
+        assert_eq!(count_rhs(&p, &|r| matches!(r, FRhs::CallDirect { .. })), 2);
+        assert_eq!(count_rhs(&p, &|r| matches!(r, FRhs::Apply { .. })), 0);
+    }
+
+    #[test]
+    fn first_class_use_makes_wrappers() {
+        let p = flat(
+            "fun add a b = a + b;
+             fun apply2 f = f 1 2;
+             val x = apply2 add;",
+        );
+        // `add` is materialised via its curry wrapper chain (arity 2 =>
+        // one wrapper pair) and applied twice generically.
+        assert!(count_rhs(&p, &|r| matches!(r, FRhs::MakeClosure { .. })) >= 1);
+        assert_eq!(count_rhs(&p, &|r| matches!(r, FRhs::Apply { .. })), 2);
+        assert!(p.funs.iter().any(|f| f.name.contains("curry")));
+    }
+
+    #[test]
+    fn captured_variables_come_from_env() {
+        let p = flat(
+            "val base = 100;
+             fun addb x = x + base;
+             val y = addb 1;",
+        );
+        // addb's body projects `base` out of its environment.
+        assert!(count_rhs(&p, &|r| matches!(r, FRhs::Proj { .. })) >= 1);
+    }
+
+    #[test]
+    fn anonymous_lambdas_lift() {
+        let p = flat("val f = fn x => x + 1; val y = f 2;");
+        assert!(p.funs.len() >= 2, "main + lifted lambda");
+        assert_eq!(count_rhs(&p, &|r| matches!(r, FRhs::Apply { .. })), 1);
+    }
+
+    #[test]
+    fn mutual_recursion_shares_env() {
+        let p = flat(
+            "val k = 1;
+             fun even n = if n = 0 then true else odd (n - k)
+             and odd n = if n = 0 then false else even (n - k);
+             val t = even 4;",
+        );
+        assert!(count_rhs(&p, &|r| matches!(r, FRhs::CallDirect { .. })) >= 3);
+    }
+}

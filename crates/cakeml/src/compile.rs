@@ -1,0 +1,451 @@
+//! The compiler pipeline driver: source text → Silver machine code.
+//!
+//! `compile confAg prog = Some compiled_prog` (theorem (3)): parsing,
+//! type inference + elaboration, ANF lowering with pattern compilation,
+//! closure conversion, and code generation, all driven from one function.
+
+use std::fmt;
+
+use crate::anf;
+use crate::ast::Program;
+use crate::clos;
+use crate::codegen::{self, CompiledProgram, CompilerConfig};
+use crate::layout::TargetLayout;
+use crate::parser;
+use crate::prelude::PRELUDE;
+use crate::types::{self, DataEnv};
+
+/// Compilation errors, per phase.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(parser::ParseError),
+    /// Type inference failed.
+    Type(types::TypeError),
+    /// Code generation failed (indicates a compiler bug).
+    Asm(ag32::asm::AsmError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Type(e) => write!(f, "{e}"),
+            CompileError::Asm(e) => write!(f, "code generation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The user source with the prelude prepended (when configured).
+#[must_use]
+pub fn full_source(user: &str, cfg: &CompilerConfig) -> String {
+    if cfg.prelude {
+        format!("{PRELUDE}\n{user}")
+    } else {
+        user.to_string()
+    }
+}
+
+/// Runs the front end only: parse, type-check, elaborate.
+///
+/// # Errors
+///
+/// Parse or type errors.
+pub fn frontend(user: &str, cfg: &CompilerConfig) -> Result<(Program, DataEnv), CompileError> {
+    let src = full_source(user, cfg);
+    let mut prog = parser::parse_program(&src).map_err(CompileError::Parse)?;
+    let data = types::check_program(&mut prog).map_err(CompileError::Type)?;
+    Ok((prog, data))
+}
+
+/// Compiles source text to a Silver machine-code image (based at
+/// [`TargetLayout::code_base`]).
+///
+/// # Errors
+///
+/// Parse, type or code-generation errors.
+pub fn compile_source(
+    user: &str,
+    layout: TargetLayout,
+    cfg: &CompilerConfig,
+) -> Result<CompiledProgram, CompileError> {
+    let (prog, data) = frontend(user, cfg)?;
+    let mut lowered = anf::lower_program_with(&prog, &data, cfg.direct_calls);
+    if cfg.const_fold {
+        lowered = crate::opt::optimize(lowered);
+    }
+    let flat = clos::convert_program(&lowered);
+    codegen::generate(&flat, layout, *cfg).map_err(CompileError::Asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag32::State;
+    use crate::ast::{EXIT_DIV, EXIT_MATCH, EXIT_OOM, EXIT_SUBSCRIPT};
+
+    /// Runs a compiled pure program (no FFI) directly on the ISA: code at
+    /// `code_base`, PC at `_start`, a halt loop at `halt_addr`. Returns
+    /// the exit code and the final machine state.
+    fn run_pure(src: &str) -> (u8, State, u64) {
+        let layout = TargetLayout::default();
+        let cfg = CompilerConfig::default();
+        let compiled = compile_source(src, layout, &cfg).expect("compiles");
+        let mut s = State::new();
+        s.mem.write_bytes(layout.code_base, &compiled.code);
+        // Halt self-loop (PC-relative jump with offset 0).
+        s.mem.write_word(
+            layout.halt_addr,
+            ag32::encode(ag32::Instr::Jump {
+                func: ag32::Func::Add,
+                w: ag32::Reg::new(0),
+                a: ag32::Ri::Imm(0),
+            }),
+        );
+        s.pc = layout.code_base;
+        let steps = s.run(200_000_000);
+        assert!(s.is_halted(), "program must halt");
+        (s.mem.read_word(layout.exit_code_addr) as u8, s, steps)
+    }
+
+    fn exit_code(src: &str) -> u8 {
+        run_pure(src).0
+    }
+
+    #[test]
+    fn empty_program_exits_zero() {
+        assert_eq!(exit_code("val x = 1;"), 0);
+    }
+
+    #[test]
+    fn arithmetic_and_exit() {
+        assert_eq!(exit_code("val _ = exit (40 + 2);"), 42);
+        assert_eq!(exit_code("val _ = exit (7 * 6 - 21 div 3 * 6);"), 0);
+        assert_eq!(exit_code("val _ = exit (1000000 mod 97);"), (1_000_000 % 97) as u8);
+    }
+
+    #[test]
+    fn negative_division_truncates() {
+        assert_eq!(exit_code("val _ = exit (if ~7 div 2 = ~3 then 0 else 1);"), 0);
+        assert_eq!(exit_code("val _ = exit (if ~7 mod 2 = ~1 then 0 else 1);"), 0);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        assert_eq!(exit_code("fun f x = x div 0; val _ = exit (f 1);"), EXIT_DIV);
+    }
+
+    #[test]
+    fn conditionals_and_comparisons() {
+        assert_eq!(
+            exit_code(
+                "val _ = exit (if 3 < 5 andalso 5 <= 5 andalso 7 > 2 andalso
+                               2 >= 2 andalso ~1 < 0 then 0 else 1);"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        assert_eq!(
+            exit_code(
+                "fun fact n = if n = 0 then 1 else n * fact (n - 1);
+                 val _ = exit (fact 10 mod 251);"
+            ),
+            (3_628_800 % 251) as u8
+        );
+    }
+
+    #[test]
+    fn tail_recursion_runs_in_constant_stack() {
+        // One million iterations would overflow any reasonable stack
+        // without tail calls.
+        assert_eq!(
+            exit_code(
+                "fun loop i acc = if i = 0 then acc else loop (i - 1) (acc + 1);
+                 val _ = exit (loop 1000000 0 mod 97);"
+            ),
+            (1_000_000 % 97) as u8
+        );
+    }
+
+    #[test]
+    fn closures_capture() {
+        assert_eq!(
+            exit_code(
+                "val base = 30;
+                 fun addb x = x + base;
+                 val f = fn y => addb y + 2;
+                 val _ = exit (f 10);"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn curried_first_class_functions() {
+        assert_eq!(
+            exit_code(
+                "fun add a b = a + b;
+                 val inc = add 1;
+                 fun twice f x = f (f x);
+                 val _ = exit (twice inc 40);"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn lists_and_pattern_matching() {
+        assert_eq!(
+            exit_code(
+                "fun sum xs = case xs of [] => 0 | h :: t => h + sum t;
+                 val _ = exit (sum [1, 2, 3, 4, 5, 6, 7, 8]);"
+            ),
+            36
+        );
+    }
+
+    #[test]
+    fn datatypes_compile() {
+        assert_eq!(
+            exit_code(
+                "datatype shape = Circle of int | Square of int | Point;
+                 fun area s = case s of
+                     Circle r => 3 * r * r
+                   | Square w => w * w
+                   | Point => 0;
+                 val _ = exit (area (Circle 2) + area (Square 3) + area Point);"
+            ),
+            21
+        );
+    }
+
+    #[test]
+    fn match_failure_exits_with_code() {
+        assert_eq!(exit_code("val _ = case 3 of 1 => () | 2 => ();"), EXIT_MATCH);
+    }
+
+    #[test]
+    fn strings_concat_and_compare() {
+        assert_eq!(
+            exit_code(
+                "val s = \"foo\" ^ \"bar\";
+                 val _ = exit (if s = \"foobar\" andalso s <> \"foobaz\"
+                               andalso String.size s = 6 then 0 else 1);"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn string_subscript_traps() {
+        assert_eq!(exit_code("val _ = exit (Char.ord (String.sub \"ab\" 5));"), EXIT_SUBSCRIPT);
+    }
+
+    #[test]
+    fn byte_arrays_roundtrip() {
+        assert_eq!(
+            exit_code(
+                "val a = Word8Array.array 4 (Char.chr 120);
+                 val _ = Word8Array.update a 1 (Char.chr 121);
+                 val s = Word8Array.substring a 0 4;
+                 val _ = exit (if s = \"xyxx\" then 0 else 1);"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn prelude_utilities_work_compiled() {
+        assert_eq!(
+            exit_code(
+                "val xs = [5, 3, 9, 1];
+                 val sorted = merge_sort (fn a => fn b => a < b) xs;
+                 val _ = exit (case sorted of a :: b :: c :: d :: [] =>
+                                 a * 1000 + b * 100 + c * 10 + d | _ => 1);"
+            ),
+            ((1000 + 300 + 50 + 9) % 256) as u8
+        );
+    }
+
+    #[test]
+    fn int_to_string_compiled() {
+        assert_eq!(
+            exit_code(
+                "val s = int_to_string ~1042;
+                 val _ = exit (if s = \"~1042\" then 0 else 1);"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn refs_compiled() {
+        assert_eq!(
+            exit_code(
+                "val r = ref 40;
+                 val _ = r := !r + 2;
+                 val _ = exit (!r);"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn heap_exhaustion_exits_oom() {
+        // Allocate unboundedly; the bump allocator must hit the limit and
+        // exit with the documented out-of-memory code — the behaviour
+        // `extend_with_oom` allows.
+        assert_eq!(
+            exit_code(
+                "fun grow xs = grow (1 :: xs);
+                 val _ = grow [];
+                 val _ = exit 0;"
+            ),
+            EXIT_OOM
+        );
+    }
+
+    #[test]
+    fn deep_non_tail_recursion_hits_stack_oom() {
+        assert_eq!(
+            exit_code(
+                "fun deep n = if n = 0 then 0 else 1 + deep (n - 1);
+                 val _ = exit (deep 10000000);"
+            ),
+            EXIT_OOM
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_compiled() {
+        assert_eq!(
+            exit_code(
+                "fun even n = if n = 0 then true else odd (n - 1)
+                 and odd n = if n = 0 then false else even (n - 1);
+                 val _ = exit (if even 100 andalso odd 101 then 0 else 1);"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn string_patterns_compiled() {
+        assert_eq!(
+            exit_code(
+                "fun greet s = case s of \"hi\" => 1 | \"bye\" => 2 | _ => 3;
+                 val _ = exit (greet \"hi\" * 100 + greet \"bye\" * 10 + greet \"zz\");"
+            ),
+            123
+        );
+    }
+
+    #[test]
+    fn nested_closures_capture_chains() {
+        assert_eq!(
+            exit_code(
+                "fun make a = fn b => fn c => a * 100 + b * 10 + c;
+                 val f = make 1;
+                 val g = f 2;
+                 val _ = exit (g 3 mod 256);"
+            ),
+            123
+        );
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        assert_eq!(
+            exit_code(
+                "val x = 1;
+                 val x = x + 10;
+                 val _ = exit (let val x = x + 100 in x end);"
+            ),
+            111
+        );
+    }
+
+    #[test]
+    fn six_parameter_function_uses_wrapper_fallback() {
+        assert_eq!(
+            exit_code(
+                "fun six a b c d e f = a + b + c + d + e + f;
+                 val _ = exit (six 1 2 3 4 5 6);"
+            ),
+            21
+        );
+    }
+
+    #[test]
+    fn andalso_short_circuits_effects() {
+        assert_eq!(
+            exit_code(
+                "val r = ref 0;
+                 fun effect u = (r := !r + 1; true);
+                 val _ = false andalso effect ();
+                 val _ = true orelse effect ();
+                 val _ = true andalso effect ();
+                 val _ = exit (!r);"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn deep_tuple_and_list_patterns() {
+        assert_eq!(
+            exit_code(
+                "val data = [(1, (2, 3)), (4, (5, 6))];
+                 fun f xs = case xs of
+                     (a, (b, c)) :: (d, (e, g)) :: [] => a + b + c + d + e + g
+                   | _ => 99;
+                 val _ = exit (f data);"
+            ),
+            21
+        );
+    }
+
+    #[test]
+    fn chr_bounds_trap() {
+        assert_eq!(exit_code("val _ = exit (Char.ord (Char.chr 300));"), EXIT_SUBSCRIPT);
+        assert_eq!(exit_code("val _ = exit (Char.ord (Char.chr ~1));"), EXIT_SUBSCRIPT);
+        assert_eq!(exit_code("val _ = exit (Char.ord (Char.chr 65) - 65);"), 0);
+    }
+
+    #[test]
+    fn upper_constant_composition_in_codegen() {
+        // Forces the LoadConstant/LoadUpperConstant pair path.
+        assert_eq!(
+            exit_code("val big = 123456789; val _ = exit (big mod 251);"),
+            (123_456_789u64 % 251) as u8
+        );
+    }
+
+    #[test]
+    fn comparison_chain_on_boundaries() {
+        assert_eq!(
+            exit_code(
+                "val lo = 0 - 1073741824; (* min int *)
+                 val hi = 1073741823;     (* max int *)
+                 val _ = exit (if lo < hi andalso lo <= lo andalso hi >= hi
+                                  andalso not (hi < lo) then 0 else 1);"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn wrapping_arithmetic_matches_interpreter_semantics() {
+        assert_eq!(
+            exit_code(
+                "val big = 1073741823; (* 2^30 - 1 *)
+                 val _ = exit (if big + 1 < 0 then 0 else 1); (* wraps to -2^30 *)"
+            ),
+            0
+        );
+    }
+}

@@ -1,0 +1,722 @@
+//! The source-level semantics (`cakeml_sem` in the paper's theorems).
+//!
+//! A fuel-bounded big-step interpreter. The paper's theorem (1) relates a
+//! program's `cakeml_sem` behaviour to its specification; here the
+//! interpreter *is* the executable specification that the compiled
+//! machine code is differentially tested against (theorem (2)'s analog in
+//! the `silver-stack` crate).
+//!
+//! Foreign functions are provided by an [`FfiHost`] — the `basis` crate's
+//! `basis_ffi` oracle implements it over a model filesystem and command
+//! line, exactly the role `basis_ffi cl fs` plays in §5.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::*;
+
+/// Runtime values.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 31-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Character (a byte).
+    Char(u8),
+    /// Immutable string — a *byte* string, as on the machine (bytes
+    /// above 127 are ordinary characters, not Unicode).
+    Str(Rc<Vec<u8>>),
+    /// Unit.
+    Unit,
+    /// Tuple.
+    Tuple(Rc<Vec<Value>>),
+    /// Constructor application (`[]`/`::` encode lists).
+    Con(Rc<str>, Option<Rc<Value>>),
+    /// A function closure.
+    Closure(Rc<ClosureVal>),
+    /// A mutable reference cell.
+    Ref(Rc<RefCell<Value>>),
+    /// A mutable byte array.
+    Bytes(Rc<RefCell<Vec<u8>>>),
+}
+
+/// A closure: parameter, body, captured environment, and — for recursive
+/// bindings — the function-group names that should resolve to the group's
+/// closures at call time.
+#[derive(Debug)]
+pub struct ClosureVal {
+    param: String,
+    body: Expr,
+    env: Env,
+    rec_group: RefCell<Vec<(String, Value)>>,
+}
+
+type Env = HashMap<String, Value>;
+
+/// Why evaluation stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stop {
+    /// Program terminated with an exit code (0 = success; crash codes in
+    /// [`crate::ast`]).
+    Exit(u8),
+    /// Fuel exhausted — undecided, like a timeout.
+    OutOfFuel,
+    /// The FFI host reported `FFI_failed` (the `Fail` behaviour the
+    /// compiler theorem excludes).
+    FfiFailed(String),
+    /// Internal error — a well-typed program never hits this.
+    Bug(String),
+}
+
+impl fmt::Display for Stop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stop::Exit(c) => write!(f, "exit({c})"),
+            Stop::OutOfFuel => write!(f, "out of fuel"),
+            Stop::FfiFailed(n) => write!(f, "FFI `{n}` failed"),
+            Stop::Bug(m) => write!(f, "interpreter bug: {m}"),
+        }
+    }
+}
+
+/// Host for foreign functions (system calls).
+pub trait FfiHost {
+    /// Performs the call, mutating `bytes` in place (the shared array of
+    /// §5). `Err` models `FFI_failed`.
+    ///
+    /// # Errors
+    ///
+    /// An error message when the call is unknown or refused.
+    fn call(&mut self, name: &str, conf: &[u8], bytes: &mut [u8]) -> Result<(), String>;
+}
+
+/// An [`FfiHost`] that refuses every call; for pure programs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFfi;
+
+impl FfiHost for NoFfi {
+    fn call(&mut self, name: &str, _conf: &[u8], _bytes: &mut [u8]) -> Result<(), String> {
+        Err(format!("no FFI available (call to `{name}`)"))
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Exit code: 0 for falling off the end or `exit 0`.
+    pub exit_code: u8,
+    /// Evaluation steps consumed (a machine-independent cost measure).
+    pub steps: u64,
+}
+
+struct Interp<'h, H: FfiHost> {
+    host: &'h mut H,
+    fuel: u64,
+    steps: u64,
+}
+
+/// Runs a program under the given FFI host with a fuel bound.
+///
+/// # Errors
+///
+/// [`Stop::OutOfFuel`], [`Stop::FfiFailed`] or [`Stop::Bug`]; normal and
+/// crash terminations are `Ok` with the documented exit code.
+pub fn run_program<H: FfiHost>(
+    prog: &Program,
+    host: &mut H,
+    fuel: u64,
+) -> Result<RunOutcome, Stop> {
+    let mut interp = Interp { host, fuel, steps: 0 };
+    let mut env: Env = Env::new();
+    for decl in &prog.decls {
+        match decl {
+            Decl::Datatype(..) => {}
+            Decl::Val(pat, e) => {
+                let v = match interp.eval(&env, e) {
+                    Ok(v) => v,
+                    Err(Stop::Exit(c)) => {
+                        return Ok(RunOutcome { exit_code: c, steps: interp.steps })
+                    }
+                    Err(stop) => return Err(stop),
+                };
+                if !bind_pat(&mut env, pat, &v) {
+                    return Ok(RunOutcome { exit_code: EXIT_MATCH, steps: interp.steps });
+                }
+            }
+            Decl::Fun(binds) => define_funs(&mut env, binds),
+        }
+    }
+    Ok(RunOutcome { exit_code: 0, steps: interp.steps })
+}
+
+/// Evaluates a closed expression (tests and the REPL example).
+///
+/// # Errors
+///
+/// Any [`Stop`], including `Exit` for crashes.
+pub fn eval_expr<H: FfiHost>(e: &Expr, host: &mut H, fuel: u64) -> Result<Value, Stop> {
+    let mut interp = Interp { host, fuel, steps: 0 };
+    interp.eval(&Env::new(), e)
+}
+
+fn define_funs(env: &mut Env, binds: &[FunBind]) {
+    let mut closures = Vec::new();
+    for b in binds {
+        // Curry: fun f x y = e  ==>  f = fn x => fn y => e.
+        let mut body = b.body.clone();
+        for p in b.params.iter().skip(1).rev() {
+            body = Expr::Fn(p.clone(), Box::new(body));
+        }
+        let clos = Value::Closure(Rc::new(ClosureVal {
+            param: b.params[0].clone(),
+            body,
+            env: env.clone(),
+            rec_group: RefCell::new(Vec::new()),
+        }));
+        closures.push((b.name.clone(), clos));
+    }
+    // Tie the recursive knot: each closure sees the whole group.
+    for (_, c) in &closures {
+        if let Value::Closure(c) = c {
+            *c.rec_group.borrow_mut() = closures.clone();
+        }
+    }
+    for (name, c) in closures {
+        env.insert(name, c);
+    }
+}
+
+fn bind_pat(env: &mut Env, pat: &Pat, v: &Value) -> bool {
+    match (pat, v) {
+        (Pat::Wild, _) => true,
+        (Pat::Var(x), _) => {
+            env.insert(x.clone(), v.clone());
+            true
+        }
+        (Pat::Lit(Lit::Int(a)), Value::Int(b)) => wrap_int(*a) == *b,
+        (Pat::Lit(Lit::Bool(a)), Value::Bool(b)) => a == b,
+        (Pat::Lit(Lit::Char(a)), Value::Char(b)) => a == b,
+        (Pat::Lit(Lit::Str(a)), Value::Str(b)) => a.as_bytes() == b.as_slice(),
+        (Pat::Lit(Lit::Unit), Value::Unit) => true,
+        (Pat::Tuple(ps), Value::Tuple(vs)) if ps.len() == vs.len() => {
+            ps.iter().zip(vs.iter()).all(|(p, v)| bind_pat(env, p, v))
+        }
+        (Pat::ListNil, Value::Con(c, None)) => &**c == "[]",
+        (Pat::Cons(hp, tp), Value::Con(c, Some(arg))) if &**c == "::" => match &**arg {
+            Value::Tuple(parts) if parts.len() == 2 => {
+                bind_pat(env, hp, &parts[0]) && bind_pat(env, tp, &parts[1])
+            }
+            _ => false,
+        },
+        (Pat::Con(name, parg), Value::Con(c, varg)) if name.as_str() == &**c => {
+            match (parg, varg) {
+                (None, None) => true,
+                (Some(p), Some(v)) => bind_pat(env, p, v),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+impl<H: FfiHost> Interp<'_, H> {
+    fn tick(&mut self) -> Result<(), Stop> {
+        if self.steps >= self.fuel {
+            return Err(Stop::OutOfFuel);
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, env: &Env, e: &Expr) -> Result<Value, Stop> {
+        self.tick()?;
+        match e {
+            Expr::Lit(l) => Ok(match l {
+                Lit::Int(v) => Value::Int(wrap_int(*v)),
+                Lit::Bool(b) => Value::Bool(*b),
+                Lit::Char(c) => Value::Char(*c),
+                Lit::Str(s) => Value::Str(Rc::new(s.clone().into_bytes())),
+                Lit::Unit => Value::Unit,
+            }),
+            Expr::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| Stop::Bug(format!("unbound variable `{x}`"))),
+            Expr::Con(name, arg) => {
+                let v = arg.as_ref().map(|a| self.eval(env, a)).transpose()?;
+                Ok(Value::Con(Rc::from(name.as_str()), v.map(Rc::new)))
+            }
+            Expr::Tuple(parts) => {
+                let vs = parts
+                    .iter()
+                    .map(|p| self.eval(env, p))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Value::Tuple(Rc::new(vs)))
+            }
+            Expr::Prim(p, args) => {
+                let vs = args
+                    .iter()
+                    .map(|a| self.eval(env, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.prim(p, vs)
+            }
+            Expr::App(f, a) => {
+                let fv = self.eval(env, f)?;
+                let av = self.eval(env, a)?;
+                self.apply(fv, av)
+            }
+            Expr::Fn(x, body) => Ok(Value::Closure(Rc::new(ClosureVal {
+                param: x.clone(),
+                body: (**body).clone(),
+                env: env.clone(),
+                rec_group: RefCell::new(Vec::new()),
+            }))),
+            Expr::Let(pat, rhs, body) => {
+                let v = self.eval(env, rhs)?;
+                let mut inner = env.clone();
+                if !bind_pat(&mut inner, pat, &v) {
+                    return Err(Stop::Exit(EXIT_MATCH));
+                }
+                self.eval(&inner, body)
+            }
+            Expr::LetFun(binds, body) => {
+                let mut inner = env.clone();
+                define_funs(&mut inner, binds);
+                self.eval(&inner, body)
+            }
+            Expr::If(c, t, f) => match self.eval(env, c)? {
+                Value::Bool(true) => self.eval(env, t),
+                Value::Bool(false) => self.eval(env, f),
+                other => Err(Stop::Bug(format!("if on non-bool {other:?}"))),
+            },
+            Expr::Case(scrut, arms) => {
+                let v = self.eval(env, scrut)?;
+                for (p, body) in arms {
+                    let mut inner = env.clone();
+                    if bind_pat(&mut inner, p, &v) {
+                        return self.eval(&inner, body);
+                    }
+                }
+                Err(Stop::Exit(EXIT_MATCH))
+            }
+            Expr::AndAlso(a, b) => match self.eval(env, a)? {
+                Value::Bool(false) => Ok(Value::Bool(false)),
+                Value::Bool(true) => self.eval(env, b),
+                other => Err(Stop::Bug(format!("andalso on {other:?}"))),
+            },
+            Expr::OrElse(a, b) => match self.eval(env, a)? {
+                Value::Bool(true) => Ok(Value::Bool(true)),
+                Value::Bool(false) => self.eval(env, b),
+                other => Err(Stop::Bug(format!("orelse on {other:?}"))),
+            },
+            Expr::Seq(a, b) => {
+                let _ = self.eval(env, a)?;
+                self.eval(env, b)
+            }
+        }
+    }
+
+    fn apply(&mut self, f: Value, a: Value) -> Result<Value, Stop> {
+        self.tick()?;
+        match f {
+            Value::Closure(c) => {
+                let mut env = c.env.clone();
+                for (name, v) in c.rec_group.borrow().iter() {
+                    env.insert(name.clone(), v.clone());
+                }
+                env.insert(c.param.clone(), a);
+                self.eval(&env, &c.body)
+            }
+            other => Err(Stop::Bug(format!("applied non-function {other:?}"))),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn prim(&mut self, p: &Prim, mut vs: Vec<Value>) -> Result<Value, Stop> {
+        use Value as V;
+        let int = |v: &Value| -> Result<i64, Stop> {
+            match v {
+                V::Int(i) => Ok(*i),
+                other => Err(Stop::Bug(format!("expected int, got {other:?}"))),
+            }
+        };
+        Ok(match p {
+            Prim::Add => V::Int(wrap_int(int(&vs[0])? + int(&vs[1])?)),
+            Prim::Sub => V::Int(wrap_int(int(&vs[0])? - int(&vs[1])?)),
+            Prim::Mul => V::Int(wrap_int(int(&vs[0])? * int(&vs[1])?)),
+            Prim::Div => {
+                let b = int(&vs[1])?;
+                if b == 0 {
+                    return Err(Stop::Exit(EXIT_DIV));
+                }
+                V::Int(wrap_int(int(&vs[0])?.wrapping_div(b)))
+            }
+            Prim::Mod => {
+                let b = int(&vs[1])?;
+                if b == 0 {
+                    return Err(Stop::Exit(EXIT_DIV));
+                }
+                V::Int(wrap_int(int(&vs[0])?.wrapping_rem(b)))
+            }
+            Prim::Lt => V::Bool(int(&vs[0])? < int(&vs[1])?),
+            Prim::Le => V::Bool(int(&vs[0])? <= int(&vs[1])?),
+            Prim::Gt => V::Bool(int(&vs[0])? > int(&vs[1])?),
+            Prim::Ge => V::Bool(int(&vs[0])? >= int(&vs[1])?),
+            Prim::Eq => match (&vs[0], &vs[1]) {
+                (V::Int(a), V::Int(b)) => V::Bool(a == b),
+                (V::Bool(a), V::Bool(b)) => V::Bool(a == b),
+                (V::Char(a), V::Char(b)) => V::Bool(a == b),
+                (V::Unit, V::Unit) => V::Bool(true),
+                (a, b) => return Err(Stop::Bug(format!("word equality on {a:?}/{b:?}"))),
+            },
+            Prim::EqStr => match (&vs[0], &vs[1]) {
+                (V::Str(a), V::Str(b)) => V::Bool(a == b),
+                (a, b) => return Err(Stop::Bug(format!("string equality on {a:?}/{b:?}"))),
+            },
+            Prim::Ne => return Err(Stop::Bug("Ne survived elaboration".into())),
+            Prim::Not => match &vs[0] {
+                V::Bool(b) => V::Bool(!b),
+                other => return Err(Stop::Bug(format!("not on {other:?}"))),
+            },
+            Prim::Concat => match (&vs[0], &vs[1]) {
+                (V::Str(a), V::Str(b)) => {
+                    let mut out = Vec::with_capacity(a.len() + b.len());
+                    out.extend_from_slice(a);
+                    out.extend_from_slice(b);
+                    V::Str(Rc::new(out))
+                }
+                (a, b) => return Err(Stop::Bug(format!("^ on {a:?}/{b:?}"))),
+            },
+            Prim::StrSize => match &vs[0] {
+                V::Str(s) => V::Int(s.len() as i64),
+                other => return Err(Stop::Bug(format!("size on {other:?}"))),
+            },
+            Prim::StrSub => match (&vs[0], int(&vs[1])?) {
+                (V::Str(s), i) => {
+                    let Some(&b) = usize::try_from(i).ok().and_then(|i| s.get(i))
+                    else {
+                        return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                    };
+                    V::Char(b)
+                }
+                (other, _) => return Err(Stop::Bug(format!("sub on {other:?}"))),
+            },
+            Prim::StrSubstr => {
+                let off = int(&vs[1])?;
+                let len = int(&vs[2])?;
+                match &vs[0] {
+                    V::Str(s) => {
+                        let (Ok(off), Ok(len)) = (usize::try_from(off), usize::try_from(len))
+                        else {
+                            return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                        };
+                        match s.get(off..off.saturating_add(len)) {
+                            Some(slice) => V::Str(Rc::new(slice.to_vec())),
+                            None => return Err(Stop::Exit(EXIT_SUBSCRIPT)),
+                        }
+                    }
+                    other => return Err(Stop::Bug(format!("substring on {other:?}"))),
+                }
+            }
+            Prim::Ord => match &vs[0] {
+                V::Char(c) => V::Int(i64::from(*c)),
+                other => return Err(Stop::Bug(format!("ord on {other:?}"))),
+            },
+            Prim::Chr => {
+                let i = int(&vs[0])?;
+                if !(0..=255).contains(&i) {
+                    return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                }
+                V::Char(i as u8)
+            }
+            Prim::BytesNew => {
+                let n = int(&vs[0])?;
+                let V::Char(c) = vs[1] else {
+                    return Err(Stop::Bug("array fill must be char".into()));
+                };
+                let Ok(n) = usize::try_from(n) else {
+                    return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                };
+                V::Bytes(Rc::new(RefCell::new(vec![c; n])))
+            }
+            Prim::BytesLen => match &vs[0] {
+                V::Bytes(b) => V::Int(b.borrow().len() as i64),
+                other => return Err(Stop::Bug(format!("length on {other:?}"))),
+            },
+            Prim::BytesGet => match (&vs[0], int(&vs[1])?) {
+                (V::Bytes(b), i) => {
+                    let borrowed = b.borrow();
+                    match usize::try_from(i).ok().and_then(|i| borrowed.get(i)) {
+                        Some(&byte) => V::Char(byte),
+                        None => return Err(Stop::Exit(EXIT_SUBSCRIPT)),
+                    }
+                }
+                (other, _) => return Err(Stop::Bug(format!("sub on {other:?}"))),
+            },
+            Prim::BytesSet => {
+                let i = int(&vs[1])?;
+                let V::Char(c) = vs[2] else {
+                    return Err(Stop::Bug("update needs char".into()));
+                };
+                match &vs[0] {
+                    V::Bytes(b) => {
+                        let mut borrowed = b.borrow_mut();
+                        match usize::try_from(i).ok().and_then(|i| borrowed.get_mut(i)) {
+                            Some(slot) => *slot = c,
+                            None => return Err(Stop::Exit(EXIT_SUBSCRIPT)),
+                        }
+                    }
+                    other => return Err(Stop::Bug(format!("update on {other:?}"))),
+                }
+                V::Unit
+            }
+            Prim::BytesToStr => {
+                let off = int(&vs[1])?;
+                let len = int(&vs[2])?;
+                match &vs[0] {
+                    V::Bytes(b) => {
+                        let borrowed = b.borrow();
+                        let (Ok(off), Ok(len)) = (usize::try_from(off), usize::try_from(len))
+                        else {
+                            return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                        };
+                        match borrowed.get(off..off.saturating_add(len)) {
+                            Some(slice) => V::Str(Rc::new(slice.to_vec())),
+                            None => return Err(Stop::Exit(EXIT_SUBSCRIPT)),
+                        }
+                    }
+                    other => return Err(Stop::Bug(format!("substring on {other:?}"))),
+                }
+            }
+            Prim::StrToBytes => {
+                let off = int(&vs[2])?;
+                match (&vs[0], &vs[1]) {
+                    (V::Str(s), V::Bytes(b)) => {
+                        let mut borrowed = b.borrow_mut();
+                        let Ok(off) = usize::try_from(off) else {
+                            return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                        };
+                        if off.saturating_add(s.len()) > borrowed.len() {
+                            return Err(Stop::Exit(EXIT_SUBSCRIPT));
+                        }
+                        borrowed[off..off + s.len()].copy_from_slice(s);
+                        V::Unit
+                    }
+                    (a, b) => return Err(Stop::Bug(format!("copyStr on {a:?}/{b:?}"))),
+                }
+            }
+            Prim::RefNew => V::Ref(Rc::new(RefCell::new(vs.remove(0)))),
+            Prim::RefGet => match &vs[0] {
+                V::Ref(r) => r.borrow().clone(),
+                other => return Err(Stop::Bug(format!("! on {other:?}"))),
+            },
+            Prim::RefSet => {
+                let v = vs.remove(1);
+                match &vs[0] {
+                    V::Ref(r) => *r.borrow_mut() = v,
+                    other => return Err(Stop::Bug(format!(":= on {other:?}"))),
+                }
+                V::Unit
+            }
+            Prim::Ffi(name) => {
+                let (conf, arr) = (&vs[0], &vs[1]);
+                let V::Str(conf) = conf else {
+                    return Err(Stop::Bug("ffi conf must be string".into()));
+                };
+                let V::Bytes(bytes) = arr else {
+                    return Err(Stop::Bug("ffi arg must be byte array".into()));
+                };
+                let mut borrowed = bytes.borrow_mut();
+                self.host.call(name, conf, &mut borrowed).map_err(Stop::FfiFailed)?;
+                V::Unit
+            }
+            Prim::Exit => {
+                let code = int(&vs[0])?;
+                return Err(Stop::Exit(code as u8));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+    use crate::types::check_program;
+
+    fn run(src: &str) -> RunOutcome {
+        let mut prog = parse_program(src).expect("parses");
+        check_program(&mut prog).expect("typechecks");
+        run_program(&prog, &mut NoFfi, 1_000_000).expect("runs")
+    }
+
+    fn eval(src: &str) -> Value {
+        let e = parse_expr(src).expect("parses");
+        eval_expr(&e, &mut NoFfi, 1_000_000).expect("evaluates")
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_31_bits() {
+        match eval("1073741823 + 1") {
+            Value::Int(v) => assert_eq!(v, -(1i64 << 30)),
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert!(matches!(eval("7 div 2"), Value::Int(3)));
+        assert!(matches!(eval("~7 div 2"), Value::Int(-3)), "truncating");
+        assert!(matches!(eval("~7 mod 2"), Value::Int(-1)));
+        let e = parse_expr("1 div 0").unwrap();
+        assert!(matches!(eval_expr(&e, &mut NoFfi, 1000), Err(Stop::Exit(EXIT_DIV))));
+    }
+
+    #[test]
+    fn closures_and_currying() {
+        assert!(matches!(eval("(fn x => fn y => x + y) 3 4"), Value::Int(7)));
+    }
+
+    #[test]
+    fn recursion_via_letfun() {
+        assert!(matches!(
+            eval("let fun fact n = if n = 0 then 1 else n * fact (n - 1) in fact 10 end"),
+            Value::Int(3_628_800)
+        ));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let out = run(
+            "fun even n = if n = 0 then true else odd (n - 1)
+             and odd n = if n = 0 then false else even (n - 1);
+             val r = if even 100 then 0 else Runtime.exit 9;",
+        );
+        assert_eq!(out.exit_code, 0);
+    }
+
+    #[test]
+    fn list_operations() {
+        assert!(matches!(
+            eval(
+                "let fun len xs = case xs of [] => 0 | _ :: t => 1 + len t
+                 in len [1, 2, 3, 4] end"
+            ),
+            Value::Int(4)
+        ));
+    }
+
+    #[test]
+    fn string_primitives() {
+        assert!(matches!(eval("String.size (\"ab\" ^ \"cde\")"), Value::Int(5)));
+        assert!(matches!(eval("Char.ord (String.sub \"abc\" 1)"), Value::Int(98)));
+        let e = parse_expr("String.sub \"abc\" 9").unwrap();
+        assert!(matches!(eval_expr(&e, &mut NoFfi, 1000), Err(Stop::Exit(EXIT_SUBSCRIPT))));
+    }
+
+    #[test]
+    fn refs_are_mutable() {
+        assert!(matches!(
+            eval("let val r = ref 10 in (r := !r + 5; !r) end"),
+            Value::Int(15)
+        ));
+    }
+
+    #[test]
+    fn byte_arrays() {
+        assert!(matches!(
+            eval(
+                "let val a = Word8Array.array 4 #\"x\"
+                 in (Word8Array.update a 1 #\"y\";
+                     Char.ord (Word8Array.sub a 1)) end"
+            ),
+            Value::Int(121)
+        ));
+        assert!(matches!(
+            eval(
+                "let val a = Word8Array.array 5 #\"-\"
+                 in (Word8Array.copyStr \"ab\" a 1; Word8Array.substring a 0 4) end"
+            ),
+            Value::Str(s) if s.as_slice() == b"-ab-"
+        ));
+    }
+
+    #[test]
+    fn case_match_failure_exits() {
+        let mut prog = parse_program("val x = case 3 of 1 => 10 | 2 => 20;").unwrap();
+        check_program(&mut prog).unwrap();
+        let out = run_program(&prog, &mut NoFfi, 1000).unwrap();
+        assert_eq!(out.exit_code, EXIT_MATCH);
+    }
+
+    #[test]
+    fn exit_stops_program() {
+        let out = run("val a = 1; val _ = Runtime.exit 7; val b = Runtime.exit 9;");
+        assert_eq!(out.exit_code, 7);
+    }
+
+    #[test]
+    fn fuel_limits_divergence() {
+        let mut prog = parse_program("fun loop x = loop x; val _ = loop 0;").unwrap();
+        check_program(&mut prog).unwrap();
+        assert_eq!(run_program(&prog, &mut NoFfi, 2_000), Err(Stop::OutOfFuel));
+    }
+
+    #[test]
+    fn ffi_reaches_host() {
+        struct Recorder(Vec<(String, Vec<u8>)>);
+        impl FfiHost for Recorder {
+            fn call(
+                &mut self,
+                name: &str,
+                conf: &[u8],
+                bytes: &mut [u8],
+            ) -> Result<(), String> {
+                self.0.push((name.to_string(), conf.to_vec()));
+                if let Some(b) = bytes.first_mut() {
+                    *b = 42;
+                }
+                Ok(())
+            }
+        }
+        let mut prog = parse_program(
+            "val buf = Word8Array.array 4 #\"\\\\\";
+             val _ = #(hello) \"cfg\" buf;
+             val r = if Char.ord (Word8Array.sub buf 0) = 42 then 0 else Runtime.exit 1;",
+        )
+        .unwrap();
+        check_program(&mut prog).unwrap();
+        let mut host = Recorder(Vec::new());
+        let out = run_program(&prog, &mut host, 100_000).unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert_eq!(host.0, vec![("hello".to_string(), b"cfg".to_vec())]);
+    }
+
+    #[test]
+    fn datatype_values_roundtrip() {
+        let out = run(
+            "datatype shape = Circle of int | Square of int | Point;
+             fun area s = case s of
+                 Circle r => 3 * r * r
+               | Square w => w * w
+               | Point => 0;
+             val ok = if area (Circle 2) = 12 andalso area (Square 3) = 9
+                         andalso area Point = 0
+                      then 0 else Runtime.exit 1;",
+        );
+        assert_eq!(out.exit_code, 0);
+    }
+
+    #[test]
+    fn string_patterns() {
+        let out = run(
+            "fun greet s = case s of \"hi\" => 1 | \"bye\" => 2 | _ => 3;
+             val ok = if greet \"hi\" = 1 andalso greet \"bye\" = 2 andalso greet \"x\" = 3
+                      then 0 else Runtime.exit 1;",
+        );
+        assert_eq!(out.exit_code, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The bare-metal memory layout (Figure 2 of the paper).
+//!
+//! "The memory layout for running CakeML programs bare-metal on Silver":
+//! startup code, then the command line (length | contents), standard
+//! input (length | offset | contents), the output buffer (id | length |
+//! contents), the system calls (called id | code), CakeML-usable memory
+//! (initially zeros), and finally the CakeML-generated code+data.
+//!
+//! Regions are fixed at compile time; both the compiler backend
+//! ([`crate::codegen`]) and the image builder (the `basis` crate) read
+//! the same [`TargetLayout`], which is the analogue of the agreement the
+//! paper's `installedAg`/`initAg` predicates pin down.
+
+/// Addresses and sizes of every region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TargetLayout {
+    /// Startup region (reset vector).
+    pub startup_base: u32,
+    /// Word the program's exit code is stored to before halting.
+    pub exit_code_addr: u32,
+    /// Address of the halt self-jump.
+    pub halt_addr: u32,
+    /// Command line: length word followed by bytes.
+    pub cl_base: u32,
+    /// Maximum command-line bytes (`cl_ok` in §7).
+    pub cl_size: u32,
+    /// Standard input: length word, cursor word, contents.
+    pub stdin_base: u32,
+    /// Maximum pre-filled stdin (the paper's `stdin_size`, about 5 MB).
+    pub stdin_size: u32,
+    /// Output buffer: id word, length word, contents.
+    pub out_base: u32,
+    /// Output buffer contents capacity.
+    pub out_size: u32,
+    /// System calls region: called-id word, jump table, code.
+    pub ffi_base: u32,
+    /// Size reserved for the system-call code.
+    pub ffi_size: u32,
+    /// Bottom of CakeML-usable memory (stack floor).
+    pub stack_floor: u32,
+    /// Initial stack pointer (stack grows down from here).
+    pub stack_top: u32,
+    /// Bump-allocator start.
+    pub heap_base: u32,
+    /// Bump-allocator end (exclusive); hitting it exits with
+    /// [`crate::ast::EXIT_OOM`] — the `extend_with_oom` behaviour.
+    pub heap_end: u32,
+    /// Base address of the compiled code + data.
+    pub code_base: u32,
+}
+
+impl Default for TargetLayout {
+    fn default() -> Self {
+        TargetLayout {
+            startup_base: 0x0000_0000,
+            exit_code_addr: 0x0000_0040,
+            halt_addr: 0x0000_0044,
+            cl_base: 0x0001_0000,
+            cl_size: 0x0000_1000,
+            stdin_base: 0x0002_0000,
+            stdin_size: 0x0050_0000,
+            out_base: 0x0053_0000,
+            out_size: 0x0001_0000,
+            ffi_base: 0x0055_0000,
+            ffi_size: 0x0001_0000,
+            stack_floor: 0x0060_0000,
+            stack_top: 0x00A0_0000,
+            heap_base: 0x00A0_0000,
+            heap_end: 0x0340_0000,
+            code_base: 0x0340_0000,
+        }
+    }
+}
+
+impl TargetLayout {
+    /// Address of the word holding the id of the FFI call currently being
+    /// serviced ("called id" in Figure 2).
+    #[must_use]
+    pub fn ffi_called_id_addr(&self) -> u32 {
+        self.ffi_base
+    }
+
+    /// Scratch root words used by the garbage collector: runtime routines
+    /// spill heap pointers here around allocations so a collection can
+    /// relocate them (eight words in the startup region).
+    #[must_use]
+    pub fn gc_roots_addr(&self) -> u32 {
+        self.exit_code_addr + 0x10
+    }
+
+    /// Number of GC root words.
+    pub const GC_ROOT_WORDS: u32 = 8;
+
+    /// Word where runtime routines save the link register around internal
+    /// calls (the runtime has no stack frames of its own).
+    #[must_use]
+    pub fn rt_link_save_addr(&self) -> u32 {
+        self.gc_roots_addr() + 4 * Self::GC_ROOT_WORDS
+    }
+
+    /// The semispace boundary when the copying collector is enabled: the
+    /// heap is split into `[heap_base, mid)` and `[mid, heap_end)`.
+    #[must_use]
+    pub fn heap_mid(&self) -> u32 {
+        self.heap_base + (self.heap_end - self.heap_base) / 2
+    }
+
+    /// Address of the jump-table entry for FFI index `i`.
+    #[must_use]
+    pub fn ffi_entry_addr(&self, i: u32) -> u32 {
+        self.ffi_base + 4 + 4 * i
+    }
+
+    /// The I/O window an `Interrupt` snapshot captures: the output buffer
+    /// (id, length, contents) plus the exit-code word is not included —
+    /// the board-side handler reads only this region.
+    #[must_use]
+    pub fn io_window(&self) -> (u32, u32) {
+        (self.out_base, 8 + self.out_size)
+    }
+}
+
+/// Heap block tags (6 bits in the header word).
+pub mod tag {
+    /// Tuples (and constructor environments).
+    pub const TUPLE: u32 = 0x3B;
+    /// References.
+    pub const REF: u32 = 0x3C;
+    /// Closures (`[code, env]`).
+    pub const CLOSURE: u32 = 0x3D;
+    /// Immutable strings (byte length in the header).
+    pub const STR: u32 = 0x3E;
+    /// Mutable byte arrays (byte length in the header).
+    pub const BYTES: u32 = 0x3F;
+    /// Largest datatype-constructor tag.
+    pub const MAX_CON: u32 = 0x3A;
+}
+
+/// Builds a block header: `(len << 8) | (tag << 2) | 0b10`.
+#[must_use]
+pub fn header(tag_bits: u32, len: u32) -> u32 {
+    debug_assert!(tag_bits < 64);
+    debug_assert!(len < (1 << 24));
+    (len << 8) | (tag_bits << 2) | 0b10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let l = TargetLayout::default();
+        let regions = [
+            (l.startup_base, l.cl_base),
+            (l.cl_base, l.cl_base + 4 + l.cl_size),
+            (l.stdin_base, l.stdin_base + 8 + l.stdin_size),
+            (l.out_base, l.out_base + 8 + l.out_size),
+            (l.ffi_base, l.ffi_base + l.ffi_size),
+            (l.stack_floor, l.stack_top),
+            (l.heap_base, l.heap_end),
+            (l.code_base, l.code_base + 1),
+        ];
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{:x?} overlaps {:x?}", w[0], w[1]);
+        }
+        assert!(l.stdin_size >= 5 * 1024 * 1024, "paper: about 5 MB of stdin");
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header(tag::STR, 1234);
+        assert_eq!(h >> 8, 1234);
+        assert_eq!((h >> 2) & 0x3F, tag::STR);
+        assert_eq!(h & 0b11, 0b10);
+    }
+}

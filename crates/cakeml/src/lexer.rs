@@ -1,0 +1,393 @@
+//! Lexer for the source language.
+
+use std::fmt;
+
+/// Tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Character literal `#"c"`.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// Identifier (possibly dotted, e.g. `String.size`).
+    Ident(String),
+    /// FFI name `#(name)`.
+    FfiName(String),
+    /// A keyword.
+    Kw(Kw),
+    /// A symbolic token.
+    Sym(Sym),
+}
+
+/// Keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    Val,
+    Fun,
+    And,
+    In,
+    Let,
+    End,
+    If,
+    Then,
+    Else,
+    Case,
+    Of,
+    Fn,
+    Datatype,
+    Andalso,
+    Orelse,
+    Div,
+    Mod,
+    Not,
+    Ref,
+    True,
+    False,
+}
+
+/// Symbolic tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sym {
+    Plus,
+    Minus,
+    Star,
+    Caret,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    ColonColon,
+    Assign,
+    Bang,
+    Tilde,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Bar,
+    Underscore,
+    DArrow,
+    Arrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Char(c) => write!(f, "#\"{}\"", *c as char),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::FfiName(s) => write!(f, "#({s})"),
+            Token::Kw(k) => write!(f, "{k:?}"),
+            Token::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A lexing error with a byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "val" => Kw::Val,
+        "fun" => Kw::Fun,
+        "and" => Kw::And,
+        "in" => Kw::In,
+        "let" => Kw::Let,
+        "end" => Kw::End,
+        "if" => Kw::If,
+        "then" => Kw::Then,
+        "else" => Kw::Else,
+        "case" => Kw::Case,
+        "of" => Kw::Of,
+        "fn" => Kw::Fn,
+        "datatype" => Kw::Datatype,
+        "andalso" => Kw::Andalso,
+        "orelse" => Kw::Orelse,
+        "div" => Kw::Div,
+        "mod" => Kw::Mod,
+        "not" => Kw::Not,
+        "ref" => Kw::Ref,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        _ => return None,
+    })
+}
+
+/// Tokenises a source string.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed input (unterminated strings or
+/// comments, bad escapes, stray characters).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    let err = |i: usize, m: &str| LexError { offset: i, message: m.to_string() };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' if b.get(i + 1) == Some(&b'*') => {
+                // Nested comments.
+                let mut depth = 1;
+                let start = i;
+                i += 2;
+                while depth > 0 {
+                    if i + 1 >= b.len() {
+                        return Err(err(start, "unterminated comment"));
+                    }
+                    if b[i] == b'(' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b[i + 1] == b')' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 =
+                    text.parse().map_err(|_| err(start, "integer literal out of range"))?;
+                out.push(Token::Int(v));
+            }
+            b'"' => {
+                i += 1;
+                let start = i;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err(err(start, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = b.get(i + 1).ok_or_else(|| err(i, "bad escape"))?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                _ => return Err(err(i, "unknown escape")),
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'#' => match b.get(i + 1) {
+                Some(b'"') => {
+                    // Character literal #"c" (with escapes).
+                    let (ch, len) = match b.get(i + 2) {
+                        Some(b'\\') => {
+                            let esc = b.get(i + 3).ok_or_else(|| err(i, "bad char escape"))?;
+                            let ch = match esc {
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'r' => b'\r',
+                                b'\\' => b'\\',
+                                b'"' => b'"',
+                                _ => return Err(err(i, "unknown char escape")),
+                            };
+                            (ch, 5)
+                        }
+                        Some(&ch) => (ch, 4),
+                        None => return Err(err(i, "unterminated char literal")),
+                    };
+                    if b.get(i + len - 1) != Some(&b'"') {
+                        return Err(err(i, "unterminated char literal"));
+                    }
+                    out.push(Token::Char(ch));
+                    i += len;
+                }
+                Some(b'(') => {
+                    // FFI name #(name).
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < b.len() && b[j] != b')' {
+                        j += 1;
+                    }
+                    if j == b.len() {
+                        return Err(err(i, "unterminated #( ffi name"));
+                    }
+                    out.push(Token::FfiName(src[start..j].to_string()));
+                    i = j + 1;
+                }
+                _ => return Err(err(i, "stray `#`")),
+            },
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'\'')
+                {
+                    i += 1;
+                }
+                // Dotted identifiers: Module.name.
+                while i < b.len()
+                    && b[i] == b'.'
+                    && b.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic())
+                {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                if text == "_" {
+                    out.push(Token::Sym(Sym::Underscore));
+                } else if let Some(k) = keyword(text) {
+                    out.push(Token::Kw(k));
+                } else {
+                    out.push(Token::Ident(text.to_string()));
+                }
+            }
+            _ => {
+                // Symbolic tokens, longest first.
+                let rest = &src[i..];
+                let table: &[(&str, Sym)] = &[
+                    ("=>", Sym::DArrow),
+                    ("->", Sym::Arrow),
+                    ("::", Sym::ColonColon),
+                    (":=", Sym::Assign),
+                    ("<>", Sym::NotEq),
+                    ("<=", Sym::Le),
+                    (">=", Sym::Ge),
+                    ("+", Sym::Plus),
+                    ("-", Sym::Minus),
+                    ("*", Sym::Star),
+                    ("^", Sym::Caret),
+                    ("=", Sym::Eq),
+                    ("<", Sym::Lt),
+                    (">", Sym::Gt),
+                    ("!", Sym::Bang),
+                    ("~", Sym::Tilde),
+                    ("(", Sym::LParen),
+                    (")", Sym::RParen),
+                    ("[", Sym::LBracket),
+                    ("]", Sym::RBracket),
+                    (",", Sym::Comma),
+                    (";", Sym::Semi),
+                    ("|", Sym::Bar),
+                ];
+                let mut matched = false;
+                for (text, sym) in table {
+                    if rest.starts_with(text) {
+                        out.push(Token::Sym(*sym));
+                        i += text.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    return Err(err(i, &format!("unexpected character `{}`", c as char)));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declaration() {
+        let toks = lex("val x = 42;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Kw(Kw::Val),
+                Token::Ident("x".into()),
+                Token::Sym(Sym::Eq),
+                Token::Int(42),
+                Token::Sym(Sym::Semi),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_chars() {
+        let toks = lex(r#" "a\nb" #"z" #"\n" "#).unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Str("a\nb".into()), Token::Char(b'z'), Token::Char(b'\n')]
+        );
+    }
+
+    #[test]
+    fn lexes_ffi_name() {
+        assert_eq!(lex("#(write)").unwrap(), vec![Token::FfiName("write".into())]);
+    }
+
+    #[test]
+    fn lexes_dotted_identifiers() {
+        assert_eq!(
+            lex("String.sub Word8Array.array").unwrap(),
+            vec![Token::Ident("String.sub".into()), Token::Ident("Word8Array.array".into())]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(lex("1 (* a (* b *) c *) 2").unwrap(), vec![Token::Int(1), Token::Int(2)]);
+        assert!(lex("(* unterminated").is_err());
+    }
+
+    #[test]
+    fn symbols_longest_match() {
+        let toks = lex("=> -> :: := <> <= >= < >").unwrap();
+        use Sym::*;
+        assert_eq!(
+            toks,
+            [DArrow, Arrow, ColonColon, Assign, NotEq, Le, Ge, Lt, Gt]
+                .map(|s| Token::Sym(s))
+                .to_vec()
+        );
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        assert_eq!(lex("x' foo'bar").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("val x = $").is_err());
+    }
+}

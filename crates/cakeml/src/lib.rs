@@ -1,0 +1,63 @@
+//! # cakeml — an ML-family language with a verified-by-testing compiler
+//! # targeting the Silver (ag32) ISA
+//!
+//! The CakeML compiler is the software half of *Verified Compilation on
+//! a Verified Processor* (PLDI 2019). This crate is its stand-in: a
+//! strict, impure ML (curried functions, algebraic datatypes, pattern
+//! matching, references, byte arrays, and CakeML's `#(name)` FFI calls)
+//! with
+//!
+//! * a [`parser`] and Hindley–Milner [type inference](types) with
+//!   equality types and the value restriction,
+//! * a fuel-bounded [interpreter](interp) — the executable `cakeml_sem`
+//!   that compiled code is differentially tested against (theorem (2)'s
+//!   analog lives in the `silver-stack` crate),
+//! * an optimising multi-pass backend: [ANF lowering](anf) with pattern
+//!   compilation → [closure conversion](clos) with direct-call detection
+//!   and curry wrappers → [code generation](codegen) with tail calls and
+//!   inline bump allocation,
+//! * the [`prelude`] basis library, written in the source language, whose
+//!   I/O functions speak the byte-level FFI protocols of the paper's §5,
+//! * the Figure-2 [memory layout](layout) shared with the `basis` crate's
+//!   image builder.
+//!
+//! Deviations from real CakeML (31-bit wrapping integers, monomorphic
+//! datatypes, restricted equality, bump allocation + clean out-of-memory
+//! exit instead of GC) are documented in `DESIGN.md`; the OOM behaviour
+//! is exactly what the paper's `extend_with_oom` theorem shape permits.
+//!
+//! # Example
+//!
+//! ```
+//! use cakeml::{compile_source, CompilerConfig, TargetLayout};
+//!
+//! let compiled = compile_source(
+//!     "fun fact n = if n = 0 then 1 else n * fact (n - 1);
+//!      val _ = exit (fact 5 mod 100);",
+//!     TargetLayout::default(),
+//!     &CompilerConfig::default(),
+//! )?;
+//! assert!(!compiled.code.is_empty());
+//! # Ok::<(), cakeml::compile::CompileError>(())
+//! ```
+
+pub mod anf;
+pub mod ast;
+pub mod clos;
+pub mod codegen;
+pub mod compile;
+pub mod interp;
+pub mod layout;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod prelude;
+pub mod types;
+
+pub use ast::Program;
+pub use codegen::{CompiledProgram, CompilerConfig};
+pub use compile::{compile_source, frontend, full_source, CompileError};
+pub use interp::{run_program, FfiHost, NoFfi, RunOutcome, Stop, Value};
+pub use layout::TargetLayout;
+pub use parser::parse_program;
+pub use types::{check_program, DataEnv, TypeError};

@@ -1,0 +1,428 @@
+//! ANF-level optimisations: constant folding, copy propagation,
+//! branch simplification and dead-code elimination.
+//!
+//! CakeML is an *optimising* compiler (§1); these are the classic
+//! machine-independent passes, run between lowering and closure
+//! conversion. Each is semantics-preserving in the strong sense the
+//! correctness property demands: crash behaviours (division by zero,
+//! subscripts) are never folded away or introduced — a `div` by a
+//! constant zero is left for the runtime to trap exactly where the
+//! source semantics does.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::anf::{Anf, AnfProgram, Atom, Lam, Rhs, VarId};
+use crate::ast::{wrap_int, Prim};
+
+/// Optimises a lowered program (folding + pruning to a fixpoint, at most
+/// a few rounds).
+#[must_use]
+pub fn optimize(mut p: AnfProgram) -> AnfProgram {
+    for _ in 0..3 {
+        let mut env = HashMap::new();
+        let folded = fold(p.main.clone(), &mut env, &p.strings);
+        let (pruned, _) = prune(folded);
+        if pruned == p.main {
+            break;
+        }
+        p.main = pruned;
+    }
+    p
+}
+
+type ConstEnv = HashMap<VarId, Atom>;
+
+fn subst(env: &ConstEnv, a: Atom) -> Atom {
+    match a {
+        Atom::Var(v) => env.get(&v).copied().unwrap_or(a),
+        other => other,
+    }
+}
+
+fn as_word(a: Atom) -> Option<i64> {
+    // The word-equality classes: int, bool, char, unit share comparisons.
+    match a {
+        Atom::Int(v) => Some(v),
+        Atom::Bool(b) => Some(i64::from(b)),
+        Atom::Char(c) => Some(i64::from(c)),
+        Atom::Unit => Some(0),
+        _ => None,
+    }
+}
+
+fn fold_prim(p: &Prim, args: &[Atom], strings: &[String]) -> Option<Atom> {
+    let int = |i: usize| match args[i] {
+        Atom::Int(v) => Some(v),
+        _ => None,
+    };
+    Some(match p {
+        Prim::Add => Atom::Int(wrap_int(int(0)? + int(1)?)),
+        Prim::Sub => Atom::Int(wrap_int(int(0)? - int(1)?)),
+        Prim::Mul => Atom::Int(wrap_int(int(0)? * int(1)?)),
+        // Fold only when the divisor is a non-zero constant; a constant
+        // zero must keep its runtime trap.
+        Prim::Div if int(1).is_some_and(|d| d != 0) => {
+            Atom::Int(wrap_int(int(0)?.wrapping_div(int(1)?)))
+        }
+        Prim::Mod if int(1).is_some_and(|d| d != 0) => {
+            Atom::Int(wrap_int(int(0)?.wrapping_rem(int(1)?)))
+        }
+        Prim::Lt => Atom::Bool(int(0)? < int(1)?),
+        Prim::Le => Atom::Bool(int(0)? <= int(1)?),
+        Prim::Gt => Atom::Bool(int(0)? > int(1)?),
+        Prim::Ge => Atom::Bool(int(0)? >= int(1)?),
+        Prim::Eq => Atom::Bool(as_word(args[0])? == as_word(args[1])?),
+        Prim::Not => match args[0] {
+            Atom::Bool(b) => Atom::Bool(!b),
+            _ => return None,
+        },
+        Prim::StrSize => match args[0] {
+            Atom::Str(id) => Atom::Int(strings[id.0 as usize].len() as i64),
+            _ => return None,
+        },
+        Prim::Ord => match args[0] {
+            Atom::Char(c) => Atom::Int(i64::from(c)),
+            _ => return None,
+        },
+        Prim::Chr if int(0).is_some_and(|v| (0..=255).contains(&v)) => {
+            Atom::Char(int(0)? as u8)
+        }
+        _ => return None,
+    })
+}
+
+fn fold(a: Anf, env: &mut ConstEnv, strings: &[String]) -> Anf {
+    match a {
+        Anf::Ret(at) => Anf::Ret(subst(env, at)),
+        Anf::Crash(c) => Anf::Crash(c),
+        Anf::If { cond, then_, else_ } => {
+            let cond = subst(env, cond);
+            if let Atom::Bool(b) = cond {
+                return fold(if b { *then_ } else { *else_ }, env, strings);
+            }
+            Anf::If {
+                cond,
+                then_: Box::new(fold(*then_, &mut env.clone(), strings)),
+                else_: Box::new(fold(*else_, &mut env.clone(), strings)),
+            }
+        }
+        Anf::LetRec { binds, body } => Anf::LetRec {
+            binds: binds
+                .into_iter()
+                .map(|(v, lam)| {
+                    (
+                        v,
+                        Lam {
+                            params: lam.params,
+                            body: Box::new(fold(*lam.body, &mut env.clone(), strings)),
+                        },
+                    )
+                })
+                .collect(),
+            body: Box::new(fold(*body, env, strings)),
+        },
+        Anf::Let { dst, rhs, body } => {
+            let rhs = match rhs {
+                Rhs::Atom(at) => Rhs::Atom(subst(env, at)),
+                Rhs::Prim(p, args) => {
+                    let args: Vec<Atom> = args.into_iter().map(|a| subst(env, a)).collect();
+                    match fold_prim(&p, &args, strings) {
+                        Some(c) => Rhs::Atom(c),
+                        None => Rhs::Prim(p, args),
+                    }
+                }
+                Rhs::Tuple(args) => {
+                    Rhs::Tuple(args.into_iter().map(|a| subst(env, a)).collect())
+                }
+                Rhs::Con { tag, arg } => Rhs::Con { tag, arg: arg.map(|a| subst(env, a)) },
+                Rhs::Proj { index, of } => Rhs::Proj { index, of: subst(env, of) },
+                Rhs::TagOf(at) => Rhs::TagOf(subst(env, at)),
+                Rhs::Lam(lam) => Rhs::Lam(Lam {
+                    params: lam.params,
+                    body: Box::new(fold(*lam.body, &mut env.clone(), strings)),
+                }),
+                Rhs::App { f, arg } => {
+                    Rhs::App { f: subst(env, f), arg: subst(env, arg) }
+                }
+                Rhs::CallKnown { f, args } => Rhs::CallKnown {
+                    f,
+                    args: args.into_iter().map(|a| subst(env, a)).collect(),
+                },
+                Rhs::Sub(sub) => Rhs::Sub(Box::new(fold(*sub, &mut env.clone(), strings))),
+            };
+            // Copy/constant propagation.
+            if let Rhs::Atom(at) = &rhs {
+                env.insert(dst, *at);
+            }
+            let body = fold(*body, env, strings);
+            Anf::Let { dst, rhs, body: Box::new(body) }
+        }
+    }
+}
+
+/// Whether a right-hand side can be dropped when its result is unused:
+/// it must be unable to crash, perform I/O or mutate state.
+fn rhs_is_pure(rhs: &Rhs) -> bool {
+    match rhs {
+        Rhs::Atom(_) | Rhs::Tuple(_) | Rhs::Con { .. } | Rhs::Proj { .. } | Rhs::TagOf(_)
+        | Rhs::Lam(_) => true,
+        Rhs::Prim(p, _) => matches!(
+            p,
+            Prim::Add
+                | Prim::Sub
+                | Prim::Mul
+                | Prim::Lt
+                | Prim::Le
+                | Prim::Gt
+                | Prim::Ge
+                | Prim::Eq
+                | Prim::EqStr
+                | Prim::Not
+                | Prim::Concat
+                | Prim::StrSize
+                | Prim::Ord
+                | Prim::BytesLen
+                | Prim::RefNew
+                | Prim::RefGet
+        ),
+        Rhs::App { .. } | Rhs::CallKnown { .. } | Rhs::Sub(_) => false,
+    }
+}
+
+fn atom_uses(a: Atom, used: &mut HashSet<VarId>) {
+    if let Atom::Var(v) = a {
+        used.insert(v);
+    }
+}
+
+fn rhs_uses(rhs: &Rhs, used: &mut HashSet<VarId>) {
+    match rhs {
+        Rhs::Atom(a) | Rhs::TagOf(a) => atom_uses(*a, used),
+        Rhs::Prim(_, args) | Rhs::Tuple(args) => {
+            args.iter().for_each(|a| atom_uses(*a, used));
+        }
+        Rhs::Con { arg, .. } => {
+            if let Some(a) = arg {
+                atom_uses(*a, used);
+            }
+        }
+        Rhs::Proj { of, .. } => atom_uses(*of, used),
+        Rhs::Lam(_) | Rhs::Sub(_) => unreachable!("handled structurally"),
+        Rhs::App { f, arg } => {
+            atom_uses(*f, used);
+            atom_uses(*arg, used);
+        }
+        Rhs::CallKnown { f, args } => {
+            used.insert(*f);
+            args.iter().for_each(|a| atom_uses(*a, used));
+        }
+    }
+}
+
+/// Removes unused pure lets, bottom-up; returns the used-variable set.
+fn prune(a: Anf) -> (Anf, HashSet<VarId>) {
+    match a {
+        Anf::Ret(at) => {
+            let mut used = HashSet::new();
+            atom_uses(at, &mut used);
+            (Anf::Ret(at), used)
+        }
+        Anf::Crash(c) => (Anf::Crash(c), HashSet::new()),
+        Anf::If { cond, then_, else_ } => {
+            let (t, mut used) = prune(*then_);
+            let (e, used_e) = prune(*else_);
+            used.extend(used_e);
+            atom_uses(cond, &mut used);
+            (Anf::If { cond, then_: Box::new(t), else_: Box::new(e) }, used)
+        }
+        Anf::LetRec { binds, body } => {
+            let (body, mut used) = prune(*body);
+            let mut new_binds = Vec::new();
+            // Conservative: keep a group if any member is used anywhere
+            // (including by other members' bodies).
+            let mut member_used = used.clone();
+            let pruned: Vec<(VarId, Lam)> = binds
+                .into_iter()
+                .map(|(v, lam)| {
+                    let (b, u) = prune(*lam.body);
+                    member_used.extend(u.iter().copied());
+                    used.extend(u);
+                    (v, Lam { params: lam.params, body: Box::new(b) })
+                })
+                .collect();
+            let keep = pruned.iter().any(|(v, _)| member_used.contains(v));
+            if keep {
+                new_binds.extend(pruned);
+            }
+            if new_binds.is_empty() {
+                (body, used)
+            } else {
+                (Anf::LetRec { binds: new_binds, body: Box::new(body) }, used)
+            }
+        }
+        Anf::Let { dst, rhs, body } => {
+            let (body, mut used) = prune(*body);
+            // Structural children first.
+            let rhs = match rhs {
+                Rhs::Lam(lam) => {
+                    let (b, u) = prune(*lam.body);
+                    let u: HashSet<VarId> =
+                        u.into_iter().filter(|v| !lam.params.contains(v)).collect();
+                    if !used.contains(&dst) {
+                        // A lambda nobody references: drop entirely.
+                        return (body, used);
+                    }
+                    used.extend(u);
+                    Rhs::Lam(Lam { params: lam.params, body: Box::new(b) })
+                }
+                Rhs::Sub(sub) => {
+                    let (s, u) = prune(*sub);
+                    used.extend(u);
+                    Rhs::Sub(Box::new(s))
+                }
+                other => other,
+            };
+            if !used.contains(&dst) && rhs_is_pure(&rhs) {
+                return (body, used);
+            }
+            if !matches!(rhs, Rhs::Lam(_) | Rhs::Sub(_)) {
+                rhs_uses(&rhs, &mut used);
+            }
+            (Anf::Let { dst, rhs, body: Box::new(body) }, used)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::lower_program;
+    use crate::parser::parse_program;
+    use crate::types::check_program;
+
+    fn lowered(src: &str) -> AnfProgram {
+        let mut prog = parse_program(src).expect("parses");
+        let data = check_program(&mut prog).expect("typechecks");
+        lower_program(&prog, &data)
+    }
+
+    fn size(a: &Anf) -> usize {
+        match a {
+            Anf::Ret(_) | Anf::Crash(_) => 1,
+            Anf::If { then_, else_, .. } => 1 + size(then_) + size(else_),
+            Anf::Let { rhs, body, .. } => {
+                1 + match rhs {
+                    Rhs::Lam(l) => size(&l.body),
+                    Rhs::Sub(s) => size(s),
+                    _ => 0,
+                } + size(body)
+            }
+            Anf::LetRec { binds, body } => {
+                1 + binds.iter().map(|(_, l)| size(&l.body)).sum::<usize>() + size(body)
+            }
+        }
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let p = optimize(lowered("val x = 2 + 3 * 4; val _ = Runtime.exit x;"));
+        // Everything folds to `exit 14`: no Prim::Mul/Add remain.
+        fn has_arith(a: &Anf) -> bool {
+            match a {
+                Anf::Let { rhs, body, .. } => {
+                    matches!(rhs, Rhs::Prim(Prim::Add | Prim::Mul, _))
+                        || match rhs {
+                            Rhs::Sub(s) => has_arith(s),
+                            Rhs::Lam(l) => has_arith(&l.body),
+                            _ => false,
+                        }
+                        || has_arith(body)
+                }
+                Anf::If { then_, else_, .. } => has_arith(then_) || has_arith(else_),
+                Anf::LetRec { binds, body } => {
+                    binds.iter().any(|(_, l)| has_arith(&l.body)) || has_arith(body)
+                }
+                _ => false,
+            }
+        }
+        assert!(!has_arith(&p.main), "constant arithmetic folded: {:?}", p.main);
+    }
+
+    #[test]
+    fn keeps_division_by_constant_zero() {
+        let p = optimize(lowered("val _ = Runtime.exit (1 div 0);"));
+        fn has_div(a: &Anf) -> bool {
+            match a {
+                Anf::Let { rhs, body, .. } => {
+                    matches!(rhs, Rhs::Prim(Prim::Div, _)) || has_div(body)
+                }
+                _ => false,
+            }
+        }
+        assert!(has_div(&p.main), "the runtime trap must survive folding");
+    }
+
+    #[test]
+    fn dead_branches_removed() {
+        let p = optimize(lowered(
+            "val x = if 1 < 2 then 10 else 1 div 0;
+             val _ = Runtime.exit x;",
+        ));
+        fn has_if_or_div(a: &Anf) -> bool {
+            match a {
+                Anf::If { .. } => true,
+                Anf::Let { rhs, body, .. } => {
+                    matches!(rhs, Rhs::Prim(Prim::Div, _))
+                        || match rhs {
+                            Rhs::Sub(s) => has_if_or_div(s),
+                            _ => false,
+                        }
+                        || has_if_or_div(body)
+                }
+                _ => false,
+            }
+        }
+        assert!(!has_if_or_div(&p.main), "constant branch folded away: {:?}", p.main);
+    }
+
+    #[test]
+    fn unused_pure_lets_pruned() {
+        let before = lowered(
+            "val unused = (1, 2, 3);
+             val also_unused = fn x => x;
+             val _ = Runtime.exit 0;",
+        );
+        let after = optimize(before.clone());
+        assert!(size(&after.main) < size(&before.main));
+    }
+
+    #[test]
+    fn effects_never_pruned() {
+        let before = lowered(
+            "val r = ref 0;
+             val _ = r := 1;
+             val buf = Word8Array.array 4 (Char.chr 0);
+             val _ = Word8Array.update buf 9 (Char.chr 0); (* traps! *)
+             val _ = Runtime.exit (!r);",
+        );
+        let after = optimize(before.clone());
+        fn count_sets(a: &Anf) -> usize {
+            match a {
+                Anf::Let { rhs, body, .. } => {
+                    usize::from(matches!(rhs, Rhs::Prim(Prim::RefSet | Prim::BytesSet, _)))
+                        + count_sets(body)
+                }
+                _ => 0,
+            }
+        }
+        assert_eq!(count_sets(&after.main), count_sets(&before.main));
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let p = lowered("val x = 1 + 2; fun f y = y + x; val _ = Runtime.exit (f 4);");
+        let once = optimize(p);
+        let twice = optimize(once.clone());
+        assert_eq!(once.main, twice.main);
+    }
+}

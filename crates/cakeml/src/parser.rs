@@ -1,0 +1,942 @@
+//! Recursive-descent parser, plus the resolution pass that turns
+//! saturated references to built-in operations into [`Prim`] nodes
+//! (eta-expanding partial applications).
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, Kw, LexError, Sym, Token};
+
+/// A parse error, with the token index it occurred at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index into the token stream (roughly: how far parsing got).
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { at: 0, message: e.to_string() }
+    }
+}
+
+/// Parses a whole program from source text.
+///
+/// # Errors
+///
+/// Lexing or parsing failure.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut decls = Vec::new();
+    while !p.at_end() {
+        decls.push(p.decl()?);
+        p.eat_sym(Sym::Semi);
+    }
+    let mut prog = Program { decls };
+    resolve_program(&mut prog);
+    Ok(prog)
+}
+
+/// Parses a single expression (useful in tests and the REPL example).
+///
+/// # Errors
+///
+/// Lexing or parsing failure, or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    resolve_expr(&mut e);
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: m.into() }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if self.peek() == Some(&Token::Sym(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.peek() == Some(&Token::Kw(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Kw) -> Result<(), ParseError> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {k:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- declarations ----
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        if self.eat_kw(Kw::Val) {
+            let pat = self.pat()?;
+            self.expect_sym(Sym::Eq)?;
+            let e = self.expr()?;
+            Ok(Decl::Val(pat, e))
+        } else if self.eat_kw(Kw::Fun) {
+            Ok(Decl::Fun(self.fun_binds()?))
+        } else if self.eat_kw(Kw::Datatype) {
+            let name = self.ident()?;
+            self.expect_sym(Sym::Eq)?;
+            let mut cons = vec![self.con_def()?];
+            while self.eat_sym(Sym::Bar) {
+                cons.push(self.con_def()?);
+            }
+            Ok(Decl::Datatype(name, cons))
+        } else {
+            Err(self.err(format!("expected declaration, found {:?}", self.peek())))
+        }
+    }
+
+    fn fun_binds(&mut self) -> Result<Vec<FunBind>, ParseError> {
+        let mut binds = vec![self.fun_bind()?];
+        while self.eat_kw(Kw::And) {
+            binds.push(self.fun_bind()?);
+        }
+        Ok(binds)
+    }
+
+    fn fun_bind(&mut self) -> Result<FunBind, ParseError> {
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Ident(s)) => {
+                    params.push(s.clone());
+                    self.pos += 1;
+                }
+                Some(Token::Sym(Sym::Underscore)) => {
+                    params.push(format!("_unused{}", params.len()));
+                    self.pos += 1;
+                }
+                // `()` as a unit parameter.
+                Some(Token::Sym(Sym::LParen))
+                    if self.peek2() == Some(&Token::Sym(Sym::RParen)) =>
+                {
+                    params.push(format!("_unit{}", params.len()));
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+        if params.is_empty() {
+            return Err(self.err("function binding needs at least one parameter"));
+        }
+        self.expect_sym(Sym::Eq)?;
+        let body = self.expr()?;
+        Ok(FunBind { name, params, body })
+    }
+
+    fn con_def(&mut self) -> Result<ConDef, ParseError> {
+        let name = self.ident()?;
+        let arg = if self.eat_kw(Kw::Of) { Some(self.ty()?) } else { None };
+        Ok(ConDef { name, arg })
+    }
+
+    // ---- types (datatype declarations only) ----
+
+    fn ty(&mut self) -> Result<TyExpr, ParseError> {
+        let lhs = self.ty_prod()?;
+        if self.eat_sym(Sym::Arrow) {
+            let rhs = self.ty()?;
+            Ok(TyExpr::Fun(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ty_prod(&mut self) -> Result<TyExpr, ParseError> {
+        let mut parts = vec![self.ty_post()?];
+        while self.eat_sym(Sym::Star) {
+            parts.push(self.ty_post()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("nonempty"))
+        } else {
+            Ok(TyExpr::Tuple(parts))
+        }
+    }
+
+    fn ty_post(&mut self) -> Result<TyExpr, ParseError> {
+        let mut t = self.ty_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Ident(s)) if s == "list" => {
+                    self.pos += 1;
+                    t = TyExpr::List(Box::new(t));
+                }
+                Some(Token::Kw(Kw::Ref)) => {
+                    self.pos += 1;
+                    t = TyExpr::Ref(Box::new(t));
+                }
+                _ => break,
+            }
+        }
+        Ok(t)
+    }
+
+    fn ty_atom(&mut self) -> Result<TyExpr, ParseError> {
+        if self.eat_sym(Sym::LParen) {
+            let t = self.ty()?;
+            self.expect_sym(Sym::RParen)?;
+            Ok(t)
+        } else {
+            Ok(TyExpr::Name(self.ident()?))
+        }
+    }
+
+    // ---- patterns ----
+
+    fn pat(&mut self) -> Result<Pat, ParseError> {
+        let head = self.pat_app()?;
+        if self.eat_sym(Sym::ColonColon) {
+            let tail = self.pat()?;
+            Ok(Pat::Cons(Box::new(head), Box::new(tail)))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn pat_app(&mut self) -> Result<Pat, ParseError> {
+        let head = self.pat_atom()?;
+        // Constructor pattern with an argument.
+        if let Pat::Con(name, None) = &head {
+            if self.starts_pat_atom() {
+                let arg = self.pat_atom()?;
+                return Ok(Pat::Con(name.clone(), Some(Box::new(arg))));
+            }
+        }
+        Ok(head)
+    }
+
+    fn starts_pat_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Int(_)
+                    | Token::Char(_)
+                    | Token::Str(_)
+                    | Token::Ident(_)
+                    | Token::Kw(Kw::True | Kw::False)
+                    | Token::Sym(Sym::LParen | Sym::LBracket | Sym::Underscore | Sym::Tilde)
+            )
+        )
+    }
+
+    fn pat_atom(&mut self) -> Result<Pat, ParseError> {
+        match self.next() {
+            Some(Token::Sym(Sym::Underscore)) => Ok(Pat::Wild),
+            Some(Token::Int(v)) => Ok(Pat::Lit(Lit::Int(v))),
+            Some(Token::Sym(Sym::Tilde)) => match self.next() {
+                Some(Token::Int(v)) => Ok(Pat::Lit(Lit::Int(-v))),
+                other => Err(self.err(format!("expected integer after `~`, found {other:?}"))),
+            },
+            Some(Token::Char(c)) => Ok(Pat::Lit(Lit::Char(c))),
+            Some(Token::Str(s)) => Ok(Pat::Lit(Lit::Str(s))),
+            Some(Token::Kw(Kw::True)) => Ok(Pat::Lit(Lit::Bool(true))),
+            Some(Token::Kw(Kw::False)) => Ok(Pat::Lit(Lit::Bool(false))),
+            Some(Token::Ident(name)) => {
+                if name.chars().next().is_some_and(char::is_uppercase) && !name.contains('.') {
+                    Ok(Pat::Con(name, None))
+                } else {
+                    Ok(Pat::Var(name))
+                }
+            }
+            Some(Token::Sym(Sym::LParen)) => {
+                if self.eat_sym(Sym::RParen) {
+                    return Ok(Pat::Lit(Lit::Unit));
+                }
+                let mut parts = vec![self.pat()?];
+                while self.eat_sym(Sym::Comma) {
+                    parts.push(self.pat()?);
+                }
+                self.expect_sym(Sym::RParen)?;
+                if parts.len() == 1 {
+                    Ok(parts.pop().expect("nonempty"))
+                } else {
+                    Ok(Pat::Tuple(parts))
+                }
+            }
+            Some(Token::Sym(Sym::LBracket)) => {
+                if self.eat_sym(Sym::RBracket) {
+                    return Ok(Pat::ListNil);
+                }
+                let mut parts = vec![self.pat()?];
+                while self.eat_sym(Sym::Comma) {
+                    parts.push(self.pat()?);
+                }
+                self.expect_sym(Sym::RBracket)?;
+                let mut acc = Pat::ListNil;
+                for p in parts.into_iter().rev() {
+                    acc = Pat::Cons(Box::new(p), Box::new(acc));
+                }
+                Ok(acc)
+            }
+            other => Err(self.err(format!("expected pattern, found {other:?}"))),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        // Open-ended forms first.
+        match self.peek() {
+            Some(Token::Kw(Kw::Fn)) => {
+                self.pos += 1;
+                let param = match self.next() {
+                    Some(Token::Ident(s)) => s,
+                    Some(Token::Sym(Sym::Underscore)) => "_unused".to_string(),
+                    other => return Err(self.err(format!("expected parameter, got {other:?}"))),
+                };
+                self.expect_sym(Sym::DArrow)?;
+                let body = self.expr()?;
+                return Ok(Expr::Fn(param, Box::new(body)));
+            }
+            Some(Token::Kw(Kw::If)) => {
+                self.pos += 1;
+                let c = self.expr()?;
+                self.expect_kw(Kw::Then)?;
+                let t = self.expr()?;
+                self.expect_kw(Kw::Else)?;
+                let e = self.expr()?;
+                return Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)));
+            }
+            Some(Token::Kw(Kw::Case)) => {
+                self.pos += 1;
+                let scrut = self.expr()?;
+                self.expect_kw(Kw::Of)?;
+                self.eat_sym(Sym::Bar);
+                let mut arms = vec![self.case_arm()?];
+                while self.eat_sym(Sym::Bar) {
+                    arms.push(self.case_arm()?);
+                }
+                return Ok(Expr::Case(Box::new(scrut), arms));
+            }
+            _ => {}
+        }
+        self.exp_assign()
+    }
+
+    fn case_arm(&mut self) -> Result<(Pat, Expr), ParseError> {
+        let p = self.pat()?;
+        self.expect_sym(Sym::DArrow)?;
+        let e = self.expr()?;
+        Ok((p, e))
+    }
+
+    fn exp_assign(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.exp_orelse()?;
+        if self.eat_sym(Sym::Assign) {
+            let rhs = self.expr()?;
+            Ok(Expr::Prim(Prim::RefSet, vec![lhs, rhs]))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn exp_orelse(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.exp_andalso()?;
+        while self.eat_kw(Kw::Orelse) {
+            let rhs = self.exp_andalso()?;
+            e = Expr::OrElse(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn exp_andalso(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.exp_cmp()?;
+        while self.eat_kw(Kw::Andalso) {
+            let rhs = self.exp_cmp()?;
+            e = Expr::AndAlso(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn exp_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.exp_cons()?;
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(Prim::Eq),
+            Some(Token::Sym(Sym::NotEq)) => Some(Prim::Ne),
+            Some(Token::Sym(Sym::Lt)) => Some(Prim::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(Prim::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(Prim::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(Prim::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.exp_cons()?;
+            Ok(Expr::Prim(op, vec![lhs, rhs]))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn exp_cons(&mut self) -> Result<Expr, ParseError> {
+        let head = self.exp_add()?;
+        if self.eat_sym(Sym::ColonColon) {
+            let tail = self.exp_cons()?;
+            Ok(Expr::Con(
+                "::".to_string(),
+                Some(Box::new(Expr::Tuple(vec![head, tail]))),
+            ))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn exp_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.exp_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Plus)) => Prim::Add,
+                Some(Token::Sym(Sym::Minus)) => Prim::Sub,
+                Some(Token::Sym(Sym::Caret)) => Prim::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.exp_mul()?;
+            e = Expr::Prim(op, vec![e, rhs]);
+        }
+        Ok(e)
+    }
+
+    fn exp_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.exp_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Star)) => Prim::Mul,
+                Some(Token::Kw(Kw::Div)) => Prim::Div,
+                Some(Token::Kw(Kw::Mod)) => Prim::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.exp_unary()?;
+            e = Expr::Prim(op, vec![e, rhs]);
+        }
+        Ok(e)
+    }
+
+    fn exp_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym(Sym::Bang) {
+            let e = self.exp_unary()?;
+            Ok(Expr::Prim(Prim::RefGet, vec![e]))
+        } else if self.eat_sym(Sym::Tilde) {
+            if let Some(Token::Int(v)) = self.peek() {
+                let v = *v;
+                self.pos += 1;
+                return Ok(Expr::Lit(Lit::Int(-v)));
+            }
+            let e = self.exp_unary()?;
+            Ok(Expr::Prim(Prim::Sub, vec![Expr::Lit(Lit::Int(0)), e]))
+        } else {
+            self.exp_app()
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        match self.peek() {
+            Some(
+                Token::Int(_)
+                | Token::Char(_)
+                | Token::Str(_)
+                | Token::Ident(_)
+                | Token::FfiName(_)
+                | Token::Kw(Kw::True | Kw::False | Kw::Let | Kw::Not | Kw::Ref)
+                | Token::Sym(Sym::LParen | Sym::LBracket),
+            ) => true,
+            // A negative literal (`f ~1`) is an atom; general `~e`
+            // arguments require parentheses, as in ML.
+            Some(Token::Sym(Sym::Tilde)) => matches!(self.peek2(), Some(Token::Int(_))),
+            _ => false,
+        }
+    }
+
+    fn exp_app(&mut self) -> Result<Expr, ParseError> {
+        let head = self.atom()?;
+        let mut args = Vec::new();
+        while self.starts_atom() {
+            args.push(self.atom()?);
+        }
+        // Constructor saturation: `C`, `C e`.
+        if let Expr::Var(name) = &head {
+            if name.chars().next().is_some_and(char::is_uppercase) && !name.contains('.') {
+                return match args.len() {
+                    0 => Ok(Expr::Con(name.clone(), None)),
+                    1 => Ok(Expr::Con(name.clone(), Some(Box::new(args.remove(0))))),
+                    _ => Err(self.err(format!(
+                        "constructor `{name}` applied to {} arguments",
+                        args.len()
+                    ))),
+                };
+            }
+        }
+        let mut e = head;
+        for a in args {
+            e = Expr::App(Box::new(e), Box::new(a));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Lit(Lit::Int(v))),
+            Some(Token::Sym(Sym::Tilde)) => match self.next() {
+                Some(Token::Int(v)) => Ok(Expr::Lit(Lit::Int(-v))),
+                other => Err(self.err(format!("expected integer after `~`, found {other:?}"))),
+            },
+            Some(Token::Char(c)) => Ok(Expr::Lit(Lit::Char(c))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Lit::Str(s))),
+            Some(Token::Kw(Kw::True)) => Ok(Expr::Lit(Lit::Bool(true))),
+            Some(Token::Kw(Kw::False)) => Ok(Expr::Lit(Lit::Bool(false))),
+            Some(Token::Kw(Kw::Not)) => Ok(Expr::Var("__not".to_string())),
+            Some(Token::Kw(Kw::Ref)) => Ok(Expr::Var("__ref".to_string())),
+            Some(Token::Ident(name)) => Ok(Expr::Var(name)),
+            Some(Token::FfiName(name)) => Ok(Expr::Var(format!("$ffi:{name}"))),
+            Some(Token::Kw(Kw::Let)) => {
+                let mut binds = Vec::new();
+                while !matches!(self.peek(), Some(Token::Kw(Kw::In))) {
+                    if self.eat_kw(Kw::Val) {
+                        let p = self.pat()?;
+                        self.expect_sym(Sym::Eq)?;
+                        let e = self.expr()?;
+                        binds.push((Some(p), None, e));
+                    } else if self.eat_kw(Kw::Fun) {
+                        let fs = self.fun_binds()?;
+                        binds.push((None, Some(fs), Expr::Lit(Lit::Unit)));
+                    } else {
+                        return Err(self.err("expected `val`, `fun` or `in` in let"));
+                    }
+                    self.eat_sym(Sym::Semi);
+                }
+                self.expect_kw(Kw::In)?;
+                let mut body = self.expr()?;
+                while self.eat_sym(Sym::Semi) {
+                    let rhs = self.expr()?;
+                    body = Expr::Seq(Box::new(body), Box::new(rhs));
+                }
+                self.expect_kw(Kw::End)?;
+                for (pat, funs, rhs) in binds.into_iter().rev() {
+                    body = match (pat, funs) {
+                        (Some(p), None) => Expr::Let(p, Box::new(rhs), Box::new(body)),
+                        (None, Some(fs)) => Expr::LetFun(fs, Box::new(body)),
+                        _ => unreachable!(),
+                    };
+                }
+                Ok(body)
+            }
+            Some(Token::Sym(Sym::LParen)) => {
+                if self.eat_sym(Sym::RParen) {
+                    return Ok(Expr::Lit(Lit::Unit));
+                }
+                let mut e = self.expr()?;
+                if self.eat_sym(Sym::Comma) {
+                    let mut parts = vec![e];
+                    loop {
+                        parts.push(self.expr()?);
+                        if !self.eat_sym(Sym::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_sym(Sym::RParen)?;
+                    return Ok(Expr::Tuple(parts));
+                }
+                while self.eat_sym(Sym::Semi) {
+                    let rhs = self.expr()?;
+                    e = Expr::Seq(Box::new(e), Box::new(rhs));
+                }
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Sym(Sym::LBracket)) => {
+                if self.eat_sym(Sym::RBracket) {
+                    return Ok(Expr::Con("[]".to_string(), None));
+                }
+                let mut parts = vec![self.expr()?];
+                while self.eat_sym(Sym::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_sym(Sym::RBracket)?;
+                let mut acc = Expr::Con("[]".to_string(), None);
+                for p in parts.into_iter().rev() {
+                    acc = Expr::Con(
+                        "::".to_string(),
+                        Some(Box::new(Expr::Tuple(vec![p, acc]))),
+                    );
+                }
+                Ok(acc)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+// ---- primitive resolution ----
+
+fn prim_of_name(name: &str) -> Option<Prim> {
+    if let Some(ffi) = name.strip_prefix("$ffi:") {
+        return Some(Prim::Ffi(ffi.to_string()));
+    }
+    Some(match name {
+        "String.size" => Prim::StrSize,
+        "String.sub" => Prim::StrSub,
+        "String.substring" => Prim::StrSubstr,
+        "Char.ord" => Prim::Ord,
+        "Char.chr" => Prim::Chr,
+        "Word8Array.array" => Prim::BytesNew,
+        "Word8Array.length" => Prim::BytesLen,
+        "Word8Array.sub" => Prim::BytesGet,
+        "Word8Array.update" => Prim::BytesSet,
+        "Word8Array.substring" => Prim::BytesToStr,
+        "Word8Array.copyStr" => Prim::StrToBytes,
+        "Runtime.exit" => Prim::Exit,
+        "__not" => Prim::Not,
+        "__ref" => Prim::RefNew,
+        _ => return None,
+    })
+}
+
+fn resolve_program(prog: &mut Program) {
+    for d in &mut prog.decls {
+        match d {
+            Decl::Val(_, e) => resolve_expr(e),
+            Decl::Fun(binds) => {
+                for b in binds {
+                    resolve_expr(&mut b.body);
+                }
+            }
+            Decl::Datatype(..) => {}
+        }
+    }
+}
+
+/// Rewrites saturated built-in applications into [`Expr::Prim`] and
+/// eta-expands under-applied built-ins.
+fn resolve_expr(e: &mut Expr) {
+    // Handle prim-headed application spines before recursing, so the head
+    // variable is not eta-expanded on its own first.
+    let head_prim = {
+        let mut head = &*e;
+        while let Expr::App(f, _) = head {
+            head = f;
+        }
+        match head {
+            Expr::Var(name) => prim_of_name(name),
+            _ => None,
+        }
+    };
+    if let Some(prim) = head_prim {
+        let owned = std::mem::replace(e, Expr::Lit(Lit::Unit));
+        let mut spine = Vec::new();
+        let mut head = owned;
+        while let Expr::App(f, a) = head {
+            spine.push(*a);
+            head = *f;
+        }
+        spine.reverse();
+        for a in &mut spine {
+            resolve_expr(a);
+        }
+        let arity = prim.arity();
+        *e = if spine.len() >= arity {
+            let rest = spine.split_off(arity);
+            let mut out = Expr::Prim(prim, spine);
+            for r in rest {
+                out = Expr::App(Box::new(out), Box::new(r));
+            }
+            out
+        } else {
+            let missing = arity - spine.len();
+            let names: Vec<String> = (0..missing).map(|i| format!("%eta{i}")).collect();
+            let mut args = spine;
+            args.extend(names.iter().map(|n| Expr::Var(n.clone())));
+            let mut out = Expr::Prim(prim, args);
+            for n in names.into_iter().rev() {
+                out = Expr::Fn(n, Box::new(out));
+            }
+            out
+        };
+        return;
+    }
+    // Recurse into children.
+    match e {
+        Expr::Lit(_) | Expr::Var(_) => {}
+        Expr::Con(_, arg) => {
+            if let Some(a) = arg {
+                resolve_expr(a);
+            }
+        }
+        Expr::Tuple(parts) => parts.iter_mut().for_each(resolve_expr),
+        Expr::Prim(_, args) => args.iter_mut().for_each(resolve_expr),
+        Expr::App(f, a) => {
+            resolve_expr(f);
+            resolve_expr(a);
+        }
+        Expr::Fn(_, b) => resolve_expr(b),
+        Expr::Let(_, rhs, body) => {
+            resolve_expr(rhs);
+            resolve_expr(body);
+        }
+        Expr::LetFun(binds, body) => {
+            for b in binds.iter_mut() {
+                resolve_expr(&mut b.body);
+            }
+            resolve_expr(body);
+        }
+        Expr::If(c, t, f) => {
+            resolve_expr(c);
+            resolve_expr(t);
+            resolve_expr(f);
+        }
+        Expr::Case(s, arms) => {
+            resolve_expr(s);
+            arms.iter_mut().for_each(|(_, e)| resolve_expr(e));
+        }
+        Expr::AndAlso(a, b) | Expr::OrElse(a, b) | Expr::Seq(a, b) => {
+            resolve_expr(a);
+            resolve_expr(b);
+        }
+    }
+    // A constructor used as a bare value (e.g. as a function argument).
+    if let Expr::Var(name) = e {
+        if name.chars().next().is_some_and(char::is_uppercase) && !name.contains('.') {
+            *e = Expr::Con(name.clone(), None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Expr {
+        parse_expr(src).expect("parses")
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(
+            p("1 + 2 * 3"),
+            Expr::Prim(
+                Prim::Add,
+                vec![
+                    Expr::Lit(Lit::Int(1)),
+                    Expr::Prim(Prim::Mul, vec![Expr::Lit(Lit::Int(2)), Expr::Lit(Lit::Int(3))]),
+                ]
+            )
+        );
+        // Comparison binds looser than arithmetic.
+        match p("1 + 2 < 3 * 4") {
+            Expr::Prim(Prim::Lt, _) => {}
+            other => panic!("expected Lt at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_is_left_associative_and_tight() {
+        match p("f x y + 1") {
+            Expr::Prim(Prim::Add, args) => match &args[0] {
+                Expr::App(fx, _) => assert!(matches!(**fx, Expr::App(..))),
+                other => panic!("expected nested app, got {other:?}"),
+            },
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_sugar_builds_cons_chain() {
+        match p("[1, 2]") {
+            Expr::Con(c, Some(arg)) => {
+                assert_eq!(c, "::");
+                match *arg {
+                    Expr::Tuple(parts) => {
+                        assert!(matches!(parts[1], Expr::Con(ref c2, Some(_)) if c2 == "::"));
+                    }
+                    other => panic!("expected tuple, got {other:?}"),
+                }
+            }
+            other => panic!("expected cons, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prims_resolve_saturated() {
+        assert_eq!(
+            p("String.size s"),
+            Expr::Prim(Prim::StrSize, vec![Expr::Var("s".into())])
+        );
+        // Partial application eta-expands.
+        match p("String.sub") {
+            Expr::Fn(a, body) => {
+                assert_eq!(a, "%eta0");
+                assert!(matches!(*body, Expr::Fn(..)));
+            }
+            other => panic!("expected eta-expansion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ffi_call_resolves() {
+        assert_eq!(
+            p("#(write) conf arr"),
+            Expr::Prim(
+                Prim::Ffi("write".into()),
+                vec![Expr::Var("conf".into()), Expr::Var("arr".into())]
+            )
+        );
+    }
+
+    #[test]
+    fn ref_ops() {
+        assert_eq!(p("!r"), Expr::Prim(Prim::RefGet, vec![Expr::Var("r".into())]));
+        assert_eq!(
+            p("r := 1"),
+            Expr::Prim(Prim::RefSet, vec![Expr::Var("r".into()), Expr::Lit(Lit::Int(1))])
+        );
+        assert_eq!(p("ref 0"), Expr::Prim(Prim::RefNew, vec![Expr::Lit(Lit::Int(0))]));
+    }
+
+    #[test]
+    fn let_val_fun_and_seq() {
+        let e = p("let val x = 1 fun f y = y + x in f 2; f 3 end");
+        match e {
+            Expr::Let(Pat::Var(x), _, body) => {
+                assert_eq!(x, "x");
+                match *body {
+                    Expr::LetFun(fs, inner) => {
+                        assert_eq!(fs[0].name, "f");
+                        assert!(matches!(*inner, Expr::Seq(..)));
+                    }
+                    other => panic!("expected LetFun, got {other:?}"),
+                }
+            }
+            other => panic!("expected Let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_with_constructor_patterns() {
+        let e = p("case xs of [] => 0 | x :: rest => x");
+        match e {
+            Expr::Case(_, arms) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].0, Pat::ListNil);
+                assert!(matches!(arms[1].0, Pat::Cons(..)));
+            }
+            other => panic!("expected Case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(p("~5"), Expr::Lit(Lit::Int(-5)));
+        match p("~x") {
+            Expr::Prim(Prim::Sub, args) => assert_eq!(args[0], Expr::Lit(Lit::Int(0))),
+            other => panic!("expected 0-x, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declarations_parse() {
+        let prog = parse_program(
+            "datatype tree = Leaf | Node of tree * int * tree;\n\
+             fun depth t = case t of Leaf => 0 | Node (l, _, r) => 1 + depth l;\n\
+             val ten = 10;",
+        )
+        .unwrap();
+        assert_eq!(prog.decls.len(), 3);
+        assert!(matches!(prog.decls[0], Decl::Datatype(..)));
+        assert!(matches!(prog.decls[1], Decl::Fun(_)));
+    }
+
+    #[test]
+    fn fun_with_unit_parameter() {
+        let prog = parse_program("fun f () = 42;").unwrap();
+        match &prog.decls[0] {
+            Decl::Fun(binds) => assert_eq!(binds[0].params.len(), 1),
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn andalso_orelse_shortcut_forms() {
+        assert!(matches!(p("a andalso b orelse c"), Expr::OrElse(..)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_expr("val").is_err());
+        assert!(parse_program("fun = 3").is_err());
+        assert!(parse_expr("(1, 2").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The basis library, written in the source language itself.
+//!
+//! This plays the role of CakeML's standard basis (§5): list, string and
+//! integer utilities, plus the I/O functions that implement the
+//! byte-level FFI protocols over `#(write)`, `#(read)`,
+//! `#(get_arg_count)`, `#(get_arg_length)` and `#(get_arg)`. The exact
+//! byte protocols are documented in the `basis` crate, which provides the
+//! matching oracle and the verified-by-testing machine code.
+
+/// The prelude source, prepended to every program compiled with
+/// [`CompilerConfig::prelude`](crate::codegen::CompilerConfig::prelude).
+pub const PRELUDE: &str = r#"
+(* ---- basis library (silver-stack prelude) ---- *)
+
+fun id x = x;
+fun fst p = case p of (a, _) => a;
+fun snd p = case p of (_, b) => b;
+
+fun length xs = let fun go n ys = case ys of [] => n | _ :: t => go (n + 1) t in go 0 xs end;
+fun rev xs = let fun go acc ys = case ys of [] => acc | h :: t => go (h :: acc) t in go [] xs end;
+fun append xs ys = case xs of [] => ys | h :: t => h :: append t ys;
+fun map f xs = case xs of [] => [] | h :: t => f h :: map f t;
+fun filter p xs =
+  case xs of
+    [] => []
+  | h :: t => if p h then h :: filter p t else filter p t;
+fun foldl f acc xs = case xs of [] => acc | h :: t => foldl f (f acc h) t;
+fun exists p xs = case xs of [] => false | h :: t => p h orelse exists p t;
+fun all p xs = case xs of [] => true | h :: t => p h andalso all p t;
+fun nth xs n = case xs of [] => Runtime.exit 3 | h :: t => if n = 0 then h else nth t (n - 1);
+
+fun char_to_string c =
+  let val a = Word8Array.array 1 c in Word8Array.substring a 0 1 end;
+
+fun nat_to_string n =
+  if n < 10 then char_to_string (Char.chr (n + 48))
+  else nat_to_string (n div 10) ^ char_to_string (Char.chr ((n mod 10) + 48));
+
+fun int_to_string n = if n < 0 then "~" ^ nat_to_string (0 - n) else nat_to_string n;
+
+fun explode s =
+  let fun go i acc = if i < 0 then acc else go (i - 1) (String.sub s i :: acc)
+  in go (String.size s - 1) [] end;
+
+fun implode cs =
+  let val n = length cs
+      val a = Word8Array.array n (Char.chr 32)
+      fun go i xs = case xs of [] => () | c :: t => (Word8Array.update a i c; go (i + 1) t)
+  in (go 0 cs; Word8Array.substring a 0 n) end;
+
+fun concat_strings ss = case ss of [] => "" | s :: t => s ^ concat_strings t;
+
+fun string_lt a b =
+  let val la = String.size a
+      val lb = String.size b
+      fun go i =
+        if i >= la then i < lb
+        else if i >= lb then false
+        else
+          let val ca = Char.ord (String.sub a i)
+              val cb = Char.ord (String.sub b i)
+          in if ca < cb then true else if cb < ca then false else go (i + 1) end
+  in go 0 end;
+
+fun split_lines s =
+  let val n = String.size s
+      fun go start i acc =
+        if i >= n then
+          rev (if i > start then String.substring s start (i - start) :: acc else acc)
+        else if Char.ord (String.sub s i) = 10 then
+          go (i + 1) (i + 1) (String.substring s start (i - start) :: acc)
+        else go start (i + 1) acc
+  in go 0 0 [] end;
+
+fun join_lines ls = concat_strings (map (fn l => l ^ "\n") ls);
+
+fun msplit xs =
+  case xs of
+    [] => ([], [])
+  | [x] => ([x], [])
+  | a :: b :: t => (case msplit t of (l, r) => (a :: l, b :: r));
+
+fun merge lt xs ys =
+  case (xs, ys) of
+    ([], _) => ys
+  | (_, []) => xs
+  | (a :: t1, b :: t2) =>
+      if lt b a then b :: merge lt xs t2 else a :: merge lt t1 ys;
+
+fun merge_sort lt xs =
+  case xs of
+    [] => []
+  | [x] => xs
+  | _ => (case msplit xs of (l, r) => merge lt (merge_sort lt l) (merge_sort lt r));
+
+(* ---- I/O over the basis FFI ---- *)
+
+fun output fd s =
+  let val n = String.size s
+  in
+    if n > 60000 then
+      (output fd (String.substring s 0 60000);
+       output fd (String.substring s 60000 (n - 60000)))
+    else
+      let val buf = Word8Array.array (n + 3) (Char.chr 0)
+          val _ = Word8Array.update buf 1 (Char.chr (n div 256))
+          val _ = Word8Array.update buf 2 (Char.chr (n mod 256))
+          val _ = Word8Array.copyStr s buf 3
+      in #(write) fd buf end
+  end;
+
+fun print s = output "1" s;
+fun print_err s = output "2" s;
+
+fun read_chunk fd n =
+  let val buf = Word8Array.array (n + 3) (Char.chr 0)
+      val _ = Word8Array.update buf 0 (Char.chr (n div 256))
+      val _ = Word8Array.update buf 1 (Char.chr (n mod 256))
+      val _ = #(read) fd buf
+      val st = Char.ord (Word8Array.sub buf 0)
+      val cnt = Char.ord (Word8Array.sub buf 1) * 256 + Char.ord (Word8Array.sub buf 2)
+  in if st = 0 then Word8Array.substring buf 3 cnt else "" end;
+
+fun read_all_from fd =
+  let fun go acc =
+        let val chunk = read_chunk fd 16000
+        in if String.size chunk = 0 then concat_strings (rev acc) else go (chunk :: acc) end
+  in go [] end;
+
+fun read_all u = read_all_from "0";
+
+fun arg_count u =
+  let val buf = Word8Array.array 2 (Char.chr 0)
+      val _ = #(get_arg_count) "" buf
+  in Char.ord (Word8Array.sub buf 0) * 256 + Char.ord (Word8Array.sub buf 1) end;
+
+fun arg_length i =
+  let val buf = Word8Array.array 2 (Char.chr 0)
+      val _ = Word8Array.update buf 0 (Char.chr (i div 256))
+      val _ = Word8Array.update buf 1 (Char.chr (i mod 256))
+      val _ = #(get_arg_length) "" buf
+  in Char.ord (Word8Array.sub buf 0) * 256 + Char.ord (Word8Array.sub buf 1) end;
+
+fun get_arg i =
+  let val len = arg_length i
+      val buf = Word8Array.array (len + 2) (Char.chr 0)
+      val _ = Word8Array.update buf 0 (Char.chr (i div 256))
+      val _ = Word8Array.update buf 1 (Char.chr (i mod 256))
+      val _ = #(get_arg) "" buf
+  in Word8Array.substring buf 2 len end;
+
+fun arguments u =
+  let val n = arg_count ()
+      fun go i = if i >= n then [] else get_arg i :: go (i + 1)
+  in go 0 end;
+
+fun exit n = Runtime.exit n;
+
+(* ---- end of prelude ---- *)
+"#;

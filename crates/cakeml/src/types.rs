@@ -1,0 +1,884 @@
+//! Hindley–Milner type inference with let-polymorphism, the value
+//! restriction, user-declared (monomorphic) datatypes, and CakeML-style
+//! equality types.
+//!
+//! Besides checking, [`check_program`] *elaborates*: every `=`/`<>` is
+//! resolved to word equality or string equality ([`Prim::EqStr`]), so the
+//! backend never needs type information.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::*;
+
+/// Types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// `int`.
+    Int,
+    /// `bool`.
+    Bool,
+    /// `char`.
+    Char,
+    /// `string`.
+    Str,
+    /// `unit`.
+    Unit,
+    /// `bytearray` (`Word8Array.array`).
+    Bytes,
+    /// Tuples.
+    Tuple(Vec<Ty>),
+    /// `t list`.
+    List(Box<Ty>),
+    /// `t ref`.
+    Ref(Box<Ty>),
+    /// `a -> b`.
+    Fun(Box<Ty>, Box<Ty>),
+    /// A user datatype.
+    Con(String),
+    /// A unification variable.
+    Var(u32),
+}
+
+/// A type scheme (`forall vars. ty`).
+#[derive(Clone, Debug)]
+pub struct Scheme {
+    vars: Vec<u32>,
+    ty: Ty,
+}
+
+/// A type error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn terr<T>(m: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError { message: m.into() })
+}
+
+/// Information about declared datatypes, used by later passes.
+#[derive(Clone, Debug, Default)]
+pub struct DataEnv {
+    /// Constructor name → (numeric tag, argument type if any, datatype).
+    pub constructors: HashMap<String, (u32, Option<Ty>, String)>,
+    /// Declared datatype names.
+    pub types: HashSet<String>,
+}
+
+impl DataEnv {
+    fn builtin() -> DataEnv {
+        let mut d = DataEnv::default();
+        // The built-in list constructors: `[]` tag 0, `::` tag 1. Their
+        // types are handled specially (polymorphic) during inference.
+        d.constructors.insert("[]".into(), (0, None, "list".into()));
+        d.constructors
+            .insert("::".into(), (1, Some(Ty::Unit), "list".into()));
+        d
+    }
+}
+
+#[derive(Debug, Default)]
+struct Infer {
+    subst: Vec<Option<Ty>>,
+    eq_sites: Vec<Ty>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EqKind {
+    Word,
+    Str,
+}
+
+type Env = HashMap<String, Scheme>;
+
+impl Infer {
+    fn fresh(&mut self) -> Ty {
+        self.subst.push(None);
+        Ty::Var(self.subst.len() as u32 - 1)
+    }
+
+    fn resolve(&self, t: &Ty) -> Ty {
+        match t {
+            Ty::Var(v) => match &self.subst[*v as usize] {
+                Some(inner) => self.resolve(inner),
+                None => t.clone(),
+            },
+            _ => t.clone(),
+        }
+    }
+
+    fn zonk(&self, t: &Ty) -> Ty {
+        let t = self.resolve(t);
+        match t {
+            Ty::Tuple(parts) => Ty::Tuple(parts.iter().map(|p| self.zonk(p)).collect()),
+            Ty::List(e) => Ty::List(Box::new(self.zonk(&e))),
+            Ty::Ref(e) => Ty::Ref(Box::new(self.zonk(&e))),
+            Ty::Fun(a, b) => Ty::Fun(Box::new(self.zonk(&a)), Box::new(self.zonk(&b))),
+            other => other,
+        }
+    }
+
+    fn occurs(&self, v: u32, t: &Ty) -> bool {
+        match self.resolve(t) {
+            Ty::Var(w) => w == v,
+            Ty::Tuple(parts) => parts.iter().any(|p| self.occurs(v, p)),
+            Ty::List(e) | Ty::Ref(e) => self.occurs(v, &e),
+            Ty::Fun(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+            _ => false,
+        }
+    }
+
+    fn unify(&mut self, a: &Ty, b: &Ty) -> Result<(), TypeError> {
+        let (ra, rb) = (self.resolve(a), self.resolve(b));
+        match (&ra, &rb) {
+            (Ty::Var(v), Ty::Var(w)) if v == w => Ok(()),
+            (Ty::Var(v), _) => {
+                if self.occurs(*v, &rb) {
+                    return terr("occurs check failed (infinite type)");
+                }
+                self.subst[*v as usize] = Some(rb);
+                Ok(())
+            }
+            (_, Ty::Var(_)) => self.unify(&rb, &ra),
+            (Ty::Int, Ty::Int)
+            | (Ty::Bool, Ty::Bool)
+            | (Ty::Char, Ty::Char)
+            | (Ty::Str, Ty::Str)
+            | (Ty::Unit, Ty::Unit)
+            | (Ty::Bytes, Ty::Bytes) => Ok(()),
+            (Ty::Con(x), Ty::Con(y)) if x == y => Ok(()),
+            (Ty::Tuple(xs), Ty::Tuple(ys)) if xs.len() == ys.len() => {
+                for (x, y) in xs.iter().zip(ys) {
+                    self.unify(x, y)?;
+                }
+                Ok(())
+            }
+            (Ty::List(x), Ty::List(y)) | (Ty::Ref(x), Ty::Ref(y)) => self.unify(x, y),
+            (Ty::Fun(a1, r1), Ty::Fun(a2, r2)) => {
+                self.unify(a1, a2)?;
+                self.unify(r1, r2)
+            }
+            _ => terr(format!("cannot unify {} with {}", show(&self.zonk(&ra)), show(&self.zonk(&rb)))),
+        }
+    }
+
+    fn instantiate(&mut self, s: &Scheme) -> Ty {
+        let mapping: HashMap<u32, Ty> = s.vars.iter().map(|&v| (v, self.fresh())).collect();
+        fn go(t: &Ty, m: &HashMap<u32, Ty>) -> Ty {
+            match t {
+                Ty::Var(v) => m.get(v).cloned().unwrap_or_else(|| t.clone()),
+                Ty::Tuple(parts) => Ty::Tuple(parts.iter().map(|p| go(p, m)).collect()),
+                Ty::List(e) => Ty::List(Box::new(go(e, m))),
+                Ty::Ref(e) => Ty::Ref(Box::new(go(e, m))),
+                Ty::Fun(a, b) => Ty::Fun(Box::new(go(a, m)), Box::new(go(b, m))),
+                other => other.clone(),
+            }
+        }
+        go(&s.ty, &mapping)
+    }
+
+    fn free_vars(&self, t: &Ty, acc: &mut HashSet<u32>) {
+        match self.resolve(t) {
+            Ty::Var(v) => {
+                acc.insert(v);
+            }
+            Ty::Tuple(parts) => parts.iter().for_each(|p| self.free_vars(p, acc)),
+            Ty::List(e) | Ty::Ref(e) => self.free_vars(&e, acc),
+            Ty::Fun(a, b) => {
+                self.free_vars(&a, acc);
+                self.free_vars(&b, acc);
+            }
+            _ => {}
+        }
+    }
+
+    fn generalize(&self, env: &Env, t: &Ty) -> Scheme {
+        let mut tv = HashSet::new();
+        self.free_vars(t, &mut tv);
+        let mut env_tv = HashSet::new();
+        for s in env.values() {
+            let mut inner = HashSet::new();
+            self.free_vars(&s.ty, &mut inner);
+            for v in inner {
+                if !s.vars.contains(&v) {
+                    env_tv.insert(v);
+                }
+            }
+        }
+        let vars: Vec<u32> = tv.difference(&env_tv).copied().collect();
+        Scheme { vars, ty: self.zonk(t) }
+    }
+}
+
+fn mono(t: Ty) -> Scheme {
+    Scheme { vars: vec![], ty: t }
+}
+
+fn show(t: &Ty) -> String {
+    match t {
+        Ty::Int => "int".into(),
+        Ty::Bool => "bool".into(),
+        Ty::Char => "char".into(),
+        Ty::Str => "string".into(),
+        Ty::Unit => "unit".into(),
+        Ty::Bytes => "bytearray".into(),
+        Ty::Tuple(parts) => {
+            format!("({})", parts.iter().map(show).collect::<Vec<_>>().join(" * "))
+        }
+        Ty::List(e) => format!("{} list", show(e)),
+        Ty::Ref(e) => format!("{} ref", show(e)),
+        Ty::Fun(a, b) => format!("({} -> {})", show(a), show(b)),
+        Ty::Con(n) => n.clone(),
+        Ty::Var(v) => format!("'t{v}"),
+    }
+}
+
+/// Whether an expression is a syntactic value (the value restriction).
+fn is_value(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Fn(..) => true,
+        Expr::Con(_, arg) => arg.as_deref().is_none_or(is_value),
+        Expr::Tuple(parts) => parts.iter().all(is_value),
+        _ => false,
+    }
+}
+
+fn ty_of_tyexpr(data: &DataEnv, t: &TyExpr) -> Result<Ty, TypeError> {
+    Ok(match t {
+        TyExpr::Name(n) => match n.as_str() {
+            "int" => Ty::Int,
+            "bool" => Ty::Bool,
+            "char" => Ty::Char,
+            "string" => Ty::Str,
+            "unit" => Ty::Unit,
+            "bytearray" => Ty::Bytes,
+            other if data.types.contains(other) => Ty::Con(other.to_string()),
+            other => return terr(format!("unknown type `{other}`")),
+        },
+        TyExpr::List(e) => Ty::List(Box::new(ty_of_tyexpr(data, e)?)),
+        TyExpr::Ref(e) => Ty::Ref(Box::new(ty_of_tyexpr(data, e)?)),
+        TyExpr::Tuple(parts) => Ty::Tuple(
+            parts.iter().map(|p| ty_of_tyexpr(data, p)).collect::<Result<_, _>>()?,
+        ),
+        TyExpr::Fun(a, b) => Ty::Fun(
+            Box::new(ty_of_tyexpr(data, a)?),
+            Box::new(ty_of_tyexpr(data, b)?),
+        ),
+    })
+}
+
+/// Type-checks and elaborates a program.
+///
+/// On success the program has been rewritten so that every equality is
+/// either word equality (`Prim::Eq`) or string equality (`Prim::EqStr`),
+/// `<>` has become `not (...)`, and a [`DataEnv`] describing all
+/// datatypes is returned for the backend.
+///
+/// # Errors
+///
+/// The first [`TypeError`] encountered.
+pub fn check_program(prog: &mut Program) -> Result<DataEnv, TypeError> {
+    let mut inf = Infer::default();
+    let mut env: Env = Env::new();
+    let mut data = DataEnv::builtin();
+    for decl in &prog.decls {
+        match decl {
+            Decl::Datatype(name, cons) => {
+                if !data.types.insert(name.clone()) {
+                    return terr(format!("datatype `{name}` declared twice"));
+                }
+                for (i, c) in cons.iter().enumerate() {
+                    let arg = c.arg.as_ref().map(|t| ty_of_tyexpr(&data, t)).transpose()?;
+                    if data
+                        .constructors
+                        .insert(c.name.clone(), (i as u32, arg, name.clone()))
+                        .is_some()
+                    {
+                        return terr(format!("constructor `{}` declared twice", c.name));
+                    }
+                }
+            }
+            Decl::Val(pat, e) => {
+                let t = inf.infer(&env.clone(), &data, e)?;
+                let generalize = is_value(e);
+                inf.bind_pat(&mut env, &data, pat, &t, generalize)?;
+            }
+            Decl::Fun(binds) => {
+                inf.infer_funs(&mut env, &data, binds, true)?;
+            }
+        }
+    }
+    // Resolve every equality site, defaulting unconstrained ones to int.
+    let mut kinds = Vec::with_capacity(inf.eq_sites.len());
+    let sites = std::mem::take(&mut inf.eq_sites);
+    for site in &sites {
+        let t = inf.resolve(site);
+        if let Ty::Var(_) = t {
+            inf.unify(&t, &Ty::Int)?;
+        }
+        kinds.push(match inf.zonk(site) {
+            Ty::Int | Ty::Bool | Ty::Char | Ty::Unit => EqKind::Word,
+            Ty::Str => EqKind::Str,
+            other => {
+                return terr(format!("equality at non-equality type {}", show(&other)));
+            }
+        });
+    }
+    let mut cursor = 0;
+    rewrite_program(prog, &kinds, &mut cursor);
+    debug_assert_eq!(cursor, kinds.len(), "eq-site traversal mismatch");
+    Ok(data)
+}
+
+impl Infer {
+    fn infer_funs(
+        &mut self,
+        env: &mut Env,
+        data: &DataEnv,
+        binds: &[FunBind],
+        generalize: bool,
+    ) -> Result<(), TypeError> {
+        // Pre-bind each function at a fresh monotype.
+        let mut pre = Vec::new();
+        for b in binds {
+            let t = self.fresh();
+            env.insert(b.name.clone(), mono(t.clone()));
+            pre.push(t);
+        }
+        for (b, pre_t) in binds.iter().zip(&pre) {
+            let mut inner = env.clone();
+            let mut param_tys = Vec::new();
+            for p in &b.params {
+                let pt = self.fresh();
+                inner.insert(p.clone(), mono(pt.clone()));
+                param_tys.push(pt);
+            }
+            let body_t = self.infer(&inner, data, &b.body)?;
+            let mut fun_t = body_t;
+            for pt in param_tys.into_iter().rev() {
+                fun_t = Ty::Fun(Box::new(pt), Box::new(fun_t));
+            }
+            self.unify(pre_t, &fun_t)
+                .map_err(|e| TypeError { message: format!("in `{}`: {}", b.name, e.message) })?;
+        }
+        if generalize {
+            for (b, t) in binds.iter().zip(&pre) {
+                let mut probe = env.clone();
+                for other in binds {
+                    probe.remove(&other.name);
+                }
+                let s = self.generalize(&probe, t);
+                env.insert(b.name.clone(), s);
+            }
+        }
+        Ok(())
+    }
+
+    fn bind_pat(
+        &mut self,
+        env: &mut Env,
+        data: &DataEnv,
+        pat: &Pat,
+        ty: &Ty,
+        generalize: bool,
+    ) -> Result<(), TypeError> {
+        match pat {
+            Pat::Wild => Ok(()),
+            Pat::Var(x) => {
+                let s = if generalize {
+                    let probe = env.clone();
+                    self.generalize(&probe, ty)
+                } else {
+                    mono(self.zonk(ty))
+                };
+                env.insert(x.clone(), s);
+                Ok(())
+            }
+            Pat::Lit(l) => {
+                let lt = self.lit_ty(l);
+                self.unify(ty, &lt)
+            }
+            Pat::Tuple(parts) => {
+                let tys: Vec<Ty> = (0..parts.len()).map(|_| self.fresh()).collect();
+                self.unify(ty, &Ty::Tuple(tys.clone()))?;
+                for (p, t) in parts.iter().zip(&tys) {
+                    self.bind_pat(env, data, p, t, generalize)?;
+                }
+                Ok(())
+            }
+            Pat::ListNil => {
+                let e = self.fresh();
+                self.unify(ty, &Ty::List(Box::new(e)))
+            }
+            Pat::Cons(h, t) => {
+                let e = self.fresh();
+                self.unify(ty, &Ty::List(Box::new(e.clone())))?;
+                self.bind_pat(env, data, h, &e, generalize)?;
+                self.bind_pat(env, data, t, &Ty::List(Box::new(e)), generalize)
+            }
+            Pat::Con(name, arg) => {
+                let Some((_tag, con_arg, ty_name)) = data.constructors.get(name) else {
+                    return terr(format!("unknown constructor `{name}` in pattern"));
+                };
+                if ty_name == "list" {
+                    return terr("use `::`/`[]` patterns for lists");
+                }
+                self.unify(ty, &Ty::Con(ty_name.clone()))?;
+                match (arg, con_arg) {
+                    (None, None) => Ok(()),
+                    (Some(p), Some(at)) => self.bind_pat(env, data, p, &at.clone(), generalize),
+                    (Some(_), None) => {
+                        terr(format!("constructor `{name}` takes no argument"))
+                    }
+                    (None, Some(_)) => {
+                        terr(format!("constructor `{name}` requires an argument"))
+                    }
+                }
+            }
+        }
+    }
+
+    fn lit_ty(&self, l: &Lit) -> Ty {
+        match l {
+            Lit::Int(_) => Ty::Int,
+            Lit::Bool(_) => Ty::Bool,
+            Lit::Char(_) => Ty::Char,
+            Lit::Str(_) => Ty::Str,
+            Lit::Unit => Ty::Unit,
+        }
+    }
+
+    fn infer(&mut self, env: &Env, data: &DataEnv, e: &Expr) -> Result<Ty, TypeError> {
+        match e {
+            Expr::Lit(l) => Ok(self.lit_ty(l)),
+            Expr::Var(x) => match env.get(x) {
+                Some(s) => Ok(self.instantiate(s)),
+                None => terr(format!("unbound variable `{x}`")),
+            },
+            Expr::Con(name, arg) => {
+                if name == "[]" {
+                    if arg.is_some() {
+                        return terr("`[]` takes no argument");
+                    }
+                    let e = self.fresh();
+                    return Ok(Ty::List(Box::new(e)));
+                }
+                if name == "::" {
+                    let elem = self.fresh();
+                    let lt = Ty::List(Box::new(elem.clone()));
+                    let Some(a) = arg else { return terr("`::` requires an argument") };
+                    let at = self.infer(env, data, a)?;
+                    self.unify(&at, &Ty::Tuple(vec![elem, lt.clone()]))?;
+                    return Ok(lt);
+                }
+                let Some((_tag, con_arg, ty_name)) = data.constructors.get(name).cloned()
+                else {
+                    return terr(format!("unknown constructor `{name}`"));
+                };
+                match (arg, con_arg) {
+                    (None, None) => Ok(Ty::Con(ty_name)),
+                    (Some(a), Some(at)) => {
+                        let got = self.infer(env, data, a)?;
+                        self.unify(&got, &at)?;
+                        Ok(Ty::Con(ty_name))
+                    }
+                    (Some(_), None) => terr(format!("constructor `{name}` takes no argument")),
+                    (None, Some(_)) => {
+                        terr(format!("constructor `{name}` requires an argument"))
+                    }
+                }
+            }
+            Expr::Tuple(parts) => {
+                let tys = parts
+                    .iter()
+                    .map(|p| self.infer(env, data, p))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Ty::Tuple(tys))
+            }
+            Expr::Prim(p, args) => self.infer_prim(env, data, p, args),
+            Expr::App(f, a) => {
+                let ft = self.infer(env, data, f)?;
+                let at = self.infer(env, data, a)?;
+                let rt = self.fresh();
+                self.unify(&ft, &Ty::Fun(Box::new(at), Box::new(rt.clone())))?;
+                Ok(rt)
+            }
+            Expr::Fn(x, body) => {
+                let xt = self.fresh();
+                let mut inner = env.clone();
+                inner.insert(x.clone(), mono(xt.clone()));
+                let bt = self.infer(&inner, data, body)?;
+                Ok(Ty::Fun(Box::new(xt), Box::new(bt)))
+            }
+            Expr::Let(pat, rhs, body) => {
+                let rt = self.infer(env, data, rhs)?;
+                let mut inner = env.clone();
+                self.bind_pat(&mut inner, data, pat, &rt, is_value(rhs))?;
+                self.infer(&inner, data, body)
+            }
+            Expr::LetFun(binds, body) => {
+                let mut inner = env.clone();
+                self.infer_funs(&mut inner, data, binds, true)?;
+                self.infer(&inner, data, body)
+            }
+            Expr::If(c, t, f) => {
+                let ct = self.infer(env, data, c)?;
+                self.unify(&ct, &Ty::Bool)?;
+                let tt = self.infer(env, data, t)?;
+                let ft = self.infer(env, data, f)?;
+                self.unify(&tt, &ft)?;
+                Ok(tt)
+            }
+            Expr::Case(scrut, arms) => {
+                let st = self.infer(env, data, scrut)?;
+                let rt = self.fresh();
+                for (p, body) in arms {
+                    let mut inner = env.clone();
+                    self.bind_pat(&mut inner, data, p, &st, false)?;
+                    let bt = self.infer(&inner, data, body)?;
+                    self.unify(&bt, &rt)?;
+                }
+                Ok(rt)
+            }
+            Expr::AndAlso(a, b) | Expr::OrElse(a, b) => {
+                let at = self.infer(env, data, a)?;
+                self.unify(&at, &Ty::Bool)?;
+                let bt = self.infer(env, data, b)?;
+                self.unify(&bt, &Ty::Bool)?;
+                Ok(Ty::Bool)
+            }
+            Expr::Seq(a, b) => {
+                let _ = self.infer(env, data, a)?;
+                self.infer(env, data, b)
+            }
+        }
+    }
+
+    fn infer_prim(
+        &mut self,
+        env: &Env,
+        data: &DataEnv,
+        p: &Prim,
+        args: &[Expr],
+    ) -> Result<Ty, TypeError> {
+        let tys = args
+            .iter()
+            .map(|a| self.infer(env, data, a))
+            .collect::<Result<Vec<_>, _>>()?;
+        let u = |inf: &mut Infer, t: &Ty, want: Ty| inf.unify(t, &want);
+        match p {
+            Prim::Add | Prim::Sub | Prim::Mul | Prim::Div | Prim::Mod => {
+                u(self, &tys[0], Ty::Int)?;
+                u(self, &tys[1], Ty::Int)?;
+                Ok(Ty::Int)
+            }
+            Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge => {
+                u(self, &tys[0], Ty::Int)?;
+                u(self, &tys[1], Ty::Int)?;
+                Ok(Ty::Bool)
+            }
+            Prim::Eq | Prim::Ne => {
+                self.unify(&tys[0], &tys[1])?;
+                self.eq_sites.push(tys[0].clone());
+                Ok(Ty::Bool)
+            }
+            Prim::EqStr => {
+                u(self, &tys[0], Ty::Str)?;
+                u(self, &tys[1], Ty::Str)?;
+                Ok(Ty::Bool)
+            }
+            Prim::Not => {
+                u(self, &tys[0], Ty::Bool)?;
+                Ok(Ty::Bool)
+            }
+            Prim::Concat => {
+                u(self, &tys[0], Ty::Str)?;
+                u(self, &tys[1], Ty::Str)?;
+                Ok(Ty::Str)
+            }
+            Prim::StrSize => {
+                u(self, &tys[0], Ty::Str)?;
+                Ok(Ty::Int)
+            }
+            Prim::StrSub => {
+                u(self, &tys[0], Ty::Str)?;
+                u(self, &tys[1], Ty::Int)?;
+                Ok(Ty::Char)
+            }
+            Prim::StrSubstr => {
+                u(self, &tys[0], Ty::Str)?;
+                u(self, &tys[1], Ty::Int)?;
+                u(self, &tys[2], Ty::Int)?;
+                Ok(Ty::Str)
+            }
+            Prim::Ord => {
+                u(self, &tys[0], Ty::Char)?;
+                Ok(Ty::Int)
+            }
+            Prim::Chr => {
+                u(self, &tys[0], Ty::Int)?;
+                Ok(Ty::Char)
+            }
+            Prim::BytesNew => {
+                u(self, &tys[0], Ty::Int)?;
+                u(self, &tys[1], Ty::Char)?;
+                Ok(Ty::Bytes)
+            }
+            Prim::BytesLen => {
+                u(self, &tys[0], Ty::Bytes)?;
+                Ok(Ty::Int)
+            }
+            Prim::BytesGet => {
+                u(self, &tys[0], Ty::Bytes)?;
+                u(self, &tys[1], Ty::Int)?;
+                Ok(Ty::Char)
+            }
+            Prim::BytesSet => {
+                u(self, &tys[0], Ty::Bytes)?;
+                u(self, &tys[1], Ty::Int)?;
+                u(self, &tys[2], Ty::Char)?;
+                Ok(Ty::Unit)
+            }
+            Prim::BytesToStr => {
+                u(self, &tys[0], Ty::Bytes)?;
+                u(self, &tys[1], Ty::Int)?;
+                u(self, &tys[2], Ty::Int)?;
+                Ok(Ty::Str)
+            }
+            Prim::StrToBytes => {
+                u(self, &tys[0], Ty::Str)?;
+                u(self, &tys[1], Ty::Bytes)?;
+                u(self, &tys[2], Ty::Int)?;
+                Ok(Ty::Unit)
+            }
+            Prim::RefNew => Ok(Ty::Ref(Box::new(tys[0].clone()))),
+            Prim::RefGet => {
+                let inner = self.fresh();
+                u(self, &tys[0], Ty::Ref(Box::new(inner.clone())))?;
+                Ok(inner)
+            }
+            Prim::RefSet => {
+                let inner = self.fresh();
+                u(self, &tys[0], Ty::Ref(Box::new(inner.clone())))?;
+                self.unify(&tys[1], &inner)?;
+                Ok(Ty::Unit)
+            }
+            Prim::Ffi(_) => {
+                u(self, &tys[0], Ty::Str)?;
+                u(self, &tys[1], Ty::Bytes)?;
+                Ok(Ty::Unit)
+            }
+            Prim::Exit => {
+                u(self, &tys[0], Ty::Int)?;
+                // `exit` never returns; its result unifies with anything.
+                Ok(self.fresh())
+            }
+        }
+    }
+}
+
+// ---- equality-site rewriting (same traversal order as inference) ----
+
+fn rewrite_program(prog: &mut Program, kinds: &[EqKind], cursor: &mut usize) {
+    for decl in &mut prog.decls {
+        match decl {
+            Decl::Val(_, e) => rewrite_expr(e, kinds, cursor),
+            Decl::Fun(binds) => {
+                for b in binds {
+                    rewrite_expr(&mut b.body, kinds, cursor);
+                }
+            }
+            Decl::Datatype(..) => {}
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, kinds: &[EqKind], cursor: &mut usize) {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) => {}
+        Expr::Con(_, Some(a)) => rewrite_expr(a, kinds, cursor),
+        Expr::Con(_, None) => {}
+        Expr::Tuple(parts) => parts.iter_mut().for_each(|p| rewrite_expr(p, kinds, cursor)),
+        Expr::Prim(p, args) => {
+            args.iter_mut().for_each(|a| rewrite_expr(a, kinds, cursor));
+            if matches!(p, Prim::Eq | Prim::Ne) {
+                let kind = kinds[*cursor];
+                *cursor += 1;
+                let negate = matches!(p, Prim::Ne);
+                let base = match kind {
+                    EqKind::Word => Prim::Eq,
+                    EqKind::Str => Prim::EqStr,
+                };
+                *p = base;
+                if negate {
+                    let inner = std::mem::replace(e, Expr::Lit(Lit::Unit));
+                    *e = Expr::Prim(Prim::Not, vec![inner]);
+                }
+            }
+        }
+        Expr::App(f, a) => {
+            rewrite_expr(f, kinds, cursor);
+            rewrite_expr(a, kinds, cursor);
+        }
+        Expr::Fn(_, b) => rewrite_expr(b, kinds, cursor),
+        Expr::Let(_, rhs, body) => {
+            rewrite_expr(rhs, kinds, cursor);
+            rewrite_expr(body, kinds, cursor);
+        }
+        Expr::LetFun(binds, body) => {
+            for b in binds.iter_mut() {
+                rewrite_expr(&mut b.body, kinds, cursor);
+            }
+            rewrite_expr(body, kinds, cursor);
+        }
+        Expr::If(c, t, f) => {
+            rewrite_expr(c, kinds, cursor);
+            rewrite_expr(t, kinds, cursor);
+            rewrite_expr(f, kinds, cursor);
+        }
+        Expr::Case(s, arms) => {
+            rewrite_expr(s, kinds, cursor);
+            arms.iter_mut().for_each(|(_, e)| rewrite_expr(e, kinds, cursor));
+        }
+        Expr::AndAlso(a, b) | Expr::OrElse(a, b) | Expr::Seq(a, b) => {
+            rewrite_expr(a, kinds, cursor);
+            rewrite_expr(b, kinds, cursor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(Program, DataEnv), TypeError> {
+        let mut prog = parse_program(src).expect("parses");
+        let data = check_program(&mut prog)?;
+        Ok((prog, data))
+    }
+
+    #[test]
+    fn simple_declarations() {
+        check("val x = 1 + 2; val s = \"hi\" ^ \"there\";").unwrap();
+    }
+
+    #[test]
+    fn polymorphic_map() {
+        check(
+            "fun map f xs = case xs of [] => [] | x :: rest => f x :: map f rest;
+             val a = map (fn x => x + 1) [1, 2, 3];
+             val b = map (fn s => String.size s) [\"a\", \"bc\"];",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_ill_typed() {
+        assert!(check("val x = 1 + \"foo\";").is_err());
+        assert!(check("val x = if 1 then 2 else 3;").is_err());
+        assert!(check("val x = [1, true];").is_err());
+        assert!(check("fun f x = f;").is_err(), "occurs check");
+    }
+
+    #[test]
+    fn datatypes_and_cases() {
+        let (_, data) = check(
+            "datatype tree = Leaf | Node of tree * int * tree;
+             fun sum t = case t of Leaf => 0 | Node (l, v, r) => sum l + v + sum r;
+             val n = sum (Node (Leaf, 5, Node (Leaf, 2, Leaf)));",
+        )
+        .unwrap();
+        assert_eq!(data.constructors["Leaf"].0, 0);
+        assert_eq!(data.constructors["Node"].0, 1);
+    }
+
+    #[test]
+    fn equality_elaboration() {
+        let (prog, _) = check("val a = 1 = 2; val b = \"x\" = \"y\"; val c = 1 <> 2;").unwrap();
+        let get = |i: usize| match &prog.decls[i] {
+            Decl::Val(_, e) => e.clone(),
+            _ => unreachable!(),
+        };
+        assert!(matches!(get(0), Expr::Prim(Prim::Eq, _)));
+        assert!(matches!(get(1), Expr::Prim(Prim::EqStr, _)));
+        assert!(matches!(get(2), Expr::Prim(Prim::Not, _)));
+    }
+
+    #[test]
+    fn equality_on_functions_rejected() {
+        assert!(check("val f = (fn x => x); val b = f = f;").is_err());
+    }
+
+    #[test]
+    fn equality_defaults_to_int() {
+        // Polymorphic equality with no constraint defaults to int.
+        check("fun eq x y = x = y; val t = eq 1 1;").unwrap();
+    }
+
+    #[test]
+    fn value_restriction() {
+        // `ref []` must not generalize: using it at two element types is
+        // rejected.
+        assert!(check(
+            "val r = ref [];
+             val u1 = r := [1];
+             val u2 = r := [\"s\"];"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn refs_and_arrays() {
+        check(
+            "val r = ref 0;
+             val _ = r := !r + 1;
+             val arr = Word8Array.array 16 #\"x\";
+             val _ = Word8Array.update arr 0 #\"a\";
+             val c = Word8Array.sub arr 0;
+             val s = Word8Array.substring arr 0 4;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ffi_types() {
+        check(
+            "val buf = Word8Array.array 16 #\"\\n\";
+             val _ = #(write) \"conf\" buf;",
+        )
+        .unwrap();
+        assert!(check("val _ = #(write) 3 4;").is_err());
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        check(
+            "fun even n = if n = 0 then true else odd (n - 1)
+             and odd n = if n = 0 then false else even (n - 1);
+             val t = even 10;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_constructor_rejected() {
+        assert!(check("val x = Mystery 3;").is_err());
+        assert!(check("fun f t = case t of Nope => 1;").is_err());
+    }
+
+    #[test]
+    fn let_polymorphism() {
+        check("val id = fn x => x; val a = id 1; val b = id \"s\";").unwrap();
+    }
+}

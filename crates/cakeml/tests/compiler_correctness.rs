@@ -1,0 +1,338 @@
+//! The compiler-correctness property (theorem (2)): for randomly
+//! generated programs, the machine-level behaviour of the compiled code
+//! equals the source semantics — including the *crash* behaviours
+//! (division by zero, subscript, match failure), which must terminate
+//! with identical exit codes at both levels.
+//!
+//! Programs are generated as typed expression trees (ints and bools with
+//! let-bound variables, arithmetic including div/mod, comparisons,
+//! conditionals, short-circuit operators, tuples, and list folds), then
+//! pretty-printed to source. The interpreter is the specification; the
+//! compiled Silver machine code is the implementation under test.
+
+use cakeml::{compile_source, run_program, CompilerConfig, NoFfi, Stop, TargetLayout};
+use proptest::prelude::*;
+
+/// A generated integer expression with the variables in scope.
+#[derive(Clone, Debug)]
+enum IExp {
+    Lit(i64),
+    Var(usize),
+    Add(Box<IExp>, Box<IExp>),
+    Sub(Box<IExp>, Box<IExp>),
+    Mul(Box<IExp>, Box<IExp>),
+    Div(Box<IExp>, Box<IExp>),
+    Mod(Box<IExp>, Box<IExp>),
+    If(Box<BExp>, Box<IExp>, Box<IExp>),
+    Let(Box<IExp>, Box<IExp>),
+}
+
+#[derive(Clone, Debug)]
+enum BExp {
+    Lit(bool),
+    Lt(Box<IExp>, Box<IExp>),
+    Le(Box<IExp>, Box<IExp>),
+    Eq(Box<IExp>, Box<IExp>),
+    And(Box<BExp>, Box<BExp>),
+    Or(Box<BExp>, Box<BExp>),
+    Not(Box<BExp>),
+}
+
+fn show_i(e: &IExp, depth: usize) -> String {
+    match e {
+        IExp::Lit(v) if *v < 0 => format!("~{}", -v),
+        IExp::Lit(v) => v.to_string(),
+        IExp::Var(i) => format!("v{}", i % depth.max(1)),
+        IExp::Add(a, b) => format!("({} + {})", show_i(a, depth), show_i(b, depth)),
+        IExp::Sub(a, b) => format!("({} - {})", show_i(a, depth), show_i(b, depth)),
+        IExp::Mul(a, b) => format!("({} * {})", show_i(a, depth), show_i(b, depth)),
+        IExp::Div(a, b) => format!("({} div {})", show_i(a, depth), show_i(b, depth)),
+        IExp::Mod(a, b) => format!("({} mod {})", show_i(a, depth), show_i(b, depth)),
+        IExp::If(c, t, f) => format!(
+            "(if {} then {} else {})",
+            show_b(c, depth),
+            show_i(t, depth),
+            show_i(f, depth)
+        ),
+        IExp::Let(rhs, body) => format!(
+            "(let val v{} = {} in {} end)",
+            depth,
+            show_i(rhs, depth),
+            show_i(body, depth + 1)
+        ),
+    }
+}
+
+fn show_b(e: &BExp, depth: usize) -> String {
+    match e {
+        BExp::Lit(b) => b.to_string(),
+        BExp::Lt(a, b) => format!("({} < {})", show_i(a, depth), show_i(b, depth)),
+        BExp::Le(a, b) => format!("({} <= {})", show_i(a, depth), show_i(b, depth)),
+        BExp::Eq(a, b) => format!("({} = {})", show_i(a, depth), show_i(b, depth)),
+        BExp::And(a, b) => format!("({} andalso {})", show_b(a, depth), show_b(b, depth)),
+        BExp::Or(a, b) => format!("({} orelse {})", show_b(a, depth), show_b(b, depth)),
+        BExp::Not(a) => format!("(not {})", show_b(a, depth)),
+    }
+}
+
+fn arb_iexp() -> impl Strategy<Value = IExp> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(IExp::Lit),
+        any::<usize>().prop_map(IExp::Var),
+        Just(IExp::Lit(0)),
+        Just(IExp::Lit(1 << 30)), // boundary of the 31-bit range
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let b = arb_bexp_with(inner.clone());
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Add(a.into(), c.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Sub(a.into(), c.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Mul(a.into(), c.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Div(a.into(), c.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Mod(a.into(), c.into())),
+            (b, inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| IExp::If(c.into(), t.into(), f.into())),
+            (inner.clone(), inner).prop_map(|(r, body)| IExp::Let(r.into(), body.into())),
+        ]
+    })
+}
+
+fn arb_bexp_with(i: BoxedStrategy<IExp>) -> BoxedStrategy<BExp> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(BExp::Lit),
+        (i.clone(), i.clone()).prop_map(|(a, b)| BExp::Lt(a.into(), b.into())),
+        (i.clone(), i.clone()).prop_map(|(a, b)| BExp::Le(a.into(), b.into())),
+        (i.clone(), i).prop_map(|(a, b)| BExp::Eq(a.into(), b.into())),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BExp::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExp::Or(a.into(), b.into())),
+            inner.prop_map(|a| BExp::Not(a.into())),
+        ]
+    })
+    .boxed()
+}
+
+/// Interpreter outcome of `val _ = exit (expr);` programs.
+fn spec_exit_code(prog: &Program) -> u8 {
+    match run_program(&prog.ast, &mut NoFfi, 50_000_000) {
+        Ok(out) => out.exit_code,
+        Err(Stop::Exit(c)) => c,
+        Err(other) => panic!("interpreter failed: {other}"),
+    }
+}
+
+struct Program {
+    src: String,
+    ast: cakeml::Program,
+}
+
+fn make_program(e: &IExp) -> Program {
+    // `v0` is always in scope so Var leaves are total.
+    let src = format!("val v0 = 17;\nval _ = Runtime.exit ({});", show_i(e, 1));
+    let cfg = CompilerConfig { prelude: false, ..CompilerConfig::default() };
+    let (ast, _) = cakeml::frontend(&src, &cfg).expect("generated program type-checks");
+    Program { src, ast }
+}
+
+fn machine_exit_code(src: &str, gc: bool) -> u8 {
+    let layout = TargetLayout::default();
+    let cfg = CompilerConfig { prelude: false, gc, ..CompilerConfig::default() };
+    let compiled = compile_source(src, layout, &cfg).expect("compiles");
+    let mut s = ag32::State::new();
+    s.mem.write_bytes(layout.code_base, &compiled.code);
+    s.mem.write_word(
+        layout.halt_addr,
+        ag32::encode(ag32::Instr::Jump {
+            func: ag32::Func::Add,
+            w: ag32::Reg::new(0),
+            a: ag32::Ri::Imm(0),
+        }),
+    );
+    s.pc = layout.code_base;
+    s.run(100_000_000);
+    assert!(s.is_halted(), "compiled program must halt: {src}");
+    s.mem.read_word(layout.exit_code_addr) as u8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Theorem (2): machine behaviour equals source behaviour, crash
+    /// codes included.
+    #[test]
+    fn compiled_code_agrees_with_interpreter(e in arb_iexp()) {
+        let p = make_program(&e);
+        let spec = spec_exit_code(&p);
+        let got = machine_exit_code(&p.src, false);
+        prop_assert_eq!(got, spec, "program:\n{}", p.src);
+    }
+
+    /// The collector does not change behaviour either.
+    #[test]
+    fn gc_mode_agrees_with_interpreter(e in arb_iexp()) {
+        let p = make_program(&e);
+        let spec = spec_exit_code(&p);
+        let got = machine_exit_code(&p.src, true);
+        prop_assert_eq!(got, spec, "program:\n{}", p.src);
+    }
+}
+
+// ---- second generator: lists and strings through the prelude ----
+
+#[derive(Clone, Debug)]
+enum LExp {
+    Lit(Vec<i8>),
+    Cons(i8, Box<LExp>),
+    Append(Box<LExp>, Box<LExp>),
+    Rev(Box<LExp>),
+    Filter(Box<LExp>),
+    Map(Box<LExp>),
+    Sort(Box<LExp>),
+}
+
+fn show_l(e: &LExp) -> String {
+    match e {
+        LExp::Lit(xs) => {
+            let parts: Vec<String> = xs
+                .iter()
+                .map(|v| if *v < 0 { format!("~{}", -i32::from(*v)) } else { v.to_string() })
+                .collect();
+            format!("[{}]", parts.join(", "))
+        }
+        LExp::Cons(h, t) => {
+            let hs = if *h < 0 { format!("~{}", -i32::from(*h)) } else { h.to_string() };
+            format!("({hs} :: {})", show_l(t))
+        }
+        LExp::Append(a, b) => format!("(append {} {})", show_l(a), show_l(b)),
+        LExp::Rev(a) => format!("(rev {})", show_l(a)),
+        LExp::Filter(a) => format!("(filter (fn x => x mod 2 = 0) {})", show_l(a)),
+        LExp::Map(a) => format!("(map (fn x => x * 3 - 1) {})", show_l(a)),
+        LExp::Sort(a) => format!("(merge_sort (fn a => fn b => a < b) {})", show_l(a)),
+    }
+}
+
+fn arb_lexp() -> impl Strategy<Value = LExp> {
+    let leaf = proptest::collection::vec(any::<i8>(), 0..6).prop_map(LExp::Lit);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (any::<i8>(), inner.clone()).prop_map(|(h, t)| LExp::Cons(h, t.into())),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| LExp::Append(a.into(), b.into())),
+            inner.clone().prop_map(|a| LExp::Rev(a.into())),
+            inner.clone().prop_map(|a| LExp::Filter(a.into())),
+            inner.clone().prop_map(|a| LExp::Map(a.into())),
+            inner.prop_map(|a| LExp::Sort(a.into())),
+        ]
+    })
+}
+
+#[derive(Clone, Debug)]
+enum SExp {
+    Lit(String),
+    Concat(Box<SExp>, Box<SExp>),
+    OfInt(i16),
+    SubstrHalf(Box<SExp>),
+    Implode(LExp),
+}
+
+fn show_s(e: &SExp) -> String {
+    match e {
+        SExp::Lit(s) => format!("{s:?}"),
+        SExp::Concat(a, b) => format!("({} ^ {})", show_s(a), show_s(b)),
+        SExp::OfInt(v) => {
+            if *v < 0 {
+                format!("(int_to_string ~{})", -i32::from(*v))
+            } else {
+                format!("(int_to_string {v})")
+            }
+        }
+        SExp::SubstrHalf(a) => format!(
+            "(let val t = {} in String.substring t 0 (String.size t div 2) end)",
+            show_s(a)
+        ),
+        SExp::Implode(l) => format!(
+            "(implode (map (fn x => Char.chr ((x + 128) mod 256)) {}))",
+            show_l(l)
+        ),
+    }
+}
+
+fn arb_sexp() -> impl Strategy<Value = SExp> {
+    let leaf = prop_oneof![
+        "[a-z ]{0,6}".prop_map(SExp::Lit),
+        any::<i16>().prop_map(SExp::OfInt),
+        arb_lexp().prop_map(SExp::Implode),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SExp::Concat(a.into(), b.into())),
+            inner.prop_map(|a| SExp::SubstrHalf(a.into())),
+        ]
+    })
+}
+
+fn check_with_prelude(src: &str) {
+    let cfg = CompilerConfig::default();
+    let (ast, _) = cakeml::frontend(src, &cfg).expect("type-checks");
+    let spec = match run_program(&ast, &mut NoFfi, 100_000_000) {
+        Ok(out) => out.exit_code,
+        Err(Stop::Exit(c)) => c,
+        Err(other) => panic!("interpreter failed: {other}"),
+    };
+    let layout = TargetLayout::default();
+    for (gc, const_fold) in [(false, true), (true, true), (false, false)] {
+        let cfg = CompilerConfig { gc, const_fold, ..CompilerConfig::default() };
+        let compiled = compile_source(src, layout, &cfg).expect("compiles");
+        let mut s = ag32::State::new();
+        s.mem.write_bytes(layout.code_base, &compiled.code);
+        s.mem.write_word(
+            layout.halt_addr,
+            ag32::encode(ag32::Instr::Jump {
+                func: ag32::Func::Add,
+                w: ag32::Reg::new(0),
+                a: ag32::Ri::Imm(0),
+            }),
+        );
+        s.pc = layout.code_base;
+        s.run(500_000_000);
+        assert!(s.is_halted(), "compiled program must halt (gc={gc}, fold={const_fold}): {src}");
+        let got = s.mem.read_word(layout.exit_code_addr) as u8;
+        assert_eq!(got, spec, "gc={gc}, fold={const_fold}, program:\n{src}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// List programs through the prelude: observe a structure-sensitive
+    /// checksum so ordering bugs are caught.
+    #[test]
+    fn list_programs_agree(e in arb_lexp()) {
+        let src = format!(
+            "val xs = {};\n\
+             val sum = foldl (fn a => fn b => (a * 31 + b) mod 65521) 7 xs;\n\
+             val _ = exit ((sum + length xs) mod 251);",
+            show_l(&e)
+        );
+        check_with_prelude(&src);
+    }
+
+    /// String programs through the prelude (concat, substring,
+    /// int_to_string, implode), observed via a rolling hash.
+    #[test]
+    fn string_programs_agree(e in arb_sexp()) {
+        let src = format!(
+            "val s = {};\n\
+             fun hash i acc =\n\
+               if i >= String.size s then acc\n\
+               else hash (i + 1) ((acc * 33 + Char.ord (String.sub s i)) mod 65521);\n\
+             val _ = exit (hash 0 5381 mod 251);",
+            show_s(&e)
+        );
+        check_with_prelude(&src);
+    }
+}

@@ -1,0 +1,266 @@
+//! The application suite of §1/§7: "word-count, sort, a proof-checker
+//! ... and the CakeML compiler itself", as source programs for the stack.
+//!
+//! Each constant is a complete program (the prelude is added by the
+//! compiler). They are shared by the examples, the end-to-end tests and
+//! the benchmark harness.
+
+/// Quickstart: hello world.
+pub const HELLO: &str = r#"
+val _ = print "Hello from the verified stack!\n";
+"#;
+
+/// `wc` — the paper's running example (§2): counts the words on standard
+/// input (`wc_spec input output` with `|tokens is_space input|`), and
+/// also reports lines and bytes like the Unix tool.
+pub const WC: &str = r#"
+fun is_space c = c = #" " orelse c = #"\n" orelse c = #"\t" orelse c = #"\r";
+
+val input = read_all ();
+val len = String.size input;
+
+fun scan i in_word words lines =
+  if i >= len then (words, lines)
+  else
+    let val c = String.sub input i
+        val nl = if c = #"\n" then lines + 1 else lines
+    in
+      if is_space c then scan (i + 1) false words nl
+      else scan (i + 1) true (if in_word then words else words + 1) nl
+    end;
+
+val counts = scan 0 false 0 0;
+val _ = print (int_to_string (snd counts) ^ " " ^
+               int_to_string (fst counts) ^ " " ^
+               int_to_string len ^ "\n");
+"#;
+
+/// `cat` — copies standard input to standard output.
+pub const CAT: &str = r#"
+val _ = print (read_all ());
+"#;
+
+/// `sort` — reads lines from standard input, sorts them
+/// lexicographically with merge sort, writes them back (§7: "Running
+/// sort on a 1000-line file takes a few seconds").
+pub const SORT: &str = r#"
+val input = read_all ();
+val lines = split_lines input;
+val sorted = merge_sort string_lt lines;
+val _ = print (join_lines sorted);
+"#;
+
+/// A proof checker for minimal implicational logic — the stand-in for
+/// the paper's OpenTheory proof checker. It checks Hilbert-style proofs
+/// using axiom schemes K and S and modus ponens.
+///
+/// Input: one command per line.
+///
+/// * `K <f> <g>` — adds the theorem `f -> (g -> f)`,
+/// * `S <f> <g> <h>` — adds `(f->(g->h)) -> ((f->g) -> (f->h))`,
+/// * `MP <i> <j>` — if theorem `i` is `A -> B` and theorem `j` is `A`,
+///   adds `B` (indices are 0-based, decimal).
+///
+/// Formulas are written in prefix form: `i<f><g>` is an implication,
+/// a lowercase letter is an atom; e.g. `iab` is `a -> b`.
+///
+/// Output: each derived theorem is printed; a bad proof step prints
+/// `invalid step` and exits with code 1.
+pub const PROOF_CHECKER: &str = r#"
+datatype form = Atom of int | Imp of form * form;
+
+(* prefix-form parser: returns (formula, rest-index) *)
+fun parse_form s i =
+  if i >= String.size s then (Atom 0, i)
+  else
+    let val c = String.sub s i in
+      if c = #"i" then
+        let val fr = parse_form s (i + 1) in
+          case fr of (f, j) =>
+            (case parse_form s j of (g, k) => (Imp (f, g), k))
+        end
+      else (Atom (Char.ord c), i + 1)
+    end;
+
+fun eq_form a b =
+  case (a, b) of
+    (Atom x, Atom y) => x = y
+  | (Imp (f1, g1), Imp (f2, g2)) => eq_form f1 f2 andalso eq_form g1 g2
+  | _ => false;
+
+fun show_form f =
+  case f of
+    Atom n => char_to_string (Char.chr n)
+  | Imp (a, b) => "(" ^ show_form a ^ " -> " ^ show_form b ^ ")";
+
+fun split_words s =
+  let val n = String.size s
+      fun go start i acc =
+        if i >= n then rev (if i > start then String.substring s start (i - start) :: acc else acc)
+        else if String.sub s i = #" " then
+          go (i + 1) (i + 1) (if i > start then String.substring s start (i - start) :: acc else acc)
+        else go start (i + 1) acc
+  in go 0 0 [] end;
+
+fun parse_nat s =
+  let val n = String.size s
+      fun go i acc = if i >= n then acc else go (i + 1) (acc * 10 + (Char.ord (String.sub s i) - 48))
+  in go 0 0 end;
+
+fun form_of w = fst (parse_form w 0);
+
+fun fail u = (print "invalid step\n"; exit 1);
+
+fun step thms words =
+  case words of
+    "K" :: fw :: gw :: [] =>
+      let val f = form_of fw val g = form_of gw
+      in Imp (f, Imp (g, f)) end
+  | "S" :: fw :: gw :: hw :: [] =>
+      let val f = form_of fw val g = form_of gw val h = form_of hw
+      in Imp (Imp (f, Imp (g, h)), Imp (Imp (f, g), Imp (f, h))) end
+  | "MP" :: iw :: jw :: [] =>
+      let val ti = nth thms (parse_nat iw)
+          val tj = nth thms (parse_nat jw)
+      in case ti of
+           Imp (a, b) => if eq_form a tj then b else fail ()
+         | _ => fail ()
+      end
+  | _ => fail ();
+
+fun check thms lines =
+  case lines of
+    [] => ()
+  | line :: rest =>
+      if String.size line = 0 then check thms rest
+      else
+        let val t = step thms (split_words line)
+        in (print ("|- " ^ show_form t ^ "\n");
+            check (append thms [t]) rest) end;
+
+val _ = check [] (split_lines (read_all ()));
+"#;
+
+/// `grep` — prints the lines of standard input containing the literal
+/// pattern given as the first command-line argument (naive substring
+/// search). Exits 0 if anything matched, 1 otherwise, like the Unix tool.
+pub const GREP: &str = r#"
+fun contains_at s p i =
+  let val lp = String.size p
+      fun go j =
+        if j >= lp then true
+        else if Char.ord (String.sub s (i + j)) = Char.ord (String.sub p j) then go (j + 1)
+        else false
+  in go 0 end;
+
+fun contains s p =
+  let val n = String.size s
+      val lp = String.size p
+      fun go i =
+        if i + lp > n then false
+        else if contains_at s p i then true
+        else go (i + 1)
+  in go 0 end;
+
+val args = arguments ();
+val pattern = case args of _ :: p :: _ => p | _ => (print_err "usage: grep PATTERN\n"; exit 2);
+val matches = filter (fn l => contains l pattern) (split_lines (read_all ()));
+val _ = print (join_lines matches);
+val _ = exit (case matches of [] => 1 | _ => 0);
+"#;
+
+/// The compiler-on-the-verified-stack demonstration (§7: running the
+/// compiler itself on Silver). A compiler for arithmetic expressions —
+/// written in the source language, compiled by the real compiler, and
+/// run *on the Silver processor* — that reads an expression from
+/// standard input and emits Silver-style assembly for a stack machine.
+pub const MINI_COMPILER: &str = r#"
+datatype tok = Num of int | Plus | Minus | Times | LP | RP;
+datatype exp = Lit of int | Add of exp * exp | Sub of exp * exp | Mul of exp * exp;
+
+fun lex s =
+  let val n = String.size s
+      fun go i =
+        if i >= n then []
+        else
+          let val c = String.sub s i in
+            if c = #" " orelse c = #"\n" then go (i + 1)
+            else if c = #"+" then Plus :: go (i + 1)
+            else if c = #"-" then Minus :: go (i + 1)
+            else if c = #"*" then Times :: go (i + 1)
+            else if c = #"(" then LP :: go (i + 1)
+            else if c = #")" then RP :: go (i + 1)
+            else
+              let fun num j acc =
+                    if j >= n then (acc, j)
+                    else
+                      let val d = Char.ord (String.sub s j)
+                      in if d >= 48 andalso d <= 57 then num (j + 1) (acc * 10 + (d - 48))
+                         else (acc, j) end
+              in case num i 0 of (v, j) =>
+                   if j = i then (print_err "lex error\n"; exit 1)
+                   else Num v :: go j
+              end
+          end
+  in go 0 end;
+
+(* expr := term (("+"|"-") term)* ;  term := atom ("*" atom)* *)
+fun parse_atom toks =
+  case toks of
+    Num v :: rest => (Lit v, rest)
+  | LP :: rest =>
+      (case parse_expr rest of
+         (e, RP :: rest2) => (e, rest2)
+       | _ => (print_err "expected )\n"; exit 1))
+  | _ => (print_err "parse error\n"; exit 1)
+and parse_term toks =
+  let val first = parse_atom toks
+      fun more acc rest =
+        case rest of
+          Times :: r2 => (case parse_atom r2 of (e, r3) => more (Mul (acc, e)) r3)
+        | _ => (acc, rest)
+  in case first of (e, rest) => more e rest end
+and parse_expr toks =
+  let val first = parse_term toks
+      fun more acc rest =
+        case rest of
+          Plus :: r2 => (case parse_term r2 of (e, r3) => more (Add (acc, e)) r3)
+        | Minus :: r2 => (case parse_term r2 of (e, r3) => more (Sub (acc, e)) r3)
+        | _ => (acc, rest)
+  in case first of (e, rest) => more e rest end;
+
+(* stack-machine code generation, printed as Silver-flavoured assembly *)
+fun emit e =
+  case e of
+    Lit v => print ("  LoadConstant r1, " ^ int_to_string v ^ "\n  Push r1\n")
+  | Add (a, b) => (emit a; emit b; print "  Pop r2\n  Pop r1\n  Normal fAdd r1, r1, r2\n  Push r1\n")
+  | Sub (a, b) => (emit a; emit b; print "  Pop r2\n  Pop r1\n  Normal fSub r1, r1, r2\n  Push r1\n")
+  | Mul (a, b) => (emit a; emit b; print "  Pop r2\n  Pop r1\n  Normal fMul r1, r1, r2\n  Push r1\n");
+
+(* a reference evaluator, to print the expected result alongside *)
+fun eval e =
+  case e of
+    Lit v => v
+  | Add (a, b) => eval a + eval b
+  | Sub (a, b) => eval a - eval b
+  | Mul (a, b) => eval a * eval b;
+
+val input = read_all ();
+val toks = lex input;
+val parsed = parse_expr toks;
+val e = fst parsed;
+val _ = print "; silver-stack mini compiler output\n";
+val _ = emit e;
+val _ = print ("  Out r1 ; = " ^ int_to_string (eval e) ^ "\n");
+"#;
+
+/// All applications with stable names, for the harnesses.
+pub const ALL: &[(&str, &str)] = &[
+    ("hello", HELLO),
+    ("wc", WC),
+    ("cat", CAT),
+    ("sort", SORT),
+    ("grep", GREP),
+    ("proof_checker", PROOF_CHECKER),
+    ("mini_compiler", MINI_COMPILER),
+];

@@ -1,0 +1,129 @@
+//! `silverc` — compile and run programs on the verified stack from the
+//! command line.
+//!
+//! ```sh
+//! silverc prog.cml [--backend isa|rtl|verilog] [--arg ARG]...
+//!         [--stdin FILE] [--gc] [--no-tail-calls] [--no-direct-calls]
+//!         [--stats]
+//! ```
+//!
+//! The program's standard output/error are forwarded; the process exits
+//! with the program's exit code. `--backend rtl` runs on the circuit-
+//! level Silver CPU, `verilog` under the Verilog semantics (slow; small
+//! programs only).
+
+use std::io::{Read as _, Write as _};
+use std::process::ExitCode;
+
+use silver_stack::{Backend, ExitStatus, RunConfig, Stack};
+
+struct Options {
+    file: String,
+    backend: Backend,
+    args: Vec<String>,
+    stdin: Vec<u8>,
+    stats: bool,
+    stack: Stack,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: silverc FILE [--backend isa|rtl|verilog] [--arg ARG]... \
+         [--stdin FILE|-] [--gc] [--no-tail-calls] [--no-direct-calls] [--no-const-fold] [--stats]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        backend: Backend::Isa,
+        args: Vec::new(),
+        stdin: Vec::new(),
+        stats: false,
+        stack: Stack::new(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--backend" => {
+                opts.backend = match args.next().as_deref() {
+                    Some("isa") => Backend::Isa,
+                    Some("rtl") => Backend::Rtl,
+                    Some("verilog") => Backend::Verilog,
+                    _ => usage(),
+                }
+            }
+            "--arg" => match args.next() {
+                Some(v) => opts.args.push(v),
+                None => usage(),
+            },
+            "--stdin" => match args.next().as_deref() {
+                Some("-") => {
+                    std::io::stdin().read_to_end(&mut opts.stdin).expect("read stdin");
+                }
+                Some(path) => {
+                    opts.stdin = std::fs::read(path).unwrap_or_else(|e| {
+                        eprintln!("silverc: cannot read stdin file `{path}`: {e}");
+                        std::process::exit(2);
+                    });
+                }
+                None => usage(),
+            },
+            "--gc" => opts.stack.compiler.gc = true,
+            "--no-tail-calls" => opts.stack.compiler.tail_calls = false,
+            "--no-direct-calls" => opts.stack.compiler.direct_calls = false,
+            "--no-const-fold" => opts.stack.compiler.const_fold = false,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
+            _ => usage(),
+        }
+    }
+    if opts.file.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("silverc: cannot read `{}`: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let mut argv: Vec<&str> = vec![opts.file.as_str()];
+    argv.extend(opts.args.iter().map(String::as_str));
+
+    let result = match opts.stack.run_source(
+        &src,
+        &argv,
+        &opts.stdin,
+        opts.backend,
+        &RunConfig::default(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("silverc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    std::io::stdout().write_all(&result.stdout).expect("stdout");
+    std::io::stderr().write_all(&result.stderr).expect("stderr");
+    if opts.stats {
+        eprintln!("silverc: instructions = {}", result.instructions);
+        if let Some(c) = result.cycles {
+            eprintln!("silverc: clock cycles = {c}");
+        }
+    }
+    match result.exit {
+        ExitStatus::Exited(c) => ExitCode::from(c),
+        other => {
+            eprintln!("silverc: abnormal termination: {other:?}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The end-to-end theorem analog (theorem (8) and §7's theorem (14)).
+//!
+//! For a program and its inputs, [`check_end_to_end`] establishes
+//! dynamically what the paper proves once and for all: the behaviour
+//! observed by running the *hardware* (the circuit-level CPU, and
+//! optionally its generated Verilog) equals the behaviour of the source
+//! semantics — same exit status, same standard output and error.
+
+use basis::{BasisHost, ExitStatus, FsState};
+use cakeml::frontend;
+use silver::lockstep::run_lockstep;
+
+use crate::stack::{Backend, RunConfig, Stack, StackError, StackResult};
+
+/// What to include in the end-to-end check.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Also run under the Verilog semantics (slow; keep programs small).
+    pub verilog: bool,
+    /// Also spot-check the ISA↔circuit simulation relation over the
+    /// first `lockstep_instructions` instructions (theorem (9)).
+    pub lockstep_instructions: u64,
+    /// Interpreter fuel.
+    pub interp_fuel: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { verilog: false, lockstep_instructions: 0, interp_fuel: 2_000_000_000 }
+    }
+}
+
+/// The agreed observable behaviour plus per-layer costs.
+#[derive(Clone, Debug)]
+pub struct EndToEndReport {
+    /// Exit code every layer agreed on.
+    pub exit_code: u8,
+    /// Agreed standard output.
+    pub stdout: String,
+    /// Agreed standard error.
+    pub stderr: String,
+    /// ISA instructions retired.
+    pub isa_instructions: u64,
+    /// Circuit-level clock cycles.
+    pub rtl_cycles: u64,
+    /// Verilog-level clock cycles, when checked.
+    pub verilog_cycles: Option<u64>,
+}
+
+fn expect_exit(label: &str, r: &StackResult) -> Result<u8, String> {
+    match r.exit {
+        ExitStatus::Exited(c) => Ok(c),
+        ref other => Err(format!("{label}: did not exit cleanly: {other:?}")),
+    }
+}
+
+/// Runs `src` at every level and checks the observable behaviours agree.
+///
+/// # Errors
+///
+/// A description of the first disagreement or failure.
+pub fn check_end_to_end(
+    stack: &Stack,
+    src: &str,
+    args: &[&str],
+    stdin: &[u8],
+    opts: &CheckOptions,
+) -> Result<EndToEndReport, String> {
+    let rc = RunConfig::default();
+
+    // Source semantics (the specification side of theorem (1)).
+    let (prog, _) = frontend(src, &stack.compiler).map_err(|e| e.to_string())?;
+    let mut host = BasisHost::new(FsState::stdin_only(args, stdin));
+    let interp = cakeml::run_program(&prog, &mut host, opts.interp_fuel)
+        .map_err(|e| format!("interpreter: {e}"))?;
+    let spec_out = host.fs.stdout_utf8();
+    let spec_err = host.fs.stderr_utf8();
+
+    let compiled = stack.compile(src).map_err(|e| e.to_string())?;
+    let image = stack.load(&compiled, args, stdin).map_err(|e| e.to_string())?;
+
+    // ISA level (theorem (6)).
+    let isa = stack
+        .run_image(image.clone(), Backend::Isa, &rc)
+        .map_err(|e| e.to_string())?;
+    let isa_code = expect_exit("isa", &isa)?;
+    if isa_code != interp.exit_code
+        || isa.stdout_utf8() != spec_out
+        || isa.stderr_utf8() != spec_err
+    {
+        return Err(format!(
+            "ISA disagrees with source semantics: exit {isa_code} vs {}, stdout {:?} vs {:?}",
+            interp.exit_code,
+            isa.stdout_utf8(),
+            spec_out
+        ));
+    }
+
+    // Circuit level (theorem (9) composed in).
+    let rtl = stack
+        .run_image(image.clone(), Backend::Rtl, &rc)
+        .map_err(|e| e.to_string())?;
+    let rtl_code = expect_exit("rtl", &rtl)?;
+    if rtl_code != isa_code || rtl.stdout != isa.stdout || rtl.stderr != isa.stderr {
+        return Err(format!(
+            "circuit level disagrees with ISA: exit {rtl_code} vs {isa_code}"
+        ));
+    }
+
+    // Verilog level (theorem (8)).
+    let verilog_cycles = if opts.verilog {
+        let v = stack
+            .run_image(image.clone(), Backend::Verilog, &rc)
+            .map_err(|e| e.to_string())?;
+        let v_code = expect_exit("verilog", &v)?;
+        if v_code != isa_code || v.stdout != isa.stdout || v.stderr != isa.stderr {
+            return Err("verilog level disagrees with ISA".to_string());
+        }
+        v.cycles
+    } else {
+        None
+    };
+
+    // Optional theorem-(9) lockstep spot check with random latencies.
+    if opts.lockstep_instructions > 0 {
+        run_lockstep(
+            &image,
+            opts.lockstep_instructions,
+            silver::env::MemEnvConfig {
+                mem_latency: silver::env::Latency::Random { max: 2 },
+                seed: 0xE2E,
+                ..silver::env::MemEnvConfig::default()
+            },
+            opts.lockstep_instructions * 64 + 10_000,
+        )
+        .map_err(|e| format!("lockstep: {e}"))?;
+    }
+
+    Ok(EndToEndReport {
+        exit_code: isa_code,
+        stdout: spec_out,
+        stderr: spec_err,
+        isa_instructions: isa.instructions,
+        rtl_cycles: rtl.cycles.unwrap_or(0),
+        verilog_cycles,
+    })
+}
+
+impl From<StackError> for String {
+    fn from(e: StackError) -> Self {
+        e.to_string()
+    }
+}

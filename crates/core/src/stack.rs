@@ -1,0 +1,243 @@
+//! The verified stack, assembled: compile → load → run at any level.
+
+use std::fmt;
+
+use ag32::State;
+use basis::{build_image, extract_streams, run_to_halt, ExitStatus, ImageError};
+use cakeml::{CompileError, CompiledProgram, CompilerConfig, TargetLayout};
+use silver::env::{Latency, MemEnvConfig};
+use silver::lockstep::LockstepError;
+
+/// Which layer of Figure 1 executes the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The Silver ISA (`Next`), layer 2.
+    Isa,
+    /// The circuit-level CPU implementation, layer 3.
+    Rtl,
+    /// The generated deep-embedded Verilog, layer 4.
+    Verilog,
+}
+
+/// Execution limits and environment behaviour.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Maximum ISA instructions (ISA backend).
+    pub fuel: u64,
+    /// Maximum clock cycles (circuit/Verilog backends).
+    pub max_cycles: u64,
+    /// Lab-environment behaviour for the hardware backends.
+    pub env: MemEnvConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            fuel: 4_000_000_000,
+            max_cycles: 4_000_000_000,
+            env: MemEnvConfig { mem_latency: Latency::Fixed(0), ..MemEnvConfig::default() },
+        }
+    }
+}
+
+/// The outcome of running a program on the stack.
+#[derive(Clone, Debug)]
+pub struct StackResult {
+    /// Exit classification.
+    pub exit: ExitStatus,
+    /// Standard output bytes.
+    pub stdout: Vec<u8>,
+    /// Standard error bytes.
+    pub stderr: Vec<u8>,
+    /// Instructions retired (ISA/RTL backends; RTL reports its retired
+    /// counter).
+    pub instructions: u64,
+    /// Clock cycles (hardware backends only).
+    pub cycles: Option<u64>,
+}
+
+impl StackResult {
+    /// Standard output as a string (lossy).
+    #[must_use]
+    pub fn stdout_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+
+    /// Standard error as a string (lossy).
+    #[must_use]
+    pub fn stderr_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stderr).into_owned()
+    }
+
+    /// The exit code, if the program exited.
+    #[must_use]
+    pub fn exit_code(&self) -> Option<u8> {
+        match self.exit {
+            ExitStatus::Exited(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Stack-level errors.
+#[derive(Debug)]
+pub enum StackError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Image construction failed (`initAg` assumption violated).
+    Image(ImageError),
+    /// A hardware backend failed or timed out.
+    Hardware(LockstepError),
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::Compile(e) => write!(f, "compile: {e}"),
+            StackError::Image(e) => write!(f, "image: {e}"),
+            StackError::Hardware(e) => write!(f, "hardware: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+impl From<CompileError> for StackError {
+    fn from(e: CompileError) -> Self {
+        StackError::Compile(e)
+    }
+}
+
+impl From<ImageError> for StackError {
+    fn from(e: ImageError) -> Self {
+        StackError::Image(e)
+    }
+}
+
+impl From<LockstepError> for StackError {
+    fn from(e: LockstepError) -> Self {
+        StackError::Hardware(e)
+    }
+}
+
+/// The stack: a compiler configuration plus a memory layout.
+#[derive(Clone, Debug, Default)]
+pub struct Stack {
+    /// Compiler options.
+    pub compiler: CompilerConfig,
+    /// Memory layout.
+    pub layout: TargetLayout,
+}
+
+impl Stack {
+    /// A stack with default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Stack::default()
+    }
+
+    /// Compiles a program (theorem (3): `compile confAg prog = Some ...`).
+    ///
+    /// # Errors
+    ///
+    /// Parse, type or code-generation errors.
+    pub fn compile(&self, src: &str) -> Result<CompiledProgram, StackError> {
+        Ok(cakeml::compile_source(src, self.layout, &self.compiler)?)
+    }
+
+    /// Builds the Figure-2 initial machine state for a compiled program.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError`] when stdin or the command line exceed their devices.
+    pub fn load(
+        &self,
+        compiled: &CompiledProgram,
+        args: &[&str],
+        stdin: &[u8],
+    ) -> Result<State, StackError> {
+        Ok(build_image(compiled, args, stdin)?)
+    }
+
+    /// Compiles, loads and runs in one step.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StackError`].
+    pub fn run_source(
+        &self,
+        src: &str,
+        args: &[&str],
+        stdin: &[u8],
+        backend: Backend,
+        rc: &RunConfig,
+    ) -> Result<StackResult, StackError> {
+        let compiled = self.compile(src)?;
+        let image = self.load(&compiled, args, stdin)?;
+        self.run_image(image, backend, rc)
+    }
+
+    /// Runs a loaded image on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Hardware-backend simulation failures or timeouts.
+    pub fn run_image(
+        &self,
+        image: State,
+        backend: Backend,
+        rc: &RunConfig,
+    ) -> Result<StackResult, StackError> {
+        match backend {
+            Backend::Isa => {
+                let r = run_to_halt(image, &self.layout, rc.fuel);
+                Ok(StackResult {
+                    exit: r.exit,
+                    stdout: r.stdout,
+                    stderr: r.stderr,
+                    instructions: r.instructions,
+                    cycles: None,
+                })
+            }
+            Backend::Rtl => {
+                let (rtl_state, env, cycles) =
+                    silver::run_rtl_program(&image, rc.env.clone(), rc.max_cycles)?;
+                let (stdout, stderr) = extract_streams(&env.io_events);
+                let instructions = rtl_state.get_scalar("retired").map_err(|e| {
+                    StackError::Hardware(LockstepError::Rtl(e))
+                })?;
+                let exit = classify_hw(&env.mem, &self.layout, &rtl_state)?;
+                Ok(StackResult { exit, stdout, stderr, instructions, cycles: Some(cycles) })
+            }
+            Backend::Verilog => {
+                let (fin, env, cycles) =
+                    silver::run_verilog_program(&image, rc.env.clone(), rc.max_cycles)?;
+                let (stdout, stderr) = extract_streams(&env.io_events);
+                let code = env.mem.read_word(self.layout.exit_code_addr);
+                let pc = fin.get("pc").map(|v| v.as_u64() as u32).unwrap_or(0);
+                let exit = if pc == self.layout.halt_addr && code != basis::image::EXIT_UNSET {
+                    ExitStatus::Exited(code as u8)
+                } else {
+                    ExitStatus::Wedged
+                };
+                Ok(StackResult { exit, stdout, stderr, instructions: 0, cycles: Some(cycles) })
+            }
+        }
+    }
+}
+
+fn classify_hw(
+    mem: &ag32::Memory,
+    layout: &TargetLayout,
+    rtl_state: &rtl::RtlState,
+) -> Result<ExitStatus, StackError> {
+    let code = mem.read_word(layout.exit_code_addr);
+    let pc = rtl_state
+        .get_scalar("pc")
+        .map_err(|e| StackError::Hardware(LockstepError::Rtl(e)))? as u32;
+    Ok(if pc == layout.halt_addr && code != basis::image::EXIT_UNSET {
+        ExitStatus::Exited(code as u8)
+    } else {
+        ExitStatus::Wedged
+    })
+}

@@ -1,0 +1,334 @@
+//! The circuit description language.
+//!
+//! A [`Circuit`] is the analogue of the paper's "circuit functions" in
+//! HOL (§3): a set of registers plus next-state processes, each process
+//! a block of conditional non-blocking register writes, all clocked
+//! together. Processes must be *non-interfering* — all inter-process
+//! communication goes through non-blocking writes — which is exactly the
+//! restriction the paper's code generator imposes.
+
+use std::fmt;
+
+/// The type of a signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RTy {
+    /// A single bit.
+    Bit,
+    /// A word of the given width (1..=64 bits).
+    Word(usize),
+    /// A memory: `len` words of `elem` bits (the register file).
+    Mem { elem: usize, len: usize },
+}
+
+/// Binary operators; see [`verilog::ast::Binop`] for the semantics each
+/// one maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RBin {
+    /// Modular addition.
+    Add,
+    /// Modular subtraction.
+    Sub,
+    /// Modular multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Equality (produces a bit).
+    Eq,
+    /// Unsigned less-than (produces a bit).
+    Lt,
+    /// Signed less-than (produces a bit).
+    Slt,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RUn {
+    /// Bitwise complement.
+    Not,
+}
+
+/// Combinational expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RExpr {
+    /// A one-bit constant.
+    ConstBit(bool),
+    /// A `width`-bit constant.
+    ConstWord(usize, u64),
+    /// Read a register or input.
+    Read(String),
+    /// Read a memory element.
+    ReadMem(String, Box<RExpr>),
+    /// Binary operation.
+    Bin(RBin, Box<RExpr>, Box<RExpr>),
+    /// Unary operation.
+    Un(RUn, Box<RExpr>),
+    /// `cond ? t : f` — `cond` must be a bit.
+    Mux(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+    /// Bit slice `[hi:lo]`, inclusive.
+    Slice(Box<RExpr>, usize, usize),
+    /// Concatenation, first element most significant.
+    Concat(Vec<RExpr>),
+    /// Zero-extension to the given width.
+    ZExt(usize, Box<RExpr>),
+    /// Sign-extension to the given width.
+    SExt(usize, Box<RExpr>),
+}
+
+/// Builds a one-bit constant.
+#[must_use]
+pub fn bit(b: bool) -> RExpr {
+    RExpr::ConstBit(b)
+}
+
+/// Builds a `width`-bit constant from the low bits of `v`.
+#[must_use]
+pub fn word(width: usize, v: u64) -> RExpr {
+    let masked = if width >= 64 { v } else { v & ((1 << width) - 1) };
+    RExpr::ConstWord(width, masked)
+}
+
+/// Reads a signal by name.
+#[must_use]
+pub fn read(name: impl Into<String>) -> RExpr {
+    RExpr::Read(name.into())
+}
+
+/// Reads `mem[idx]`.
+#[must_use]
+pub fn read_mem(name: impl Into<String>, idx: RExpr) -> RExpr {
+    RExpr::ReadMem(name.into(), Box::new(idx))
+}
+
+macro_rules! bin_method {
+    ($(#[$doc:meta])* $name:ident, $op:ident) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(self, rhs: RExpr) -> RExpr {
+            RExpr::Bin(RBin::$op, Box::new(self), Box::new(rhs))
+        }
+    };
+}
+
+impl RExpr {
+    bin_method!(/// Modular addition.
+        add, Add);
+    bin_method!(/// Modular subtraction.
+        sub, Sub);
+    bin_method!(/// Modular multiplication.
+        mul, Mul);
+    bin_method!(/// Bitwise and.
+        and_, And);
+    bin_method!(/// Bitwise or.
+        or_, Or);
+    bin_method!(/// Bitwise xor.
+        xor_, Xor);
+    bin_method!(/// Equality; produces a bit.
+        eq_, Eq);
+    bin_method!(/// Unsigned less-than; produces a bit.
+        lt, Lt);
+    bin_method!(/// Signed less-than; produces a bit.
+        slt, Slt);
+    bin_method!(/// Logical shift left.
+        shl, Shl);
+    bin_method!(/// Logical shift right.
+        shr, Shr);
+    bin_method!(/// Arithmetic shift right.
+        sra, Sra);
+
+    /// Bitwise complement.
+    #[must_use]
+    pub fn not_(self) -> RExpr {
+        RExpr::Un(RUn::Not, Box::new(self))
+    }
+
+    /// Inequality; produces a bit.
+    #[must_use]
+    pub fn ne(self, rhs: RExpr) -> RExpr {
+        self.eq_(rhs).not_()
+    }
+
+    /// `self ? t : f` — the receiver must be a bit.
+    #[must_use]
+    pub fn mux(self, t: RExpr, f: RExpr) -> RExpr {
+        RExpr::Mux(Box::new(self), Box::new(t), Box::new(f))
+    }
+
+    /// Bit slice `[hi:lo]`, inclusive, LSB-numbered.
+    #[must_use]
+    pub fn slice(self, hi: usize, lo: usize) -> RExpr {
+        RExpr::Slice(Box::new(self), hi, lo)
+    }
+
+    /// Zero-extension to `width` bits.
+    #[must_use]
+    pub fn zext(self, width: usize) -> RExpr {
+        RExpr::ZExt(width, Box::new(self))
+    }
+
+    /// Sign-extension to `width` bits.
+    #[must_use]
+    pub fn sext(self, width: usize) -> RExpr {
+        RExpr::SExt(width, Box::new(self))
+    }
+
+    /// Whether the word is zero; produces a bit.
+    #[must_use]
+    pub fn is_zero(self, width: usize) -> RExpr {
+        self.eq_(word(width, 0))
+    }
+}
+
+/// Concatenation, first element most significant.
+#[must_use]
+pub fn concat(parts: Vec<RExpr>) -> RExpr {
+    RExpr::Concat(parts)
+}
+
+/// Statements of a process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RStmt {
+    /// Conditional.
+    If(RExpr, Vec<RStmt>, Vec<RStmt>),
+    /// Case dispatch on a word; arm labels are constants of the
+    /// scrutinee's width.
+    Case(RExpr, Vec<(Vec<u64>, Vec<RStmt>)>, Option<Vec<RStmt>>),
+    /// Non-blocking register write, effective at the end of the cycle.
+    Set(String, RExpr),
+    /// Non-blocking memory-element write.
+    SetMem(String, RExpr, RExpr),
+    /// Blocking write, effective immediately — a named combinational
+    /// intermediate (a *wire* in hardware terms). Generated Verilog uses
+    /// a blocking assignment, which is only sound for process-local
+    /// signals; the Silver CPU keeps all of these inside its single
+    /// process, satisfying the paper's non-interference restriction.
+    Let(String, RExpr),
+}
+
+/// Non-blocking register write.
+#[must_use]
+pub fn set(name: impl Into<String>, e: RExpr) -> RStmt {
+    RStmt::Set(name.into(), e)
+}
+
+/// Non-blocking memory-element write.
+#[must_use]
+pub fn set_mem(name: impl Into<String>, idx: RExpr, val: RExpr) -> RStmt {
+    RStmt::SetMem(name.into(), idx, val)
+}
+
+/// Blocking (immediate) write to a combinational intermediate.
+#[must_use]
+pub fn let_(name: impl Into<String>, e: RExpr) -> RStmt {
+    RStmt::Let(name.into(), e)
+}
+
+/// Conditional statement.
+#[must_use]
+pub fn iff(cond: RExpr, then_b: Vec<RStmt>, else_b: Vec<RStmt>) -> RStmt {
+    RStmt::If(cond, then_b, else_b)
+}
+
+/// A process: one `always_ff` block after code generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RProcess {
+    /// Statements run each cycle.
+    pub body: Vec<RStmt>,
+}
+
+/// A complete circuit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Circuit {
+    /// Circuit (module) name.
+    pub name: String,
+    /// Inputs driven by the environment each cycle.
+    pub inputs: Vec<(String, RTy)>,
+    /// Registers (state elements).
+    pub regs: Vec<(String, RTy)>,
+    /// Names of registers exposed as module outputs after codegen.
+    pub outputs: Vec<String>,
+    /// Next-state processes.
+    pub processes: Vec<RProcess>,
+}
+
+/// Incremental construction of a [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use rtl::ast::*;
+///
+/// let mut b = CircuitBuilder::new("counter");
+/// b.input("en", RTy::Bit);
+/// b.reg("n", RTy::Word(8));
+/// b.output("n");
+/// b.process(vec![iff(read("en"), vec![set("n", read("n").add(word(8, 1)))], vec![])]);
+/// let circuit = b.build();
+/// assert_eq!(circuit.regs.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+}
+
+impl CircuitBuilder {
+    /// Starts a circuit with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder { circuit: Circuit { name: name.into(), ..Circuit::default() } }
+    }
+
+    /// Declares an input and returns an expression reading it.
+    pub fn input(&mut self, name: impl Into<String>, ty: RTy) -> RExpr {
+        let name = name.into();
+        self.circuit.inputs.push((name.clone(), ty));
+        RExpr::Read(name)
+    }
+
+    /// Declares a register and returns an expression reading it.
+    pub fn reg(&mut self, name: impl Into<String>, ty: RTy) -> RExpr {
+        let name = name.into();
+        self.circuit.regs.push((name.clone(), ty));
+        RExpr::Read(name)
+    }
+
+    /// Declares a memory (returns nothing; read with [`read_mem`]).
+    pub fn mem(&mut self, name: impl Into<String>, elem: usize, len: usize) {
+        self.circuit.regs.push((name.into(), RTy::Mem { elem, len }));
+    }
+
+    /// Marks a register as a module output.
+    pub fn output(&mut self, name: impl Into<String>) {
+        self.circuit.outputs.push(name.into());
+    }
+
+    /// Adds a process.
+    pub fn process(&mut self, body: Vec<RStmt>) {
+        self.circuit.processes.push(RProcess { body });
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn build(self) -> Circuit {
+        self.circuit
+    }
+}
+
+impl fmt::Display for RTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RTy::Bit => write!(f, "bit"),
+            RTy::Word(w) => write!(f, "word[{w}]"),
+            RTy::Mem { elem, len } => write!(f, "mem[{elem}][{len}]"),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The Verilog code generator (§3 "Producing Verified Hardware").
+//!
+//! Translates a checked [`Circuit`] into a deeply-embedded
+//! [`verilog::Module`]: one `always_ff @(posedge clk)` process per
+//! circuit process, inputs and outputs as ports, registers as module
+//! variables. The translation is structural — exactly the property that
+//! makes the paper's per-run correspondence theorem provable. Here the
+//! correspondence theorem is replaced by the executable lockstep check in
+//! [`crate::equiv`].
+
+use verilog::ast as v;
+use verilog::value::Value;
+
+use crate::ast::{Circuit, RBin, RExpr, RStmt, RTy, RUn};
+use crate::typecheck::{self, RtlError, Width};
+
+fn gen_ty(ty: RTy) -> v::Type {
+    match ty {
+        RTy::Bit => v::Type::Logic,
+        RTy::Word(w) => v::Type::Array(w),
+        RTy::Mem { elem, len } => v::Type::Unpacked { elem_width: elem, len },
+    }
+}
+
+fn gen_bin(op: RBin) -> v::Binop {
+    match op {
+        RBin::Add => v::Binop::Add,
+        RBin::Sub => v::Binop::Sub,
+        RBin::Mul => v::Binop::Mul,
+        RBin::And => v::Binop::And,
+        RBin::Or => v::Binop::Or,
+        RBin::Xor => v::Binop::Xor,
+        RBin::Eq => v::Binop::Eq,
+        RBin::Lt => v::Binop::Lt,
+        RBin::Slt => v::Binop::Slt,
+        RBin::Shl => v::Binop::Shl,
+        RBin::Shr => v::Binop::Shr,
+        RBin::Sra => v::Binop::Sra,
+    }
+}
+
+fn gen_expr(e: &RExpr) -> v::Expr {
+    match e {
+        RExpr::ConstBit(b) => v::Expr::Const(Value::Bool(*b)),
+        RExpr::ConstWord(w, val) => v::Expr::Const(Value::from_u64(*w, *val)),
+        RExpr::Read(name) => v::Expr::Var(name.clone()),
+        RExpr::ReadMem(name, idx) => v::Expr::Index(name.clone(), Box::new(gen_expr(idx))),
+        RExpr::Bin(op, a, b) => {
+            v::Expr::Binop(gen_bin(*op), Box::new(gen_expr(a)), Box::new(gen_expr(b)))
+        }
+        RExpr::Un(RUn::Not, a) => v::Expr::Unop(v::Unop::Not, Box::new(gen_expr(a))),
+        RExpr::Mux(c, t, f) => v::Expr::Cond(
+            Box::new(gen_expr(c)),
+            Box::new(gen_expr(t)),
+            Box::new(gen_expr(f)),
+        ),
+        RExpr::Slice(a, hi, lo) => v::Expr::Slice(Box::new(gen_expr(a)), *hi, *lo),
+        RExpr::Concat(parts) => v::Expr::Concat(parts.iter().map(gen_expr).collect()),
+        RExpr::ZExt(w, a) => v::Expr::ZExt(*w, Box::new(gen_expr(a))),
+        RExpr::SExt(w, a) => v::Expr::SExt(*w, Box::new(gen_expr(a))),
+    }
+}
+
+fn gen_stmts(env: &typecheck::SigEnv, stmts: &[RStmt]) -> Result<Vec<v::Stmt>, RtlError> {
+    stmts.iter().map(|s| gen_stmt(env, s)).collect()
+}
+
+fn gen_stmt(env: &typecheck::SigEnv, s: &RStmt) -> Result<v::Stmt, RtlError> {
+    Ok(match s {
+        RStmt::If(c, t, f) => v::Stmt::If(gen_expr(c), gen_stmts(env, t)?, gen_stmts(env, f)?),
+        RStmt::Case(scrut, arms, default) => {
+            let width = typecheck::expr_width(env, scrut)?;
+            let to_value = |label: u64| match width {
+                Width::Bit => Value::Bool(label & 1 == 1),
+                Width::Word(w) => Value::from_u64(w, label),
+            };
+            let varms = arms
+                .iter()
+                .map(|(labels, body)| {
+                    Ok((labels.iter().map(|&l| to_value(l)).collect(), gen_stmts(env, body)?))
+                })
+                .collect::<Result<Vec<_>, RtlError>>()?;
+            let vdefault = default.as_ref().map(|d| gen_stmts(env, d)).transpose()?;
+            v::Stmt::Case(gen_expr(scrut), varms, vdefault)
+        }
+        RStmt::Set(name, e) => v::Stmt::NonBlocking(v::Lhs::Var(name.clone()), gen_expr(e)),
+        RStmt::SetMem(name, idx, val) => {
+            v::Stmt::NonBlocking(v::Lhs::Index(name.clone(), gen_expr(idx)), gen_expr(val))
+        }
+        RStmt::Let(name, e) => v::Stmt::Blocking(v::Lhs::Var(name.clone()), gen_expr(e)),
+    })
+}
+
+/// Generates a Verilog module from a circuit.
+///
+/// The circuit is [checked](crate::typecheck::check) first, mirroring the
+/// paper's code generator, which only succeeds on well-formed inputs.
+///
+/// # Errors
+///
+/// Any [`RtlError`] reported by the checker.
+pub fn generate(c: &Circuit) -> Result<v::Module, RtlError> {
+    typecheck::check(c)?;
+    let env = typecheck::signal_env(c)?;
+    let mut ports: Vec<v::Port> = c
+        .inputs
+        .iter()
+        .map(|(name, ty)| v::Port { name: name.clone(), dir: v::Dir::Input, ty: gen_ty(*ty) })
+        .collect();
+    let mut vars = Vec::new();
+    for (name, ty) in &c.regs {
+        if c.outputs.contains(name) {
+            ports.push(v::Port { name: name.clone(), dir: v::Dir::Output, ty: gen_ty(*ty) });
+        } else {
+            vars.push(v::VarDecl { name: name.clone(), ty: gen_ty(*ty) });
+        }
+    }
+    let processes = c
+        .processes
+        .iter()
+        .map(|p| Ok(v::Process { body: gen_stmts(&env, &p.body)? }))
+        .collect::<Result<Vec<_>, RtlError>>()?;
+    Ok(v::Module { name: c.name.clone(), ports, vars, processes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn counter_module_shape() {
+        let mut b = CircuitBuilder::new("counter");
+        b.input("en", RTy::Bit);
+        b.reg("n", RTy::Word(8));
+        b.reg("hidden", RTy::Word(4));
+        b.output("n");
+        b.process(vec![iff(read("en"), vec![set("n", read("n").add(word(8, 1)))], vec![])]);
+        let m = generate(&b.build()).unwrap();
+        assert_eq!(m.name, "counter");
+        assert_eq!(m.ports.len(), 2, "en input + n output");
+        assert_eq!(m.ports[1].dir, v::Dir::Output);
+        assert_eq!(m.vars.len(), 1, "hidden register stays internal");
+        assert_eq!(m.processes.len(), 1);
+    }
+
+    #[test]
+    fn rejects_ill_typed_circuit() {
+        let mut b = CircuitBuilder::new("bad");
+        b.reg("x", RTy::Word(8));
+        b.process(vec![set("x", word(9, 0))]);
+        assert!(generate(&b.build()).is_err());
+    }
+
+    #[test]
+    fn case_labels_take_scrutinee_width() {
+        let mut b = CircuitBuilder::new("c");
+        b.input("sel", RTy::Word(3));
+        b.reg("out", RTy::Word(8));
+        b.process(vec![RStmt::Case(
+            read("sel"),
+            vec![(vec![5], vec![set("out", word(8, 1))])],
+            None,
+        )]);
+        let m = generate(&b.build()).unwrap();
+        match &m.processes[0].body[0] {
+            v::Stmt::Case(_, arms, _) => {
+                assert_eq!(arms[0].0[0], Value::from_u64(3, 5));
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_becomes_unpacked_array() {
+        let mut b = CircuitBuilder::new("rf");
+        b.mem("regs", 32, 64);
+        b.reg("out", RTy::Word(32));
+        b.process(vec![set("out", read_mem("regs", word(6, 1)))]);
+        let m = generate(&b.build()).unwrap();
+        assert!(m
+            .vars
+            .iter()
+            .any(|v| v.name == "regs" && v.ty == v::Type::Unpacked { elem_width: 32, len: 64 }));
+    }
+}

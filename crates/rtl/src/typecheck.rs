@@ -1,0 +1,426 @@
+//! Static well-formedness checking of circuits.
+//!
+//! The paper's code generator only accepts circuit functions of a
+//! restricted shape; this module enforces the corresponding conditions:
+//! declared signals only, width-consistent expressions, writes only to
+//! registers (never to inputs), and memory indices that can never leave
+//! the array (so the generated Verilog cannot hit an out-of-bounds read).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{Circuit, RBin, RExpr, RStmt, RTy, RUn};
+
+/// The type of an expression: a bit or a word of known width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Width {
+    /// One bit.
+    Bit,
+    /// A word of the given width.
+    Word(usize),
+}
+
+/// Circuit well-formedness errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlError {
+    /// Signal declared twice.
+    Duplicate(String),
+    /// Reference to an undeclared signal.
+    Unknown(String),
+    /// A memory was used as a plain signal or vice versa.
+    ShapeMismatch(String),
+    /// Word width outside 1..=64.
+    BadWidth(usize),
+    /// A constant does not fit its declared width.
+    ConstantTooWide { width: usize, value: u64 },
+    /// Operand types disagree (context names the construct).
+    TypeMismatch(String),
+    /// Slice bounds invalid for the operand.
+    BadSlice { width: usize, hi: usize, lo: usize },
+    /// Extension would narrow.
+    ExtNarrows { from: usize, to: usize },
+    /// A memory index wide enough to overflow the array.
+    IndexMayEscape { name: String, index_width: usize, len: usize },
+    /// Write to an input.
+    WriteToInput(String),
+    /// An output names a missing or memory-typed register.
+    BadOutput(String),
+    /// Concatenation result exceeds 64 bits.
+    ConcatTooWide(usize),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Duplicate(n) => write!(f, "signal `{n}` declared twice"),
+            RtlError::Unknown(n) => write!(f, "unknown signal `{n}`"),
+            RtlError::ShapeMismatch(n) => write!(f, "signal `{n}` used at the wrong shape"),
+            RtlError::BadWidth(w) => write!(f, "width {w} outside 1..=64"),
+            RtlError::ConstantTooWide { width, value } => {
+                write!(f, "constant {value} does not fit {width} bits")
+            }
+            RtlError::TypeMismatch(ctx) => write!(f, "type mismatch in {ctx}"),
+            RtlError::BadSlice { width, hi, lo } => {
+                write!(f, "slice [{hi}:{lo}] invalid for {width}-bit operand")
+            }
+            RtlError::ExtNarrows { from, to } => {
+                write!(f, "extension from {from} to {to} bits would narrow")
+            }
+            RtlError::IndexMayEscape { name, index_width, len } => write!(
+                f,
+                "a {index_width}-bit index can escape memory `{name}` of length {len}"
+            ),
+            RtlError::WriteToInput(n) => write!(f, "write to input `{n}`"),
+            RtlError::BadOutput(n) => write!(f, "output `{n}` is not a plain register"),
+            RtlError::ConcatTooWide(w) => write!(f, "concatenation of {w} bits exceeds 64"),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+/// The signal environment of a checked circuit.
+pub(crate) type SigEnv = HashMap<String, RTy>;
+
+pub(crate) fn signal_env(c: &Circuit) -> Result<SigEnv, RtlError> {
+    let mut env = SigEnv::new();
+    for (name, ty) in c.inputs.iter().chain(&c.regs) {
+        if let RTy::Word(w) = ty {
+            if *w == 0 || *w > 64 {
+                return Err(RtlError::BadWidth(*w));
+            }
+        }
+        if let RTy::Mem { elem, len } = ty {
+            if *elem == 0 || *elem > 64 || *len == 0 {
+                return Err(RtlError::BadWidth(*elem));
+            }
+        }
+        if env.insert(name.clone(), *ty).is_some() {
+            return Err(RtlError::Duplicate(name.clone()));
+        }
+    }
+    Ok(env)
+}
+
+/// Infers the [`Width`] of an expression.
+pub(crate) fn expr_width(env: &SigEnv, e: &RExpr) -> Result<Width, RtlError> {
+    match e {
+        RExpr::ConstBit(_) => Ok(Width::Bit),
+        RExpr::ConstWord(w, v) => {
+            if *w == 0 || *w > 64 {
+                return Err(RtlError::BadWidth(*w));
+            }
+            if *w < 64 && *v >> *w != 0 {
+                return Err(RtlError::ConstantTooWide { width: *w, value: *v });
+            }
+            Ok(Width::Word(*w))
+        }
+        RExpr::Read(name) => match env.get(name) {
+            Some(RTy::Bit) => Ok(Width::Bit),
+            Some(RTy::Word(w)) => Ok(Width::Word(*w)),
+            Some(RTy::Mem { .. }) => Err(RtlError::ShapeMismatch(name.clone())),
+            None => Err(RtlError::Unknown(name.clone())),
+        },
+        RExpr::ReadMem(name, idx) => {
+            let (elem, len) = match env.get(name) {
+                Some(RTy::Mem { elem, len }) => (*elem, *len),
+                Some(_) => return Err(RtlError::ShapeMismatch(name.clone())),
+                None => return Err(RtlError::Unknown(name.clone())),
+            };
+            match expr_width(env, idx)? {
+                Width::Word(iw) if iw < 64 && (1u128 << iw) <= len as u128 => {
+                    Ok(Width::Word(elem))
+                }
+                Width::Word(iw) => {
+                    Err(RtlError::IndexMayEscape { name: name.clone(), index_width: iw, len })
+                }
+                Width::Bit if len >= 2 => Ok(Width::Word(elem)),
+                Width::Bit => {
+                    Err(RtlError::IndexMayEscape { name: name.clone(), index_width: 1, len })
+                }
+            }
+        }
+        RExpr::Bin(op, a, b) => {
+            let wa = expr_width(env, a)?;
+            let wb = expr_width(env, b)?;
+            match op {
+                RBin::And | RBin::Or | RBin::Xor => {
+                    if wa == wb {
+                        Ok(wa)
+                    } else {
+                        Err(RtlError::TypeMismatch(format!("{op:?}")))
+                    }
+                }
+                RBin::Eq => {
+                    if wa == wb {
+                        Ok(Width::Bit)
+                    } else {
+                        Err(RtlError::TypeMismatch("Eq".into()))
+                    }
+                }
+                RBin::Lt | RBin::Slt => match (wa, wb) {
+                    (Width::Word(x), Width::Word(y)) if x == y => Ok(Width::Bit),
+                    _ => Err(RtlError::TypeMismatch(format!("{op:?}"))),
+                },
+                RBin::Add | RBin::Sub | RBin::Mul => match (wa, wb) {
+                    (Width::Word(x), Width::Word(y)) if x == y => Ok(Width::Word(x)),
+                    _ => Err(RtlError::TypeMismatch(format!("{op:?}"))),
+                },
+                RBin::Shl | RBin::Shr | RBin::Sra => match (wa, wb) {
+                    (Width::Word(x), Width::Word(_)) => Ok(Width::Word(x)),
+                    _ => Err(RtlError::TypeMismatch(format!("{op:?}"))),
+                },
+            }
+        }
+        RExpr::Un(RUn::Not, a) => expr_width(env, a),
+        RExpr::Mux(c, t, f) => {
+            if expr_width(env, c)? != Width::Bit {
+                return Err(RtlError::TypeMismatch("Mux condition".into()));
+            }
+            let wt = expr_width(env, t)?;
+            let wf = expr_width(env, f)?;
+            if wt == wf {
+                Ok(wt)
+            } else {
+                Err(RtlError::TypeMismatch("Mux arms".into()))
+            }
+        }
+        RExpr::Slice(a, hi, lo) => match expr_width(env, a)? {
+            Width::Word(w) if *hi < w && lo <= hi => Ok(Width::Word(hi - lo + 1)),
+            Width::Word(w) => Err(RtlError::BadSlice { width: w, hi: *hi, lo: *lo }),
+            Width::Bit => Err(RtlError::TypeMismatch("Slice of a bit".into())),
+        },
+        RExpr::Concat(parts) => {
+            if parts.is_empty() {
+                return Err(RtlError::TypeMismatch("empty Concat".into()));
+            }
+            let mut total = 0;
+            for p in parts {
+                total += match expr_width(env, p)? {
+                    Width::Bit => 1,
+                    Width::Word(w) => w,
+                };
+            }
+            if total > 64 {
+                return Err(RtlError::ConcatTooWide(total));
+            }
+            Ok(Width::Word(total))
+        }
+        RExpr::ZExt(w, a) | RExpr::SExt(w, a) => {
+            if *w == 0 || *w > 64 {
+                return Err(RtlError::BadWidth(*w));
+            }
+            let from = match expr_width(env, a)? {
+                Width::Bit => 1,
+                Width::Word(x) => x,
+            };
+            if from > *w {
+                return Err(RtlError::ExtNarrows { from, to: *w });
+            }
+            Ok(Width::Word(*w))
+        }
+    }
+}
+
+fn check_stmt(env: &SigEnv, inputs: &SigEnv, s: &RStmt) -> Result<(), RtlError> {
+    match s {
+        RStmt::If(cond, then_b, else_b) => {
+            if expr_width(env, cond)? != Width::Bit {
+                return Err(RtlError::TypeMismatch("If condition".into()));
+            }
+            for s in then_b.iter().chain(else_b) {
+                check_stmt(env, inputs, s)?;
+            }
+            Ok(())
+        }
+        RStmt::Case(scrut, arms, default) => {
+            let w = match expr_width(env, scrut)? {
+                Width::Word(w) => w,
+                Width::Bit => 1,
+            };
+            for (labels, body) in arms {
+                for &l in labels {
+                    if w < 64 && l >> w != 0 {
+                        return Err(RtlError::ConstantTooWide { width: w, value: l });
+                    }
+                }
+                for s in body {
+                    check_stmt(env, inputs, s)?;
+                }
+            }
+            if let Some(body) = default {
+                for s in body {
+                    check_stmt(env, inputs, s)?;
+                }
+            }
+            Ok(())
+        }
+        RStmt::Set(name, e) | RStmt::Let(name, e) => {
+            if inputs.contains_key(name) {
+                return Err(RtlError::WriteToInput(name.clone()));
+            }
+            let declared = match env.get(name) {
+                Some(RTy::Bit) => Width::Bit,
+                Some(RTy::Word(w)) => Width::Word(*w),
+                Some(RTy::Mem { .. }) => return Err(RtlError::ShapeMismatch(name.clone())),
+                None => return Err(RtlError::Unknown(name.clone())),
+            };
+            let got = expr_width(env, e)?;
+            if declared == got {
+                Ok(())
+            } else {
+                Err(RtlError::TypeMismatch(format!("assignment to `{name}`")))
+            }
+        }
+        RStmt::SetMem(name, idx, val) => {
+            if inputs.contains_key(name) {
+                return Err(RtlError::WriteToInput(name.clone()));
+            }
+            let (elem, len) = match env.get(name) {
+                Some(RTy::Mem { elem, len }) => (*elem, *len),
+                Some(_) => return Err(RtlError::ShapeMismatch(name.clone())),
+                None => return Err(RtlError::Unknown(name.clone())),
+            };
+            match expr_width(env, idx)? {
+                Width::Word(iw) if iw < 64 && (1u128 << iw) <= len as u128 => {}
+                Width::Bit if len >= 2 => {}
+                Width::Word(iw) => {
+                    return Err(RtlError::IndexMayEscape {
+                        name: name.clone(),
+                        index_width: iw,
+                        len,
+                    })
+                }
+                Width::Bit => {
+                    return Err(RtlError::IndexMayEscape {
+                        name: name.clone(),
+                        index_width: 1,
+                        len,
+                    })
+                }
+            }
+            if expr_width(env, val)? == Width::Word(elem) {
+                Ok(())
+            } else {
+                Err(RtlError::TypeMismatch(format!("memory write to `{name}`")))
+            }
+        }
+    }
+}
+
+/// Checks a whole circuit; returns its signal environment on success.
+///
+/// # Errors
+///
+/// The first [`RtlError`] found, in declaration/program order.
+pub fn check(c: &Circuit) -> Result<(), RtlError> {
+    let env = signal_env(c)?;
+    let inputs: SigEnv = c.inputs.iter().cloned().collect();
+    for out in &c.outputs {
+        match env.get(out) {
+            Some(RTy::Bit | RTy::Word(_)) if !inputs.contains_key(out) => {}
+            _ => return Err(RtlError::BadOutput(out.clone())),
+        }
+    }
+    for p in &c.processes {
+        for s in &p.body {
+            check_stmt(&env, &inputs, s)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn counter() -> Circuit {
+        let mut b = CircuitBuilder::new("counter");
+        b.input("en", RTy::Bit);
+        b.reg("n", RTy::Word(8));
+        b.output("n");
+        b.process(vec![iff(read("en"), vec![set("n", read("n").add(word(8, 1)))], vec![])]);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_counter() {
+        assert_eq!(check(&counter()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unknown_signal() {
+        let mut c = counter();
+        c.processes[0].body.push(set("ghost", word(8, 0)));
+        assert_eq!(check(&c), Err(RtlError::Unknown("ghost".into())));
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let mut c = counter();
+        c.processes[0].body.push(set("n", word(9, 0)));
+        assert!(matches!(check(&c), Err(RtlError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn rejects_write_to_input() {
+        let mut c = counter();
+        c.processes[0].body.push(set("en", bit(false)));
+        assert_eq!(check(&c), Err(RtlError::WriteToInput("en".into())));
+    }
+
+    #[test]
+    fn rejects_escaping_memory_index() {
+        let mut b = CircuitBuilder::new("m");
+        b.mem("regs", 32, 48); // not a power of two
+        b.reg("x", RTy::Word(32));
+        b.process(vec![set("x", read_mem("regs", word(6, 0)))]);
+        let c = b.build();
+        assert!(matches!(check(&c), Err(RtlError::IndexMayEscape { .. })));
+    }
+
+    #[test]
+    fn accepts_exact_memory_index() {
+        let mut b = CircuitBuilder::new("m");
+        b.mem("regs", 32, 64);
+        b.reg("x", RTy::Word(32));
+        b.process(vec![set("x", read_mem("regs", word(6, 0)))]);
+        assert_eq!(check(&b.build()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let mut c = counter();
+        c.regs.push(("en".into(), RTy::Bit));
+        assert_eq!(check(&c), Err(RtlError::Duplicate("en".into())));
+    }
+
+    #[test]
+    fn rejects_bad_output() {
+        let mut c = counter();
+        c.outputs.push("en".into());
+        assert_eq!(check(&c), Err(RtlError::BadOutput("en".into())));
+    }
+
+    #[test]
+    fn mux_requires_bit_condition() {
+        let env: SigEnv = [("w".to_string(), RTy::Word(4))].into_iter().collect();
+        let e = read("w").mux(word(4, 1), word(4, 2));
+        assert!(matches!(expr_width(&env, &e), Err(RtlError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn concat_width_sums() {
+        let env = SigEnv::new();
+        let e = concat(vec![word(8, 1), bit(true), word(7, 2)]);
+        assert_eq!(expr_width(&env, &e), Ok(Width::Word(16)));
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let env = SigEnv::new();
+        let e = word(8, 0).slice(8, 0);
+        assert!(matches!(expr_width(&env, &e), Err(RtlError::BadSlice { .. })));
+    }
+}

@@ -1,0 +1,538 @@
+//! The Silver CPU as a circuit (§4.2 "The Silver Implementation").
+//!
+//! The implementation is not pipelined and executes instructions
+//! in-order; it follows the ISA closely, with two deliberate departures
+//! described in the paper:
+//!
+//! * **wait states** — instead of updating an abstract memory map, the
+//!   implementation talks to external memory over a request/response
+//!   interface (`is_mem`) and therefore has states with no ISA
+//!   counterpart: an instruction cycle takes multiple clock cycles;
+//! * **de-duplication** — the ISA computes the next PC (and ALU results)
+//!   separately inside every instruction's semantics; the hardware has a
+//!   single shared ALU and a single next-PC path, selected by decode.
+//!
+//! # External interface
+//!
+//! Inputs: `mem_rdata`, `mem_ready`, `mem_start_ready`, `interrupt_ack`,
+//! `data_in`. Outputs: `mem_addr`, `mem_wdata`, `mem_wstrb` (byte
+//! strobes; a request with any strobe set is a write), `mem_valid`,
+//! `mem_write`, `interrupt_req`, `data_out`.
+//!
+//! A memory request holds `mem_valid` high until the environment asserts
+//! `mem_ready` for one cycle (delivering `mem_rdata` for reads,
+//! acknowledging the byte-strobed write otherwise). The processor issues
+//! its first fetch only after `mem_start_ready` has been observed high —
+//! the paper's `is_mem_start_interface`, signalling that the memory image
+//! has been pre-loaded. An `Interrupt` instruction raises
+//! `interrupt_req` and stalls until `interrupt_ack` (§4.1.1: "notifies
+//! external hardware and waits for a response").
+
+use rtl::ast::*;
+
+/// Control-FSM state encodings (register `state`, 3 bits wide).
+pub mod fsm {
+    /// Waiting for `mem_start_ready`.
+    pub const BOOT: u64 = 0;
+    /// Fetch outstanding; decode + execute on `mem_ready`.
+    pub const FETCH: u64 = 1;
+    /// Word-load outstanding.
+    pub const LOADW: u64 = 2;
+    /// Byte-load outstanding.
+    pub const LOADB: u64 = 3;
+    /// Store outstanding.
+    pub const STORE: u64 = 4;
+    /// Interrupt raised, waiting for acknowledgement.
+    pub const INT: u64 = 5;
+    /// A `Reserved` instruction wedged the machine.
+    pub const WEDGED: u64 = 6;
+}
+
+fn st(s: u64) -> RExpr {
+    word(3, s)
+}
+
+/// Converts a one-bit vector into a Bit via comparison.
+fn bit_of(e: RExpr) -> RExpr {
+    e.eq_(word(1, 1))
+}
+
+fn pc() -> RExpr {
+    read("pc")
+}
+
+fn regs_at(idx: RExpr) -> RExpr {
+    read_mem("regs", idx)
+}
+
+/// `advance(next_pc)`: commit the instruction — update the PC, issue the
+/// next fetch, return to `FETCH`, and bump the retired counter (a debug
+/// register used by the simulation relation, not ISA state).
+fn advance(next_pc: RExpr) -> Vec<RStmt> {
+    vec![
+        set("pc", next_pc.clone()),
+        set("mem_addr", next_pc),
+        set("mem_valid", bit(true)),
+        set("mem_write", bit(false)),
+        set("state", st(fsm::FETCH)),
+        set("retired", read("retired").add(word(32, 1))),
+    ]
+}
+
+/// Wedge on a `Reserved` instruction: stop issuing requests forever.
+fn wedge() -> Vec<RStmt> {
+    vec![set("state", st(fsm::WEDGED)), set("mem_valid", bit(false))]
+}
+
+fn flag_writes() -> Vec<RStmt> {
+    vec![set("carry", read("t_ncarry")), set("overflow", read("t_noverflow"))]
+}
+
+/// The shared-ALU computation: `t_alu`, `t_ncarry`, `t_noverflow` from
+/// `t_alu_a`, `t_alu_b` and the current flags (§4.1.1 "ALU operations").
+fn alu_stmts() -> Vec<RStmt> {
+    let a = || read("t_alu_a");
+    let b = || read("t_alu_b");
+    let sign = |e: RExpr| e.slice(31, 31);
+    let ov_add = |sum: &str| {
+        bit_of(sign(a()).eq_(sign(b())).zext(1))
+            .and_(sign(read(sum)).ne(sign(a())))
+    };
+    vec![
+        let_("t_add33", a().zext(33).add(b().zext(33))),
+        let_("t_addc33", a().zext(33).add(b().zext(33)).add(read("carry").zext(33))),
+        let_("t_sub", a().sub(b())),
+        let_("t_mul64", a().zext(64).mul(b().zext(64))),
+        // Defaults: flags unchanged, result zero (every arm overwrites).
+        let_("t_ncarry", read("carry")),
+        let_("t_noverflow", read("overflow")),
+        let_("t_alu", word(32, 0)),
+        RStmt::Case(
+            read("t_func"),
+            vec![
+                (vec![0], vec![
+                    let_("t_alu", read("t_add33").slice(31, 0)),
+                    let_("t_ncarry", bit_of(read("t_add33").slice(32, 32))),
+                    let_("t_noverflow", ov_add("t_alu")),
+                ]),
+                (vec![1], vec![
+                    let_("t_alu", read("t_addc33").slice(31, 0)),
+                    let_("t_ncarry", bit_of(read("t_addc33").slice(32, 32))),
+                    let_("t_noverflow", ov_add("t_alu")),
+                ]),
+                (vec![2], vec![
+                    let_("t_alu", read("t_sub")),
+                    let_("t_ncarry", a().lt(b()).not_()),
+                    let_(
+                        "t_noverflow",
+                        sign(a()).ne(sign(b())).and_(sign(read("t_alu")).ne(sign(a()))),
+                    ),
+                ]),
+                (vec![3], vec![let_("t_alu", read("carry").zext(32))]),
+                (vec![4], vec![let_("t_alu", read("overflow").zext(32))]),
+                (vec![5], vec![let_("t_alu", b().add(word(32, 1)))]),
+                (vec![6], vec![let_("t_alu", b().sub(word(32, 1)))]),
+                (vec![7], vec![let_("t_alu", read("t_mul64").slice(31, 0))]),
+                (vec![8], vec![let_("t_alu", read("t_mul64").slice(63, 32))]),
+                (vec![9], vec![let_("t_alu", a().and_(b()))]),
+                (vec![10], vec![let_("t_alu", a().or_(b()))]),
+                (vec![11], vec![let_("t_alu", a().xor_(b()))]),
+                (vec![12], vec![let_("t_alu", a().eq_(b()).zext(32))]),
+                (vec![13], vec![let_("t_alu", a().slt(b()).zext(32))]),
+                (vec![14], vec![let_("t_alu", a().lt(b()).zext(32))]),
+                (vec![15], vec![let_("t_alu", b())]),
+            ],
+            None,
+        ),
+    ]
+}
+
+/// The barrel shifter (§4.1.1 "Shifts and rotations"). Rotation is built
+/// from two shifts and an or, since Verilog has no rotate operator.
+fn shifter_stmts() -> Vec<RStmt> {
+    let a = || read("t_aval");
+    let amt = || read("t_amt");
+    let kind = |k: u64| read("t_func").slice(1, 0).eq_(word(2, k));
+    vec![
+        let_("t_amt", read("t_bval").slice(4, 0).zext(32)),
+        let_(
+            "t_shift",
+            kind(0).mux(
+                a().shl(amt()),
+                kind(1).mux(
+                    a().shr(amt()),
+                    kind(2).mux(
+                        a().sra(amt()),
+                        // ror: amt = 0 must not shift left by 32.
+                        amt().eq_(word(32, 0)).mux(
+                            a(),
+                            a().shr(amt()).or_(a().shl(word(32, 32).sub(amt()))),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    ]
+}
+
+/// Decode of the general instruction form into field temporaries.
+fn decode_stmts() -> Vec<RStmt> {
+    let iw = || read("t_iw");
+    let ri_value = |field: &'static str| {
+        bit_of(read(field).slice(6, 6)).mux(
+            read(field).slice(5, 0).sext(32),
+            regs_at(read(field).slice(5, 0)),
+        )
+    };
+    vec![
+        let_("t_op", iw().slice(29, 25)),
+        let_("t_func", iw().slice(24, 21)),
+        let_("t_wf", iw().slice(20, 14)),
+        let_("t_af", iw().slice(13, 7)),
+        let_("t_bf", iw().slice(6, 0)),
+        let_("t_widx", read("t_wf").slice(5, 0)),
+        let_("t_aval", ri_value("t_af")),
+        let_("t_bval", ri_value("t_bf")),
+        let_("t_wval", ri_value("t_wf")),
+        // Shared-ALU operand selection: Jump feeds (PC, a), everything
+        // else feeds (a, b) — the §4.2 de-duplication.
+        let_("t_is_jump", read("t_op").eq_(word(5, 9))),
+        let_("t_alu_a", read("t_is_jump").mux(pc(), read("t_aval"))),
+        let_("t_alu_b", read("t_is_jump").mux(read("t_aval"), read("t_bval"))),
+    ]
+}
+
+/// Builds the execute dispatch (the body of `FETCH` upon `mem_ready`).
+fn execute_stmts() -> Vec<RStmt> {
+    let iw = || read("t_iw");
+    let wb = || bit_of(read("t_wf").slice(6, 6)); // destination field malformed
+    let widx = || read("t_widx");
+    let pc4 = || read("t_pc4");
+    let guarded = |body: Vec<RStmt>| vec![iff(wb(), wedge(), body)];
+
+    let load_constant = {
+        let mut v = vec![
+            let_("t_lc_imm", iw().slice(22, 0).zext(32)),
+            let_(
+                "t_lc_val",
+                bit_of(iw().slice(24, 24))
+                    .mux(word(32, 0).sub(read("t_lc_imm")), read("t_lc_imm")),
+            ),
+            set_mem("regs", iw().slice(30, 25), read("t_lc_val")),
+        ];
+        v.extend(advance(pc4()));
+        v
+    };
+    let load_upper_constant = {
+        let mut v = vec![
+            let_("t_luc_w", iw().slice(29, 24)),
+            set_mem(
+                "regs",
+                read("t_luc_w"),
+                concat(vec![iw().slice(8, 0), regs_at(read("t_luc_w")).slice(22, 0)]),
+            ),
+        ];
+        v.extend(advance(pc4()));
+        v
+    };
+
+    let normal = guarded({
+        let mut v = vec![set_mem("regs", widx(), read("t_alu"))];
+        v.extend(flag_writes());
+        v.extend(advance(pc4()));
+        v
+    });
+    let shift = guarded({
+        let mut v = shifter_stmts();
+        v.push(set_mem("regs", widx(), read("t_shift")));
+        v.extend(advance(pc4()));
+        v
+    });
+    let store_word = vec![
+        set("mem_addr", read("t_bval")),
+        set("mem_wdata", read("t_aval")),
+        set("mem_wstrb", word(4, 0xF)),
+        set("mem_valid", bit(true)),
+        set("mem_write", bit(true)),
+        set("state", st(fsm::STORE)),
+    ];
+    let store_byte = {
+        let byte = || read("t_aval").slice(7, 0);
+        vec![
+            let_("t_lane", read("t_bval").slice(1, 0)),
+            set("mem_addr", read("t_bval")),
+            set("mem_wdata", concat(vec![byte(), byte(), byte(), byte()])),
+            set("mem_wstrb", word(4, 1).shl(read("t_lane").zext(4))),
+            set("mem_valid", bit(true)),
+            set("mem_write", bit(true)),
+            set("state", st(fsm::STORE)),
+        ]
+    };
+    let load_word = guarded(vec![
+        set("wreg_save", widx()),
+        set("mem_addr", read("t_aval")),
+        set("mem_valid", bit(true)),
+        set("mem_write", bit(false)),
+        set("state", st(fsm::LOADW)),
+    ]);
+    let load_byte = guarded(vec![
+        set("wreg_save", widx()),
+        set("lane_save", read("t_aval").slice(1, 0)),
+        set("mem_addr", read("t_aval")),
+        set("mem_valid", bit(true)),
+        set("mem_write", bit(false)),
+        set("state", st(fsm::LOADB)),
+    ]);
+    let in_port = guarded({
+        let mut v = vec![set_mem("regs", widx(), read("data_in"))];
+        v.extend(advance(pc4()));
+        v
+    });
+    let out_port = guarded({
+        let mut v = vec![
+            set_mem("regs", widx(), read("t_alu")),
+            set("data_out", read("t_alu")),
+        ];
+        v.extend(flag_writes());
+        v.extend(advance(pc4()));
+        v
+    });
+    // The board accelerator: the identity function in this implementation.
+    let accelerator = guarded({
+        let mut v = vec![set_mem("regs", widx(), read("t_aval"))];
+        v.extend(advance(pc4()));
+        v
+    });
+    let jump = guarded({
+        let mut v = vec![set_mem("regs", widx(), pc4())];
+        v.extend(flag_writes());
+        v.extend(advance(read("t_alu")));
+        v
+    });
+    let jump_if_zero = {
+        let mut v: Vec<RStmt> = flag_writes();
+        v.extend(advance(
+            read("t_alu")
+                .eq_(word(32, 0))
+                .mux(pc().add(read("t_wval")), pc4()),
+        ));
+        v
+    };
+    let jump_if_not_zero = {
+        let mut v: Vec<RStmt> = flag_writes();
+        v.extend(advance(
+            read("t_alu")
+                .eq_(word(32, 0))
+                .mux(pc4(), pc().add(read("t_wval"))),
+        ));
+        v
+    };
+    let interrupt = vec![
+        set("interrupt_req", bit(true)),
+        set("mem_valid", bit(false)),
+        set("state", st(fsm::INT)),
+    ];
+
+    let general = {
+        let mut v = decode_stmts();
+        v.extend(alu_stmts());
+        v.push(RStmt::Case(
+            read("t_op"),
+            vec![
+                (vec![0], normal),
+                (vec![1], shift),
+                (vec![2], store_word),
+                (vec![3], store_byte),
+                (vec![4], load_word),
+                (vec![5], load_byte),
+                (vec![6], in_port),
+                (vec![7], out_port),
+                (vec![8], accelerator),
+                (vec![9], jump),
+                (vec![10], jump_if_zero),
+                (vec![11], jump_if_not_zero),
+                (vec![12], interrupt),
+            ],
+            Some(wedge()),
+        ));
+        v
+    };
+
+    vec![
+        let_("t_iw", read("mem_rdata")),
+        let_("t_pc4", pc().add(word(32, 4))),
+        iff(
+            bit_of(iw().slice(31, 31)),
+            load_constant,
+            vec![iff(bit_of(iw().slice(30, 30)), load_upper_constant, general)],
+        ),
+    ]
+}
+
+/// Constructs the Silver CPU circuit — the analogue of `silver_cpu`,
+/// the "HOL hardware description of the processor, in the form of a
+/// next-state function expressed such that it is accepted as input by
+/// our Verilog code generator" (§4.3).
+#[must_use]
+pub fn silver_cpu() -> Circuit {
+    let mut b = CircuitBuilder::new("silver_cpu");
+    // External interface (driven by `is_lab_env`).
+    b.input("mem_rdata", RTy::Word(32));
+    b.input("mem_ready", RTy::Bit);
+    b.input("mem_start_ready", RTy::Bit);
+    b.input("interrupt_ack", RTy::Bit);
+    b.input("data_in", RTy::Word(32));
+    // Architectural state.
+    b.reg("pc", RTy::Word(32));
+    b.mem("regs", 32, 64);
+    b.reg("carry", RTy::Bit);
+    b.reg("overflow", RTy::Bit);
+    b.reg("data_out", RTy::Word(32));
+    // Microarchitectural state.
+    b.reg("state", RTy::Word(3));
+    b.reg("retired", RTy::Word(32));
+    b.reg("wreg_save", RTy::Word(6));
+    b.reg("lane_save", RTy::Word(2));
+    // Bus registers.
+    b.reg("mem_addr", RTy::Word(32));
+    b.reg("mem_wdata", RTy::Word(32));
+    b.reg("mem_wstrb", RTy::Word(4));
+    b.reg("mem_valid", RTy::Bit);
+    b.reg("mem_write", RTy::Bit);
+    b.reg("interrupt_req", RTy::Bit);
+    // Combinational intermediates (`Let` targets).
+    for (name, w) in [
+        ("t_iw", 32),
+        ("t_pc4", 32),
+        ("t_op", 5),
+        ("t_func", 4),
+        ("t_wf", 7),
+        ("t_af", 7),
+        ("t_bf", 7),
+        ("t_widx", 6),
+        ("t_aval", 32),
+        ("t_bval", 32),
+        ("t_wval", 32),
+        ("t_alu_a", 32),
+        ("t_alu_b", 32),
+        ("t_add33", 33),
+        ("t_addc33", 33),
+        ("t_sub", 32),
+        ("t_mul64", 64),
+        ("t_alu", 32),
+        ("t_amt", 32),
+        ("t_shift", 32),
+        ("t_lane", 2),
+        ("t_lc_imm", 32),
+        ("t_lc_val", 32),
+        ("t_luc_w", 6),
+    ] {
+        b.reg(name, RTy::Word(w));
+    }
+    for name in ["t_is_jump", "t_ncarry", "t_noverflow"] {
+        b.reg(name, RTy::Bit);
+    }
+    for out in
+        ["mem_addr", "mem_wdata", "mem_wstrb", "mem_valid", "mem_write", "interrupt_req", "data_out"]
+    {
+        b.output(out);
+    }
+
+    let boot = vec![iff(
+        read("mem_start_ready"),
+        vec![
+            set("mem_addr", pc()),
+            set("mem_valid", bit(true)),
+            set("mem_write", bit(false)),
+            set("state", st(fsm::FETCH)),
+        ],
+        vec![],
+    )];
+    let fetch = vec![iff(read("mem_ready"), execute_stmts(), vec![])];
+    let loadw = vec![iff(read("mem_ready"), {
+        let mut v = vec![set_mem("regs", read("wreg_save"), read("mem_rdata"))];
+        v.extend(advance(pc().add(word(32, 4))));
+        v
+    }, vec![])];
+    let loadb = vec![iff(read("mem_ready"), {
+        let mut v = vec![
+            let_(
+                "t_alu",
+                read("mem_rdata")
+                    .shr(read("lane_save").zext(32).shl(word(32, 3)))
+                    .slice(7, 0)
+                    .zext(32),
+            ),
+            set_mem("regs", read("wreg_save"), read("t_alu")),
+        ];
+        v.extend(advance(pc().add(word(32, 4))));
+        v
+    }, vec![])];
+    let store = vec![iff(read("mem_ready"), advance(pc().add(word(32, 4))), vec![])];
+    let int = vec![iff(read("interrupt_ack"), {
+        let mut v = vec![set("interrupt_req", bit(false))];
+        v.extend(advance(pc().add(word(32, 4))));
+        v
+    }, vec![])];
+
+    b.process(vec![RStmt::Case(
+        read("state"),
+        vec![
+            (vec![fsm::BOOT], boot),
+            (vec![fsm::FETCH], fetch),
+            (vec![fsm::LOADW], loadw),
+            (vec![fsm::LOADB], loadb),
+            (vec![fsm::STORE], store),
+            (vec![fsm::INT], int),
+            (vec![fsm::WEDGED], vec![]),
+        ],
+        None,
+    )]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_circuit_is_well_formed() {
+        rtl::check(&silver_cpu()).expect("silver_cpu type-checks");
+    }
+
+    #[test]
+    fn cpu_generates_verilog() {
+        let m = rtl::generate(&silver_cpu()).expect("codegen succeeds");
+        let text = verilog::pretty::print_module(&m);
+        assert!(text.contains("module silver_cpu("));
+        assert!(text.contains("output logic [31:0] mem_addr"));
+        assert!(text.contains("logic [31:0] regs [0:63];"));
+    }
+
+    #[test]
+    fn boot_waits_for_mem_start() {
+        use rtl::interp::{FixedEnv, RValue, RtlState};
+        let c = silver_cpu();
+        let mut stt = RtlState::zeroed(&c);
+        let mut env = FixedEnv(vec![
+            ("mem_start_ready".into(), RValue::Bit(false)),
+            ("mem_ready".into(), RValue::Bit(false)),
+            ("mem_rdata".into(), RValue::Word(32, 0)),
+            ("interrupt_ack".into(), RValue::Bit(false)),
+            ("data_in".into(), RValue::Word(32, 0)),
+        ]);
+        rtl::interp::run(&c, &mut env, &mut stt, 10).unwrap();
+        assert_eq!(stt.get_scalar("state").unwrap(), fsm::BOOT);
+        assert_eq!(stt.get_scalar("mem_valid").unwrap(), 0);
+        let mut env = FixedEnv(vec![
+            ("mem_start_ready".into(), RValue::Bit(true)),
+            ("mem_ready".into(), RValue::Bit(false)),
+            ("mem_rdata".into(), RValue::Word(32, 0)),
+            ("interrupt_ack".into(), RValue::Bit(false)),
+            ("data_in".into(), RValue::Word(32, 0)),
+        ]);
+        rtl::interp::run(&c, &mut env, &mut stt, 1).unwrap();
+        assert_eq!(stt.get_scalar("state").unwrap(), fsm::FETCH);
+        assert_eq!(stt.get_scalar("mem_valid").unwrap(), 1, "fetch issued");
+    }
+}

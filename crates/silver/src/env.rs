@@ -1,0 +1,199 @@
+//! The laboratory environment model — `is_lab_env` of §4.2.
+//!
+//! The paper represents everything outside the processor as a function
+//! `env` from timesteps to the state of the world, constrained by three
+//! interface predicates: `is_mem` (the shared DRAM module),
+//! `is_mem_start_interface` (memory has been pre-loaded) and
+//! `is_interrupt_interface` (the ARM core handling text-output requests).
+//! [`MemEnv`] implements all three against the circuit's port protocol,
+//! with configurable — optionally randomised — response latencies, so the
+//! lockstep tests exercise the wait states that distinguish the
+//! implementation from the ISA.
+
+use ag32::{IoEvent, Memory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtl::interp::{RValue, RtlEnv, RtlState};
+
+/// Latency behaviour of an interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Latency {
+    /// Respond after exactly `n` extra cycles (0 = next edge).
+    Fixed(u32),
+    /// Respond after a uniformly random number of extra cycles in
+    /// `0..=max`.
+    Random {
+        /// Upper bound (inclusive).
+        max: u32,
+    },
+}
+
+impl Latency {
+    fn draw(self, rng: &mut StdRng) -> u32 {
+        match self {
+            Latency::Fixed(n) => n,
+            Latency::Random { max } => rng.gen_range(0..=max),
+        }
+    }
+}
+
+/// Configuration for [`MemEnv`].
+#[derive(Clone, Debug)]
+pub struct MemEnvConfig {
+    /// Memory read/write response latency.
+    pub mem_latency: Latency,
+    /// Cycles before `mem_start_ready` rises.
+    pub start_delay: u32,
+    /// Interrupt acknowledgement latency.
+    pub interrupt_latency: Latency,
+    /// Seed for randomised latencies.
+    pub seed: u64,
+}
+
+impl Default for MemEnvConfig {
+    fn default() -> Self {
+        MemEnvConfig {
+            mem_latency: Latency::Fixed(0),
+            start_delay: 1,
+            interrupt_latency: Latency::Fixed(0),
+            seed: 0,
+        }
+    }
+}
+
+/// The complete environment: pre-loaded memory, start interface,
+/// interrupt handler, input port.
+#[derive(Clone, Debug)]
+pub struct MemEnv {
+    /// The external memory (the shared DRAM module of the lab setup).
+    pub mem: Memory,
+    /// I/O events recorded by the interrupt handler — the board-side view
+    /// of the ISA's `io_events` trace.
+    pub io_events: Vec<IoEvent>,
+    /// `(base, len)` window the interrupt handler snapshots, matching
+    /// [`ag32::State::io_window`].
+    pub io_window: (u32, u32),
+    /// Value driven on the processor's input port.
+    pub data_in: u32,
+    cfg: MemEnvConfig,
+    rng: StdRng,
+    mem_countdown: Option<u32>,
+    int_countdown: Option<u32>,
+}
+
+impl MemEnv {
+    /// Builds an environment around a pre-loaded memory image.
+    #[must_use]
+    pub fn new(mem: Memory, cfg: MemEnvConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        MemEnv {
+            mem,
+            io_events: Vec::new(),
+            io_window: (0, 0),
+            data_in: 0,
+            cfg,
+            rng,
+            mem_countdown: None,
+            int_countdown: None,
+        }
+    }
+}
+
+impl RtlEnv for MemEnv {
+    fn drive(&mut self, cycle: u64, state: &RtlState) -> Vec<(String, RValue)> {
+        let out = |name: &str| state.get_scalar(name).unwrap_or(0);
+        let mut mem_ready = false;
+        let mut mem_rdata = 0u64;
+        let mut interrupt_ack = false;
+
+        // is_mem: serve the outstanding request after its drawn latency.
+        if out("mem_valid") == 1 {
+            let remaining = *self
+                .mem_countdown
+                .get_or_insert_with(|| self.cfg.mem_latency.draw(&mut self.rng));
+            if remaining == 0 {
+                let addr = (out("mem_addr") as u32) & !3;
+                if out("mem_write") == 1 {
+                    let wdata = (out("mem_wdata") as u32).to_le_bytes();
+                    let strb = out("mem_wstrb") as u32;
+                    for (i, b) in wdata.iter().enumerate() {
+                        if strb >> i & 1 == 1 {
+                            self.mem.write_byte(addr + i as u32, *b);
+                        }
+                    }
+                } else {
+                    mem_rdata = u64::from(self.mem.read_word(addr));
+                }
+                mem_ready = true;
+                self.mem_countdown = None;
+            } else {
+                self.mem_countdown = Some(remaining - 1);
+            }
+        } else {
+            self.mem_countdown = None;
+        }
+
+        // is_interrupt_interface: acknowledge and record the event.
+        if out("interrupt_req") == 1 {
+            let remaining = *self
+                .int_countdown
+                .get_or_insert_with(|| self.cfg.interrupt_latency.draw(&mut self.rng));
+            if remaining == 0 {
+                let (base, len) = self.io_window;
+                self.io_events.push(IoEvent {
+                    data_out: out("data_out") as u32,
+                    window: self.mem.read_bytes(base, len),
+                });
+                interrupt_ack = true;
+                self.int_countdown = None;
+            } else {
+                self.int_countdown = Some(remaining - 1);
+            }
+        } else {
+            self.int_countdown = None;
+        }
+
+        vec![
+            ("mem_rdata".into(), RValue::Word(32, mem_rdata)),
+            ("mem_ready".into(), RValue::Bit(mem_ready)),
+            (
+                "mem_start_ready".into(),
+                RValue::Bit(cycle >= u64::from(self.cfg.start_delay)),
+            ),
+            ("interrupt_ack".into(), RValue::Bit(interrupt_ack)),
+            ("data_in".into(), RValue::Word(32, u64::from(self.data_in))),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::interp::RtlState;
+
+    #[test]
+    fn latency_draw_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(Latency::Random { max: 3 }.draw(&mut rng) <= 3);
+        }
+        assert_eq!(Latency::Fixed(2).draw(&mut rng), 2);
+    }
+
+    #[test]
+    fn idle_environment_raises_start_after_delay() {
+        let c = crate::cpu::silver_cpu();
+        let st = RtlState::zeroed(&c);
+        let mut env = MemEnv::new(Memory::new(), MemEnvConfig {
+            start_delay: 3,
+            ..MemEnvConfig::default()
+        });
+        let pick = |vs: &Vec<(String, RValue)>, k: &str| {
+            vs.iter().find(|(n, _)| n == k).unwrap().1.clone()
+        };
+        let v0 = env.drive(0, &st);
+        assert_eq!(pick(&v0, "mem_start_ready"), RValue::Bit(false));
+        let v3 = env.drive(3, &st);
+        assert_eq!(pick(&v3, "mem_start_ready"), RValue::Bit(true));
+    }
+}

@@ -1,0 +1,111 @@
+//! The "does nothing after termination" lemma (§4.3): the ISA-visible
+//! state is unchanged at any *clock cycle* after program termination,
+//! not just at any instruction cycle.
+
+use ag32::asm::Assembler;
+use ag32::{Reg, State};
+use rtl::interp::RValue;
+use silver::env::{Latency, MemEnvConfig};
+use silver::lockstep::{env_from_isa, init_rtl_from_isa, rtl_is_halted};
+use silver::silver_cpu;
+
+#[test]
+fn visible_state_is_constant_after_halt() {
+    let mut a = Assembler::new(0);
+    a.li(Reg::new(1), 42);
+    a.halt(Reg::new(2));
+    let mut s = State::new();
+    s.mem.write_bytes(0, &a.assemble().unwrap());
+
+    let circuit = silver_cpu();
+    let cfg = MemEnvConfig {
+        mem_latency: Latency::Random { max: 3 },
+        seed: 9,
+        ..MemEnvConfig::default()
+    };
+    let mut env = env_from_isa(&s, cfg);
+    let mut st = init_rtl_from_isa(&circuit, &s);
+
+    // Run until halted with at least one full lap of the self-jump
+    // executed (so the idempotent link write has landed).
+    let mut cycles = 0u64;
+    let mut laps = 0;
+    while laps < 2 {
+        rtl::interp::step(&circuit, &mut env, &mut st, cycles).unwrap();
+        cycles += 1;
+        assert!(cycles < 10_000, "program should halt quickly");
+        if rtl_is_halted(&st, &env).unwrap() && st.get_scalar("retired").unwrap() >= 3 {
+            laps += 1;
+        }
+    }
+
+    // Snapshot the ISA-visible projection and check it at EVERY
+    // subsequent clock cycle — including mid-instruction wait states.
+    let visible = |st: &rtl::RtlState| -> (u64, Vec<u64>, u64, u64, u64) {
+        let regs = match st.get("regs").unwrap() {
+            RValue::Mem { data, .. } => data.clone(),
+            _ => unreachable!(),
+        };
+        (
+            st.get_scalar("pc").unwrap(),
+            regs,
+            st.get_scalar("carry").unwrap(),
+            st.get_scalar("overflow").unwrap(),
+            st.get_scalar("data_out").unwrap(),
+        )
+    };
+    let snap = visible(&st);
+    let events = env.io_events.len();
+    for extra in 0..200 {
+        rtl::interp::step(&circuit, &mut env, &mut st, cycles + extra).unwrap();
+        assert_eq!(visible(&st), snap, "visible state changed {extra} cycles after halt");
+        assert_eq!(env.io_events.len(), events, "no new I/O events after halt");
+    }
+}
+
+#[test]
+fn wedged_machine_is_fully_frozen() {
+    let mut s = State::new();
+    s.mem.write_word(0, ag32::encode(ag32::Instr::Reserved));
+    let circuit = silver_cpu();
+    let mut env = env_from_isa(&s, MemEnvConfig::default());
+    let mut st = init_rtl_from_isa(&circuit, &s);
+    for c in 0..50 {
+        rtl::interp::step(&circuit, &mut env, &mut st, c).unwrap();
+    }
+    assert_eq!(st.get_scalar("state").unwrap(), silver::cpu::fsm::WEDGED);
+    let snap = st.clone();
+    for c in 50..100 {
+        rtl::interp::step(&circuit, &mut env, &mut st, c).unwrap();
+        assert_eq!(st, snap, "wedged machine must not change at all");
+    }
+    assert!(rtl_is_halted(&st, &env).unwrap());
+}
+
+#[test]
+fn snd_self_jump_idiom_also_quiesces() {
+    // Halt via `Jump Snd r, Reg t` with R[t] = PC — the paper's
+    // program-specific halt location.
+    let mut s = State::new();
+    s.regs[10] = 0x20;
+    s.pc = 0x20;
+    s.mem.write_word(
+        0x20,
+        ag32::encode(ag32::Instr::Jump {
+            func: ag32::Func::Snd,
+            w: ag32::Reg::new(11),
+            a: ag32::Ri::Reg(ag32::Reg::new(10)),
+        }),
+    );
+    assert!(s.is_halted());
+    let circuit = silver_cpu();
+    let mut env = env_from_isa(&s, MemEnvConfig::default());
+    let mut st = init_rtl_from_isa(&circuit, &s);
+    let mut cycles = 0;
+    while st.get_scalar("retired").unwrap() < 1 {
+        rtl::interp::step(&circuit, &mut env, &mut st, cycles).unwrap();
+        cycles += 1;
+    }
+    assert!(rtl_is_halted(&st, &env).unwrap());
+    assert_eq!(st.get_scalar("pc").unwrap(), 0x20);
+}

@@ -1,0 +1,242 @@
+//! Abstract syntax of the Verilog subset.
+//!
+//! The subset covers exactly what the paper's code generator targets
+//! (§3 "Tool implementation"): a single flattened module whose processes
+//! are all `always_ff` blocks on the positive edge of a common clock,
+//! over two-state `logic` scalars, packed vectors and unpacked arrays of
+//! vectors (for the register file). All inter-process communication goes
+//! through non-blocking assignment.
+
+use crate::value::Value;
+
+/// The type of a variable or port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A single `logic` bit.
+    Logic,
+    /// A packed vector `logic [w-1:0]`.
+    Array(usize),
+    /// An unpacked array of packed vectors:
+    /// `logic [elem_width-1:0] name [0:len-1]`.
+    Unpacked { elem_width: usize, len: usize },
+}
+
+impl Type {
+    /// The default (all-zero) value of the type. Unpacked arrays default
+    /// to a vector of zeroed elements, represented elementwise (see
+    /// [`VarState`](crate::eval::VarState)).
+    #[must_use]
+    pub fn zero(&self) -> ValueOrArray {
+        match *self {
+            Type::Logic => ValueOrArray::Value(Value::Bool(false)),
+            Type::Array(w) => ValueOrArray::Value(Value::zeros(w)),
+            Type::Unpacked { elem_width, len } => {
+                ValueOrArray::Unpacked(vec![Value::zeros(elem_width); len])
+            }
+        }
+    }
+}
+
+/// A stored variable value: scalar/vector, or an unpacked array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueOrArray {
+    /// A scalar or packed vector.
+    Value(Value),
+    /// An unpacked array of packed vectors.
+    Unpacked(Vec<Value>),
+}
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Driven by the environment before each clock edge.
+    Input,
+    /// Readable by the environment after each clock edge.
+    Output,
+}
+
+/// A module port (besides the implicit common clock).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Type.
+    pub ty: Type,
+}
+
+/// An internal variable declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+}
+
+/// Binary operators. Arithmetic is modular at the operand width;
+/// comparisons produce a 1-bit value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Binop {
+    /// Modular addition (equal widths).
+    Add,
+    /// Modular subtraction (equal widths).
+    Sub,
+    /// Modular multiplication (equal widths; widen first for a full
+    /// product, as the generated Silver ALU does).
+    Mul,
+    /// Bitwise and (also valid on two Bools).
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Equality, producing a Bool.
+    Eq,
+    /// Unsigned less-than, producing a Bool.
+    Lt,
+    /// Signed less-than, producing a Bool.
+    Slt,
+    /// Logical shift left; right operand is an unsigned amount of any
+    /// width, result has the left operand's width.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right (left operand treated as signed).
+    Sra,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unop {
+    /// Bitwise complement (logical not on Bools).
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A variable or port reference.
+    Var(String),
+    /// Read an element of an unpacked array: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Bit slice `e[hi:lo]` (inclusive), LSB-numbered.
+    Slice(Box<Expr>, usize, usize),
+    /// Unary operator application.
+    Unop(Unop, Box<Expr>),
+    /// Binary operator application.
+    Binop(Binop, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? t : e`; `c` must be one bit wide.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Concatenation `{hi, .., lo}`: the *first* element is most
+    /// significant, as in Verilog source text.
+    Concat(Vec<Expr>),
+    /// Zero-extension to the given width.
+    ZExt(usize, Box<Expr>),
+    /// Sign-extension to the given width.
+    SExt(usize, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable reference.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A one-bit constant.
+    #[must_use]
+    pub fn bit(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// A `width`-bit constant from the low bits of `v`.
+    #[must_use]
+    pub fn word(width: usize, v: u64) -> Expr {
+        Expr::Const(Value::from_u64(width, v))
+    }
+
+    /// `self + rhs`.
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binop(Binop::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs` (unsigned).
+    #[must_use]
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binop(Binop::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`.
+    #[must_use]
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        Expr::Binop(Binop::Eq, Box::new(self), Box::new(rhs))
+    }
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lhs {
+    /// A whole variable.
+    Var(String),
+    /// One element of an unpacked array: `name[index] <= ...`.
+    Index(String, Expr),
+}
+
+/// Statements of a process body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `if (cond) { then } else { else }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `case (scrutinee) v, v: stmts ... default: stmts endcase`.
+    Case(Expr, Vec<(Vec<Value>, Vec<Stmt>)>, Option<Vec<Stmt>>),
+    /// Non-blocking assignment `lhs <= e`: queued, merged at cycle end.
+    NonBlocking(Lhs, Expr),
+    /// Blocking assignment `lhs = e`: takes effect immediately. Only
+    /// process-local variables should be written this way (the
+    /// non-interference restriction of §3).
+    Blocking(Lhs, Expr),
+}
+
+/// A process: the body of one `always_ff @(posedge clk)` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Process {
+    /// Statements run on each positive clock edge.
+    pub body: Vec<Stmt>,
+}
+
+/// A flattened module: ports, internal variables and processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    /// Module name (used by the pretty-printer).
+    pub name: String,
+    /// Ports, excluding the implicit clock.
+    pub ports: Vec<Port>,
+    /// Internal variables.
+    pub vars: Vec<VarDecl>,
+    /// Processes, all clocked by the common `clk`.
+    pub processes: Vec<Process>,
+}
+
+impl Module {
+    /// Every declaration (ports then vars) as `(name, type)` pairs.
+    pub fn declarations(&self) -> impl Iterator<Item = (&str, Type)> + '_ {
+        self.ports
+            .iter()
+            .map(|p| (p.name.as_str(), p.ty))
+            .chain(self.vars.iter().map(|v| (v.name.as_str(), v.ty)))
+    }
+
+    /// An all-zero initial state for every declared variable and port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if two declarations share a name.
+    pub fn initial_state(&self) -> Result<crate::eval::VarState, crate::eval::VError> {
+        crate::eval::VarState::zeroed(self)
+    }
+}

@@ -1,0 +1,133 @@
+//! Runtime values of the Verilog semantics.
+//!
+//! The paper's semantics translates "HOL Booleans to Verilog Booleans, and
+//! HOL words to Verilog arrays", with Booleans restricted to the standard
+//! two-state values. We mirror that: a value is a single bit or a packed
+//! bit array. Bit arrays store the least-significant bit at index 0.
+
+use std::fmt;
+
+/// A Verilog runtime value: a single `logic` bit or a packed bit vector.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A one-bit `logic` value.
+    Bool(bool),
+    /// A packed `logic [w-1:0]` vector; index 0 is the LSB.
+    Array(Vec<bool>),
+}
+
+impl Value {
+    /// Builds an all-zero vector of the given width.
+    #[must_use]
+    pub fn zeros(width: usize) -> Value {
+        Value::Array(vec![false; width])
+    }
+
+    /// Builds a `width`-bit vector from the low bits of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    #[must_use]
+    pub fn from_u64(width: usize, v: u64) -> Value {
+        assert!(width <= 64, "width {width} exceeds 64");
+        Value::Array((0..width).map(|i| (v >> i) & 1 == 1).collect())
+    }
+
+    /// The width in bits: 1 for a Bool, the vector length otherwise.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match self {
+            Value::Bool(_) => 1,
+            Value::Array(bits) => bits.len(),
+        }
+    }
+
+    /// The bits LSB-first; a Bool is a one-bit slice of itself.
+    #[must_use]
+    pub fn bits(&self) -> Vec<bool> {
+        match self {
+            Value::Bool(b) => vec![*b],
+            Value::Array(bits) => bits.clone(),
+        }
+    }
+
+    /// Interprets the value as an unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if wider than 64 bits.
+    #[must_use]
+    pub fn as_u64(&self) -> u64 {
+        let bits = self.bits();
+        assert!(bits.len() <= 64, "value too wide for u64");
+        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    /// Whether every bit is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Value::Bool(b) => !b,
+            Value::Array(bits) => bits.iter().all(|b| !b),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "1'b{}", u8::from(*b)),
+            Value::Array(bits) => {
+                if bits.len() <= 64 {
+                    write!(f, "{}'d{}", bits.len(), self.as_u64())
+                } else {
+                    write!(f, "{}'b", bits.len())?;
+                    for b in bits.iter().rev() {
+                        write!(f, "{}", u8::from(*b))?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0xFF, 0xDEAD_BEEF, u64::MAX >> 1] {
+            assert_eq!(Value::from_u64(63, v & (u64::MAX >> 1)).as_u64(), v & (u64::MAX >> 1));
+            assert_eq!(Value::from_u64(32, v).as_u64(), v & 0xFFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn lsb_is_index_zero() {
+        let v = Value::from_u64(8, 0b0000_0001);
+        assert!(v.bits()[0]);
+        assert!(!v.bits()[7]);
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(Value::zeros(32).is_zero());
+        assert!(Value::Bool(false).is_zero());
+        assert!(!Value::from_u64(4, 8).is_zero());
+    }
+
+    #[test]
+    fn debug_renders_verilog_literals() {
+        assert_eq!(format!("{:?}", Value::Bool(true)), "1'b1");
+        assert_eq!(format!("{:?}", Value::from_u64(8, 10)), "8'd10");
+    }
+}

@@ -1,0 +1,28 @@
+//! §7's headline result in miniature: a compiler *running on the
+//! verified processor*. The mini compiler — written in the source
+//! language, compiled by the real compiler — executes on the simulated
+//! Silver CPU and emits Silver-flavoured assembly for the arithmetic
+//! program it reads from standard input.
+//!
+//! ```sh
+//! cargo run --example compiler_on_silver
+//! ```
+
+use silver_stack::{apps, Backend, RunConfig, Stack};
+
+fn main() -> Result<(), silver_stack::StackError> {
+    let program = b"(10 - 3) * (2 + 4)\n";
+    println!("source program fed to the on-Silver compiler: {}", String::from_utf8_lossy(program).trim());
+    let stack = Stack::new();
+    let result = stack.run_source(
+        apps::MINI_COMPILER,
+        &["minicc"],
+        program,
+        Backend::Isa,
+        &RunConfig::default(),
+    )?;
+    println!("\n--- output of the compiler running on Silver ---");
+    print!("{}", result.stdout_utf8());
+    println!("--- {} Silver instructions to compile it ---", result.instructions);
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! The proof-checker application (the paper runs an OpenTheory checker
+//! on Silver; ours checks Hilbert-style proofs in minimal implicational
+//! logic). The proof of `a -> a` from axioms K and S is checked by a
+//! program running on the verified stack.
+//!
+//! ```sh
+//! cargo run --example proof_checker
+//! ```
+
+use silver_stack::{apps, Backend, RunConfig, Stack};
+
+fn main() -> Result<(), silver_stack::StackError> {
+    let proof = "\
+S a iaa a
+K a iaa
+MP 0 1
+K a a
+MP 2 3
+";
+    println!("checking this proof of |- a -> a on the verified stack:\n{proof}");
+    let stack = Stack::new();
+    let result = stack.run_source(
+        apps::PROOF_CHECKER,
+        &["check"],
+        proof.as_bytes(),
+        Backend::Isa,
+        &RunConfig::default(),
+    )?;
+    print!("{}", result.stdout_utf8());
+    println!("exit code: {:?} (0 = proof accepted)", result.exit_code());
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Quickstart: compile an ML program, load the Figure-2 memory image,
+//! and run it on the Silver ISA — the paper's workflow in five lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use silver_stack::{apps, Backend, RunConfig, Stack};
+
+fn main() -> Result<(), silver_stack::StackError> {
+    let stack = Stack::new();
+    let result =
+        stack.run_source(apps::HELLO, &["hello"], b"", Backend::Isa, &RunConfig::default())?;
+    print!("{}", result.stdout_utf8());
+    println!("exit code    : {:?}", result.exit_code());
+    println!("instructions : {}", result.instructions);
+    Ok(())
+}

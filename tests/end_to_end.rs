@@ -1,0 +1,146 @@
+//! Repo-level end-to-end tests: the paper's §7 "Results", reproduced.
+//!
+//! Every application from the paper's suite runs on the stack and its
+//! behaviour is checked against the source semantics at the ISA and
+//! circuit level (and, for a small program, at the Verilog level) —
+//! the executable analogues of theorems (6), (8) and (14).
+
+use silver_stack::{apps, check_end_to_end, Backend, CheckOptions, RunConfig, Stack};
+
+fn check(src: &str, args: &[&str], stdin: &[u8]) -> silver_stack::EndToEndReport {
+    let stack = Stack::new();
+    check_end_to_end(&stack, src, args, stdin, &CheckOptions::default())
+        .expect("all layers agree")
+}
+
+#[test]
+fn hello_end_to_end() {
+    let report = check(apps::HELLO, &["hello"], b"");
+    assert_eq!(report.stdout, "Hello from the verified stack!\n");
+    assert_eq!(report.exit_code, 0);
+    assert!(report.rtl_cycles > report.isa_instructions, "wait states cost clock cycles");
+}
+
+#[test]
+fn wc_end_to_end_matches_spec() {
+    // wc_spec input output (§2.1): output reports |tokens is_space input|.
+    let input = b"the quick brown fox\njumps over the lazy dog\n";
+    let report = check(apps::WC, &["wc"], input);
+    let words = input
+        .split(|b| b" \n\t\r".contains(b))
+        .filter(|w| !w.is_empty())
+        .count();
+    let lines = input.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(
+        report.stdout,
+        format!("{lines} {words} {}\n", input.len()),
+        "wc output must satisfy wc_spec"
+    );
+}
+
+#[test]
+fn cat_end_to_end() {
+    let input = b"first line\nsecond line\nno trailing newline";
+    let report = check(apps::CAT, &["cat"], input);
+    assert_eq!(report.stdout.as_bytes(), input);
+}
+
+#[test]
+fn sort_end_to_end() {
+    let input = b"pear\napple\nbanana\ncherry\napple\n";
+    let report = check(apps::SORT, &["sort"], input);
+    assert_eq!(report.stdout, "apple\napple\nbanana\ncherry\npear\n");
+}
+
+#[test]
+fn proof_checker_end_to_end() {
+    // Derive |- a -> a from K and S (the classic SKK proof):
+    //   0: S a (a->a) a : (a->((a->a)->a)) -> ((a->(a->a)) -> (a->a))
+    //   1: K a (a->a)   : a -> ((a->a) -> a)
+    //   2: MP 0 1       : (a -> (a -> a)) -> (a -> a)
+    //   3: K a a        : a -> (a -> a)
+    //   4: MP 2 3       : a -> a
+    let proof = "S a iaa a\nK a iaa\nMP 0 1\nK a a\nMP 2 3\n";
+    let report = check(apps::PROOF_CHECKER, &["check"], proof.as_bytes());
+    assert_eq!(report.exit_code, 0);
+    let last = report.stdout.lines().last().unwrap();
+    assert_eq!(last, "|- (a -> a)", "the checker derives the identity theorem");
+}
+
+#[test]
+fn proof_checker_rejects_bad_proof() {
+    let stack = Stack::new();
+    let bad = "K a b\nK b c\nMP 0 1\n"; // antecedent mismatch
+    let r = stack
+        .run_source(
+            apps::PROOF_CHECKER,
+            &["check"],
+            bad.as_bytes(),
+            Backend::Isa,
+            &RunConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(r.exit_code(), Some(1));
+    assert!(r.stdout_utf8().contains("invalid step"));
+}
+
+#[test]
+fn grep_end_to_end() {
+    let input = b"alpha beta\ngamma\nbeta gamma\ndelta\n";
+    let report = check(apps::GREP, &["grep", "beta"], input);
+    assert_eq!(report.stdout, "alpha beta\nbeta gamma\n");
+    assert_eq!(report.exit_code, 0);
+    // No match exits 1 with empty output, like the Unix tool.
+    let stack = Stack::new();
+    let r = stack
+        .run_source(apps::GREP, &["grep", "zeta"], input, Backend::Isa, &RunConfig::default())
+        .unwrap();
+    assert_eq!(r.exit_code(), Some(1));
+    assert!(r.stdout.is_empty());
+}
+
+#[test]
+fn compiler_runs_on_the_verified_stack() {
+    // §7's headline: the compiler itself executes on Silver. The mini
+    // compiler reads an arithmetic program and emits Silver-flavoured
+    // assembly — all while running on the simulated verified processor.
+    let report = check(apps::MINI_COMPILER, &["minicc"], b"(1 + 2) * (3 + 4) - 5\n");
+    assert_eq!(report.exit_code, 0);
+    let out = &report.stdout;
+    assert!(out.contains("mini compiler output"));
+    assert!(out.contains("LoadConstant r1, 1"));
+    assert!(out.contains("Normal fMul"));
+    assert!(out.contains("Normal fSub"));
+    assert!(out.ends_with("Out r1 ; = 16\n"), "evaluator agrees: {out}");
+}
+
+#[test]
+fn tiny_program_agrees_down_to_verilog() {
+    // Theorem (8): the Verilog-level run satisfies the source spec. The
+    // Verilog interpreter is slow, so use a small program, and also
+    // spot-check the ISA↔circuit lockstep relation on the same image.
+    let stack = Stack::new();
+    let report = check_end_to_end(
+        &stack,
+        "val _ = print (int_to_string (6 * 7));",
+        &["tiny"],
+        b"",
+        &CheckOptions { verilog: true, lockstep_instructions: 300, ..CheckOptions::default() },
+    )
+    .expect("all four layers agree");
+    assert_eq!(report.stdout, "42");
+    assert!(report.verilog_cycles.is_some());
+}
+
+#[test]
+fn stdin_larger_inputs_roundtrip() {
+    let mut input = Vec::new();
+    for i in 0..500 {
+        input.extend_from_slice(format!("line number {i:04}\n").as_bytes());
+    }
+    let stack = Stack::new();
+    let r = stack
+        .run_source(apps::CAT, &["cat"], &input, Backend::Isa, &RunConfig::default())
+        .unwrap();
+    assert_eq!(r.stdout, input);
+}
