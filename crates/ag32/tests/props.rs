@@ -1,116 +1,122 @@
 //! Property-based tests for the ag32 ISA: encoding totality/injectivity
-//! and algebraic laws of the execution semantics.
+//! and algebraic laws of the execution semantics, on the hermetic
+//! `testkit` harness (seed with `TESTKIT_SEED`, replay failures with
+//! the printed `TESTKIT_CASE_SEED` command).
 
 use ag32::{decode, encode, Func, Instr, Memory, Reg, Ri, Shift, State};
-use proptest::prelude::*;
+use testkit::prop::Ctx;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(Reg::new)
+fn arb_reg(c: &mut Ctx) -> Reg {
+    Reg::new(c.gen_range(0u8..64))
 }
 
-fn arb_ri() -> impl Strategy<Value = Ri> {
-    prop_oneof![arb_reg().prop_map(Ri::Reg), (-32i8..=31).prop_map(Ri::Imm)]
+fn arb_ri(c: &mut Ctx) -> Ri {
+    if c.choose(2) == 0 {
+        Ri::Reg(arb_reg(c))
+    } else {
+        Ri::Imm(c.gen_range(-32i8..=31))
+    }
 }
 
-fn arb_func() -> impl Strategy<Value = Func> {
-    (0u32..16).prop_map(Func::from_bits)
+fn arb_func(c: &mut Ctx) -> Func {
+    Func::from_bits(c.gen_range(0u32..16))
 }
 
-fn arb_shift() -> impl Strategy<Value = Shift> {
-    (0u32..4).prop_map(Shift::from_bits)
+fn arb_shift(c: &mut Ctx) -> Shift {
+    Shift::from_bits(c.gen_range(0u32..4))
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (arb_func(), arb_reg(), arb_ri(), arb_ri())
-            .prop_map(|(func, w, a, b)| Instr::Normal { func, w, a, b }),
-        (arb_shift(), arb_reg(), arb_ri(), arb_ri())
-            .prop_map(|(kind, w, a, b)| Instr::Shift { kind, w, a, b }),
-        (arb_ri(), arb_ri()).prop_map(|(a, b)| Instr::StoreMem { a, b }),
-        (arb_ri(), arb_ri()).prop_map(|(a, b)| Instr::StoreMemByte { a, b }),
-        (arb_reg(), arb_ri()).prop_map(|(w, a)| Instr::LoadMem { w, a }),
-        (arb_reg(), arb_ri()).prop_map(|(w, a)| Instr::LoadMemByte { w, a }),
-        arb_reg().prop_map(|w| Instr::In { w }),
-        (arb_func(), arb_reg(), arb_ri(), arb_ri())
-            .prop_map(|(func, w, a, b)| Instr::Out { func, w, a, b }),
-        (arb_reg(), arb_ri()).prop_map(|(w, a)| Instr::Accelerator { w, a }),
-        (arb_func(), arb_reg(), arb_ri()).prop_map(|(func, w, a)| Instr::Jump { func, w, a }),
-        (arb_func(), arb_ri(), arb_ri(), arb_ri())
-            .prop_map(|(func, w, a, b)| Instr::JumpIfZero { func, w, a, b }),
-        (arb_func(), arb_ri(), arb_ri(), arb_ri())
-            .prop_map(|(func, w, a, b)| Instr::JumpIfNotZero { func, w, a, b }),
-        (arb_reg(), any::<bool>(), 0u32..(1 << 23))
-            .prop_map(|(w, negate, imm)| Instr::LoadConstant { w, negate, imm }),
-        (arb_reg(), 0u16..(1 << 9)).prop_map(|(w, imm)| Instr::LoadUpperConstant { w, imm }),
-        Just(Instr::Interrupt),
-        Just(Instr::Reserved),
-    ]
+fn arb_instr(c: &mut Ctx) -> Instr {
+    match c.choose(16) {
+        0 => Instr::Normal { func: arb_func(c), w: arb_reg(c), a: arb_ri(c), b: arb_ri(c) },
+        1 => Instr::Shift { kind: arb_shift(c), w: arb_reg(c), a: arb_ri(c), b: arb_ri(c) },
+        2 => Instr::StoreMem { a: arb_ri(c), b: arb_ri(c) },
+        3 => Instr::StoreMemByte { a: arb_ri(c), b: arb_ri(c) },
+        4 => Instr::LoadMem { w: arb_reg(c), a: arb_ri(c) },
+        5 => Instr::LoadMemByte { w: arb_reg(c), a: arb_ri(c) },
+        6 => Instr::In { w: arb_reg(c) },
+        7 => Instr::Out { func: arb_func(c), w: arb_reg(c), a: arb_ri(c), b: arb_ri(c) },
+        8 => Instr::Accelerator { w: arb_reg(c), a: arb_ri(c) },
+        9 => Instr::Jump { func: arb_func(c), w: arb_reg(c), a: arb_ri(c) },
+        10 => Instr::JumpIfZero { func: arb_func(c), w: arb_ri(c), a: arb_ri(c), b: arb_ri(c) },
+        11 => {
+            Instr::JumpIfNotZero { func: arb_func(c), w: arb_ri(c), a: arb_ri(c), b: arb_ri(c) }
+        }
+        12 => Instr::LoadConstant {
+            w: arb_reg(c),
+            negate: c.any_bool(),
+            imm: c.gen_range(0u32..(1 << 23)),
+        },
+        13 => Instr::LoadUpperConstant { w: arb_reg(c), imm: c.gen_range(0u16..(1 << 9)) },
+        14 => Instr::Interrupt,
+        _ => Instr::Reserved,
+    }
 }
 
-proptest! {
+testkit::props! {
     /// `decode ∘ encode = id` on canonical instructions.
-    #[test]
-    fn encode_decode_roundtrip(i in arb_instr()) {
-        prop_assert_eq!(decode(encode(i)), i);
+    fn encode_decode_roundtrip(ctx) {
+        let i = arb_instr(ctx);
+        assert_eq!(decode(encode(i)), i);
     }
 
     /// Decode is total — no word panics.
-    #[test]
-    fn decode_total(w in any::<u32>()) {
+    fn decode_total(ctx) {
+        let w = ctx.any::<u32>();
         let _ = decode(w);
     }
 
     /// Encoding is injective on canonical instructions.
-    #[test]
-    fn encode_injective(a in arb_instr(), b in arb_instr()) {
+    fn encode_injective(ctx) {
+        let a = arb_instr(ctx);
+        let b = arb_instr(ctx);
         if a != b {
-            prop_assert_ne!(encode(a), encode(b));
+            assert_ne!(encode(a), encode(b), "{a:?} and {b:?} collide");
         }
     }
 
     /// Memory read-after-write returns the written byte and leaves
     /// other addresses untouched.
-    #[test]
-    fn memory_raw(addr in any::<u32>(), v in any::<u8>(), other in any::<u32>()) {
+    fn memory_raw(ctx) {
+        let addr = ctx.any::<u32>();
+        let v = ctx.any::<u8>();
+        let other = ctx.any::<u32>();
         let mut m = Memory::new();
         m.write_byte(addr, v);
-        prop_assert_eq!(m.read_byte(addr), v);
+        assert_eq!(m.read_byte(addr), v);
         if other != addr {
-            prop_assert_eq!(m.read_byte(other), 0);
+            assert_eq!(m.read_byte(other), 0);
         }
     }
 
     /// A `Normal` instruction is deterministic and only changes the
     /// destination register, the flags and the PC.
-    #[test]
-    fn normal_frame_condition(
-        func in arb_func(),
-        w in arb_reg(),
-        a in arb_ri(),
-        b in arb_ri(),
-        regs in proptest::array::uniform32(any::<u32>()),
-    ) {
+    fn normal_frame_condition(ctx) {
+        let func = arb_func(ctx);
+        let w = arb_reg(ctx);
+        let a = arb_ri(ctx);
+        let b = arb_ri(ctx);
         let mut s = State::new();
-        for (i, r) in regs.iter().enumerate() {
-            s.regs[i] = *r;
+        for i in 0..32 {
+            s.regs[i] = ctx.any::<u32>();
         }
         s.mem.write_word(0, encode(Instr::Normal { func, w, a, b }));
         let before = s.clone();
         s.next();
-        prop_assert_eq!(s.pc, 4);
-        prop_assert_eq!(&s.mem, &before.mem);
-        prop_assert_eq!(&s.io_events, &before.io_events);
+        assert_eq!(s.pc, 4);
+        assert_eq!(&s.mem, &before.mem);
+        assert_eq!(&s.io_events, &before.io_events);
         for i in 0..64 {
             if i != w.index() {
-                prop_assert_eq!(s.regs[i], before.regs[i], "register {} changed", i);
+                assert_eq!(s.regs[i], before.regs[i], "register {i} changed");
             }
         }
     }
 
     /// Executing the same state twice gives identical results
     /// (the semantics is a function).
-    #[test]
-    fn next_is_deterministic(words in proptest::collection::vec(any::<u32>(), 1..32)) {
+    fn next_is_deterministic(ctx) {
+        let words = ctx.vec_of(1usize..32, |c| c.any::<u32>());
         let mut s1 = State::new();
         for (i, w) in words.iter().enumerate() {
             s1.mem.write_word(i as u32 * 4, *w);
@@ -118,14 +124,15 @@ proptest! {
         let mut s2 = s1.clone();
         s1.run(words.len() as u64);
         s2.run(words.len() as u64);
-        prop_assert!(s1.isa_visible_eq(&s2));
+        assert!(s1.isa_visible_eq(&s2));
     }
 
     /// Shift-left then shift-right by the same in-range amount masks the
     /// top bits only.
-    #[test]
-    fn shift_inverse(v in any::<u32>(), amt in 0u32..32) {
-        use ag32::Shift::*;
+    fn shift_inverse(ctx) {
+        use ag32::Shift::{Ll, Ror};
+        let v = ctx.any::<u32>();
+        let amt = ctx.gen_range(0u32..32);
         let ll = {
             let mut s = State::new();
             s.regs[1] = v;
@@ -136,7 +143,7 @@ proptest! {
             s.next();
             s.regs[3]
         };
-        prop_assert_eq!(ll, v << amt);
+        assert_eq!(ll, v << amt);
         let ror = {
             let mut s = State::new();
             s.regs[1] = v;
@@ -147,24 +154,24 @@ proptest! {
             s.next();
             s.regs[3]
         };
-        prop_assert_eq!(ror.rotate_left(amt), v);
+        assert_eq!(ror.rotate_left(amt), v);
     }
 
     /// The halt state really is a fixpoint of `Next` after one lap.
-    #[test]
-    fn halt_fixpoint(pc_words in 1u32..100) {
+    fn halt_fixpoint(ctx) {
+        let pc_words = ctx.gen_range(1u32..100);
         let pc = pc_words * 4;
         let mut s = State::new();
         s.pc = pc;
         s.mem.write_word(pc, encode(Instr::Jump {
             func: Func::Add, w: Reg::new(1), a: Ri::Imm(0),
         }));
-        prop_assert!(s.is_halted());
+        assert!(s.is_halted());
         s.next();
         let fix = s.clone();
         for _ in 0..3 {
             s.next();
-            prop_assert!(s.isa_visible_eq(&fix));
+            assert!(s.isa_visible_eq(&fix));
         }
     }
 }

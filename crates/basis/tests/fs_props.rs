@@ -1,0 +1,52 @@
+//! Property tests for the basis file-system model (the `FsState`
+//! behind the FFI oracle), on the hermetic `testkit` harness.
+
+use basis::FsState;
+
+testkit::props! {
+    /// Reading stdin in arbitrary chunk sizes reassembles the input
+    /// exactly — the oracle never duplicates or drops bytes.
+    fn stdin_chunked_reads_reassemble(ctx) {
+        let input = ctx.vec_of(0usize..64, |c| c.any::<u8>());
+        let mut fs = FsState::stdin_only(&["t"], &input);
+        let mut got = Vec::new();
+        loop {
+            let chunk = ctx.gen_range(1usize..=16);
+            match fs.read(0, chunk) {
+                Some(bytes) if bytes.is_empty() => break,
+                Some(bytes) => {
+                    assert!(bytes.len() <= chunk, "read returned more than asked");
+                    got.extend_from_slice(&bytes);
+                }
+                None => break,
+            }
+            if got.len() > input.len() {
+                panic!("read past end of stdin");
+            }
+        }
+        assert_eq!(got, input);
+    }
+
+    /// Writes to stdout accumulate in order, and stderr stays separate.
+    fn stdout_accumulates_in_order(ctx) {
+        let chunks = ctx.vec_of(0usize..8, |c| c.vec_of(0usize..16, |c| c.gen_range(32u8..127)));
+        let mut fs = FsState::stdin_only(&["t"], b"");
+        let mut expect = Vec::new();
+        for chunk in &chunks {
+            let n = fs.write(1, chunk).expect("stdout accepts writes");
+            assert_eq!(n, chunk.len(), "stdout must not short-write");
+            expect.extend_from_slice(chunk);
+        }
+        assert_eq!(fs.stdout_utf8().as_bytes(), expect);
+        assert_eq!(fs.stderr_utf8(), "", "stderr untouched");
+    }
+
+    /// Reads from a closed or never-opened descriptor fail rather than
+    /// aliasing another stream.
+    fn bogus_descriptors_fail(ctx) {
+        let fd = ctx.gen_range(3u64..1000);
+        let mut fs = FsState::stdin_only(&["t"], b"payload");
+        assert!(fs.read(fd, 8).is_none(), "fd {fd} should be invalid");
+        assert!(fs.write(fd, b"x").is_none(), "fd {fd} should be invalid");
+    }
+}

@@ -4,10 +4,10 @@
 //! in the introduction".
 
 use bench::{measure_cpi, project_seconds, random_lines, run_isa};
-use criterion::{criterion_group, criterion_main, Criterion};
 use silver_stack::apps;
+use testkit::bench::Bench;
 
-fn bench_apps(c: &mut Criterion) {
+fn main() {
     let cpi = measure_cpi();
     let sort_input = random_lines(100, 3);
     let proof = b"S a iaa a\nK a iaa\nMP 0 1\nK a a\nMP 2 3\n".to_vec();
@@ -32,15 +32,8 @@ fn bench_apps(c: &mut Criterion) {
         );
     }
 
-    c.bench_function("wc_isa_sim", |b| {
-        let input = b"words words words\n".repeat(50);
-        b.iter(|| run_isa(apps::WC, &["wc"], &input).instructions);
-    });
+    let mut b = Bench::new("apps").sample_size(10);
+    let input = b"words words words\n".repeat(50);
+    b.bench("wc_isa_sim", || run_isa(apps::WC, &["wc"], &input).instructions);
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_apps
-}
-criterion_main!(benches);

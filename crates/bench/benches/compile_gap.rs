@@ -13,8 +13,8 @@
 use bench::{measure_cpi, project_seconds, run_isa};
 use basis::{BasisHost, FsState};
 use cakeml::{compile_source, frontend, run_program, CompilerConfig, TargetLayout};
-use criterion::{criterion_group, criterion_main, Criterion};
 use silver_stack::apps;
+use testkit::bench::Bench;
 
 /// A sizeable expression so the workload dominates constant overheads.
 fn big_expression() -> Vec<u8> {
@@ -26,7 +26,7 @@ fn big_expression() -> Vec<u8> {
     e.into_bytes()
 }
 
-fn bench_compile_gap(c: &mut Criterion) {
+fn main() {
     let program = big_expression();
     let cpi = measure_cpi();
 
@@ -205,22 +205,15 @@ fn bench_compile_gap(c: &mut Criterion) {
     );
     eprintln!("(context: rust compiler on hello world: {rust_secs:.4} s, {} bytes out)", compiled.code.len());
 
-    c.bench_function("host_compile_hello", |b| {
-        b.iter(|| {
-            compile_source(apps::HELLO, TargetLayout::default(), &CompilerConfig::default())
-                .expect("compiles")
-                .code
-                .len()
-        });
+    let mut b = Bench::new("compile_gap").sample_size(10);
+    b.bench("host_compile_hello", || {
+        compile_source(apps::HELLO, TargetLayout::default(), &CompilerConfig::default())
+            .expect("compiles")
+            .code
+            .len()
     });
-    c.bench_function("mini_compiler_on_silver_sim", |b| {
-        b.iter(|| run_isa(apps::MINI_COMPILER, &["minicc"], b"1 + 2 * 3\n").instructions);
+    b.bench("mini_compiler_on_silver_sim", || {
+        run_isa(apps::MINI_COMPILER, &["minicc"], b"1 + 2 * 3\n").instructions
     });
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_compile_gap
-}
-criterion_main!(benches);

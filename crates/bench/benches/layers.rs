@@ -5,10 +5,10 @@
 
 use ag32::asm::Assembler;
 use ag32::{Func, Reg, Ri, State};
-use criterion::{criterion_group, criterion_main, Criterion};
 use silver::env::MemEnvConfig;
 use silver::lockstep::{env_from_isa, init_rtl_from_isa};
 use silver::silver_cpu;
+use testkit::bench::Bench;
 
 /// A tight counted loop: 3 instructions per iteration plus setup.
 fn loop_program(iterations: u32) -> State {
@@ -25,78 +25,67 @@ fn loop_program(iterations: u32) -> State {
     s
 }
 
-fn bench_layers(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("layers").sample_size(10);
+
     // ISA: instructions per second.
-    c.bench_function("layer2_isa_10k_instructions", |b| {
-        b.iter(|| {
-            let mut s = loop_program(2000);
-            let n = s.run(100_000);
-            assert!(s.is_halted());
-            n
-        });
+    b.bench("layer2_isa_10k_instructions", || {
+        let mut s = loop_program(2000);
+        let n = s.run(100_000);
+        assert!(s.is_halted());
+        n
     });
 
     // Circuit level: clock cycles per second.
     let circuit = silver_cpu();
-    c.bench_function("layer3_rtl_loop_2000", |b| {
-        b.iter(|| {
-            let s = loop_program(2000);
-            let mut env = env_from_isa(&s, MemEnvConfig::default());
-            let mut st = init_rtl_from_isa(&circuit, &s);
-            let mut cycles = 0u64;
-            while st.get_scalar("retired").unwrap() < 6004 {
-                rtl::interp::step(&circuit, &mut env, &mut st, cycles).unwrap();
-                cycles += 1;
-            }
-            cycles
-        });
+    b.bench("layer3_rtl_loop_2000", || {
+        let s = loop_program(2000);
+        let mut env = env_from_isa(&s, MemEnvConfig::default());
+        let mut st = init_rtl_from_isa(&circuit, &s);
+        let mut cycles = 0u64;
+        while st.get_scalar("retired").unwrap() < 6004 {
+            rtl::interp::step(&circuit, &mut env, &mut st, cycles).unwrap();
+            cycles += 1;
+        }
+        cycles
     });
 
     // Verilog level: same machine, bit-vector semantics (much smaller
     // workload — this is the slowest layer).
     let module = rtl::generate(&circuit).expect("codegen");
-    c.bench_function("layer4_verilog_loop_50", |b| {
-        b.iter(|| {
-            let s = loop_program(50);
-            let mut env = env_from_isa(&s, MemEnvConfig::default());
-            let mut rtl_st = init_rtl_from_isa(&circuit, &s);
-            let mut v_st = module.initial_state().unwrap();
-            for (name, value) in rtl_st.iter() {
-                match rtl::equiv::to_verilog_value(value) {
-                    verilog::ast::ValueOrArray::Value(v) => {
-                        v_st.set(name, v).unwrap();
-                    }
-                    verilog::ast::ValueOrArray::Unpacked(es) => {
-                        for (i, e) in es.into_iter().enumerate() {
-                            v_st.set_index(name, i as u64, e).unwrap();
-                        }
+    b.bench("layer4_verilog_loop_50", || {
+        let s = loop_program(50);
+        let mut env = env_from_isa(&s, MemEnvConfig::default());
+        let mut rtl_st = init_rtl_from_isa(&circuit, &s);
+        let mut v_st = module.initial_state().unwrap();
+        for (name, value) in rtl_st.iter() {
+            match rtl::equiv::to_verilog_value(value) {
+                verilog::ast::ValueOrArray::Value(v) => {
+                    v_st.set(name, v).unwrap();
+                }
+                verilog::ast::ValueOrArray::Unpacked(es) => {
+                    for (i, e) in es.into_iter().enumerate() {
+                        v_st.set_index(name, i as u64, e).unwrap();
                     }
                 }
             }
-            let mut cycles = 0u64;
-            while rtl_st.get_scalar("retired").unwrap() < 154 {
-                use rtl::interp::RtlEnv as _;
-                let driven = env.drive(cycles, &rtl_st);
-                for (name, value) in &driven {
-                    rtl_st.set(name, value.clone()).unwrap();
-                    if let verilog::ast::ValueOrArray::Value(v) =
-                        rtl::equiv::to_verilog_value(value)
-                    {
-                        v_st.set(name, v).unwrap();
-                    }
+        }
+        let mut cycles = 0u64;
+        while rtl_st.get_scalar("retired").unwrap() < 154 {
+            use rtl::interp::RtlEnv as _;
+            let driven = env.drive(cycles, &rtl_st);
+            for (name, value) in &driven {
+                rtl_st.set(name, value.clone()).unwrap();
+                if let verilog::ast::ValueOrArray::Value(v) = rtl::equiv::to_verilog_value(value) {
+                    v_st.set(name, v).unwrap();
                 }
-                rtl::interp::cycle(&circuit, &mut rtl_st).unwrap();
-                verilog::eval::cycle(&module, &mut v_st).unwrap();
-                cycles += 1;
             }
-            cycles
-        });
+            rtl::interp::cycle(&circuit, &mut rtl_st).unwrap();
+            verilog::eval::cycle(&module, &mut v_st).unwrap();
+            cycles += 1;
+        }
+        cycles
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_layers
+    b.finish();
 }
-criterion_main!(benches);

@@ -5,9 +5,9 @@
 
 use ag32::asm::Assembler;
 use ag32::{Func, Instr, Reg, Ri, State};
-use criterion::{criterion_group, criterion_main, Criterion};
 use silver::env::{Latency, MemEnvConfig};
 use silver::lockstep::run_lockstep;
+use testkit::bench::Bench;
 
 /// A memory-heavy loop: word store + load per iteration.
 fn memory_program() -> State {
@@ -26,7 +26,7 @@ fn memory_program() -> State {
     s
 }
 
-fn bench_mem_latency(c: &mut Criterion) {
+fn main() {
     eprintln!("--- B2: clock cycles vs memory latency (same program) ---");
     eprintln!("latency  cycles  instructions  CPI");
     for lat in [0u32, 1, 2, 4, 8] {
@@ -41,20 +41,10 @@ fn bench_mem_latency(c: &mut Criterion) {
         );
     }
 
-    c.bench_function("rtl_mem_program_latency2", |b| {
-        b.iter(|| {
-            let cfg = MemEnvConfig {
-                mem_latency: Latency::Fixed(2),
-                ..MemEnvConfig::default()
-            };
-            run_lockstep(&memory_program(), 100_000, cfg, 50_000_000).unwrap().cycles
-        });
+    let mut b = Bench::new("mem_latency").sample_size(10);
+    b.bench("rtl_mem_program_latency2", || {
+        let cfg = MemEnvConfig { mem_latency: Latency::Fixed(2), ..MemEnvConfig::default() };
+        run_lockstep(&memory_program(), 100_000, cfg, 50_000_000).unwrap().cycles
     });
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_mem_latency
-}
-criterion_main!(benches);

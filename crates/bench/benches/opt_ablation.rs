@@ -5,8 +5,8 @@
 //!   (the CakeML-style known-function optimisation),
 //! * `tail_calls` — constant-stack loops vs stack frames per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use silver_stack::{Backend, RunConfig, Stack};
+use testkit::bench::Bench;
 
 const WORKLOAD: &str = r#"
 fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2);
@@ -37,7 +37,7 @@ fn instructions_with(direct_calls: bool, tail_calls: bool) -> u64 {
     instructions_with_cfg(direct_calls, tail_calls, false)
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let full = instructions_with(true, true);
     let no_direct = instructions_with(false, true);
     let no_tail = instructions_with(true, false);
@@ -53,18 +53,11 @@ fn bench_ablation(c: &mut Criterion) {
     eprintln!("gc runtime      : {with_gc}  (+{:.1}% — frame zeroing + allocator calls)", excess(with_gc, full));
     assert!(no_direct > full, "direct calls must help");
 
-    c.bench_function("ablation_full_opt_sim", |b| {
-        b.iter(|| instructions_with(true, true));
-    });
+    let mut b = Bench::new("opt_ablation").sample_size(10);
+    b.bench("ablation_full_opt_sim", || instructions_with(true, true));
+    b.finish();
 }
 
 fn excess(x: u64, base: u64) -> f64 {
     (x as f64 / base as f64 - 1.0) * 100.0
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ablation
-}
-criterion_main!(benches);

@@ -7,10 +7,10 @@
 //! natively.
 
 use bench::{measure_cpi, project_seconds, random_lines, run_isa};
-use criterion::{criterion_group, criterion_main, Criterion};
 use silver_stack::apps;
+use testkit::bench::Bench;
 
-fn bench_sort_1000(c: &mut Criterion) {
+fn main() {
     let input = random_lines(1000, 42);
     let cpi = measure_cpi();
 
@@ -29,17 +29,10 @@ fn bench_sort_1000(c: &mut Criterion) {
     eprintln!("slowdown vs native  : {:.0}x", projected / host_secs.max(1e-9));
     assert!(!r.stdout.is_empty());
 
-    // Criterion-timed: the simulator cost of the run (smaller input so
-    // iterations stay reasonable).
+    // Timed: the simulator cost of the run (smaller input so iterations
+    // stay reasonable).
     let small = random_lines(200, 7);
-    c.bench_function("sort_200_lines_isa_sim", |b| {
-        b.iter(|| run_isa(apps::SORT, &["sort"], &small).instructions);
-    });
+    let mut b = Bench::new("sort_1000").sample_size(10);
+    b.bench("sort_200_lines_isa_sim", || run_isa(apps::SORT, &["sort"], &small).instructions);
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sort_1000
-}
-criterion_main!(benches);

@@ -9,9 +9,16 @@
 //! conditionals, short-circuit operators, tuples, and list folds), then
 //! pretty-printed to source. The interpreter is the specification; the
 //! compiled Silver machine code is the implementation under test.
+//!
+//! Generation runs on the hermetic `testkit` harness: shrinking is
+//! integrated (a failing tree shrinks to a minimal failing tree), the
+//! failing seed is persisted to `compiler_correctness.testkit-regressions`,
+//! and the failure prints a one-line `TESTKIT_CASE_SEED=…` reproduction
+//! command. Historical proptest counterexamples live as named unit tests
+//! in `tests/regressions.rs`.
 
 use cakeml::{compile_source, run_program, CompilerConfig, NoFfi, Stop, TargetLayout};
-use proptest::prelude::*;
+use testkit::prop::Ctx;
 
 /// A generated integer expression with the variables in scope.
 #[derive(Clone, Debug)]
@@ -75,44 +82,54 @@ fn show_b(e: &BExp, depth: usize) -> String {
     }
 }
 
-fn arb_iexp() -> impl Strategy<Value = IExp> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(IExp::Lit),
-        any::<usize>().prop_map(IExp::Var),
-        Just(IExp::Lit(0)),
-        Just(IExp::Lit(1 << 30)), // boundary of the 31-bit range
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        let b = arb_bexp_with(inner.clone());
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Add(a.into(), c.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Sub(a.into(), c.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Mul(a.into(), c.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Div(a.into(), c.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| IExp::Mod(a.into(), c.into())),
-            (b, inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| IExp::If(c.into(), t.into(), f.into())),
-            (inner.clone(), inner).prop_map(|(r, body)| IExp::Let(r.into(), body.into())),
-        ]
-    })
+fn arb_iexp_leaf(c: &mut Ctx) -> IExp {
+    match c.choose(4) {
+        0 => IExp::Lit(i64::from(c.gen_range(-1000i16..1000))),
+        1 => IExp::Lit(0),
+        2 => IExp::Lit(1 << 30), // boundary of the 31-bit range
+        _ => IExp::Var(c.gen_range(0usize..=usize::MAX)),
+    }
 }
 
-fn arb_bexp_with(i: BoxedStrategy<IExp>) -> BoxedStrategy<BExp> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(BExp::Lit),
-        (i.clone(), i.clone()).prop_map(|(a, b)| BExp::Lt(a.into(), b.into())),
-        (i.clone(), i.clone()).prop_map(|(a, b)| BExp::Le(a.into(), b.into())),
-        (i.clone(), i).prop_map(|(a, b)| BExp::Eq(a.into(), b.into())),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BExp::And(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExp::Or(a.into(), b.into())),
-            inner.prop_map(|a| BExp::Not(a.into())),
-        ]
-    })
-    .boxed()
+fn arb_iexp_at(c: &mut Ctx, depth: u32) -> IExp {
+    if depth == 0 || c.choose(3) == 0 {
+        return arb_iexp_leaf(c);
+    }
+    let d = depth - 1;
+    match c.choose(7) {
+        0 => IExp::Add(arb_iexp_at(c, d).into(), arb_iexp_at(c, d).into()),
+        1 => IExp::Sub(arb_iexp_at(c, d).into(), arb_iexp_at(c, d).into()),
+        2 => IExp::Mul(arb_iexp_at(c, d).into(), arb_iexp_at(c, d).into()),
+        3 => IExp::Div(arb_iexp_at(c, d).into(), arb_iexp_at(c, d).into()),
+        4 => IExp::Mod(arb_iexp_at(c, d).into(), arb_iexp_at(c, d).into()),
+        5 => IExp::If(
+            arb_bexp_at(c, 3.min(d), d).into(),
+            arb_iexp_at(c, d).into(),
+            arb_iexp_at(c, d).into(),
+        ),
+        _ => IExp::Let(arb_iexp_at(c, d).into(), arb_iexp_at(c, d).into()),
+    }
+}
+
+fn arb_bexp_at(c: &mut Ctx, depth: u32, idepth: u32) -> BExp {
+    if depth == 0 || c.choose(3) == 0 {
+        return match c.choose(4) {
+            0 => BExp::Lit(c.any_bool()),
+            1 => BExp::Lt(arb_iexp_at(c, idepth).into(), arb_iexp_at(c, idepth).into()),
+            2 => BExp::Le(arb_iexp_at(c, idepth).into(), arb_iexp_at(c, idepth).into()),
+            _ => BExp::Eq(arb_iexp_at(c, idepth).into(), arb_iexp_at(c, idepth).into()),
+        };
+    }
+    let d = depth - 1;
+    match c.choose(3) {
+        0 => BExp::And(arb_bexp_at(c, d, idepth).into(), arb_bexp_at(c, d, idepth).into()),
+        1 => BExp::Or(arb_bexp_at(c, d, idepth).into(), arb_bexp_at(c, d, idepth).into()),
+        _ => BExp::Not(arb_bexp_at(c, d, idepth).into()),
+    }
+}
+
+fn arb_iexp(c: &mut Ctx) -> IExp {
+    arb_iexp_at(c, 5)
 }
 
 /// Interpreter outcome of `val _ = exit (expr);` programs.
@@ -157,26 +174,26 @@ fn machine_exit_code(src: &str, gc: bool) -> u8 {
     s.mem.read_word(layout.exit_code_addr) as u8
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+testkit::props! {
+    #![cases = 96]
 
     /// Theorem (2): machine behaviour equals source behaviour, crash
     /// codes included.
-    #[test]
-    fn compiled_code_agrees_with_interpreter(e in arb_iexp()) {
+    fn compiled_code_agrees_with_interpreter(ctx) {
+        let e = arb_iexp(ctx);
         let p = make_program(&e);
         let spec = spec_exit_code(&p);
         let got = machine_exit_code(&p.src, false);
-        prop_assert_eq!(got, spec, "program:\n{}", p.src);
+        assert_eq!(got, spec, "program:\n{}", p.src);
     }
 
     /// The collector does not change behaviour either.
-    #[test]
-    fn gc_mode_agrees_with_interpreter(e in arb_iexp()) {
+    fn gc_mode_agrees_with_interpreter(ctx) {
+        let e = arb_iexp(ctx);
         let p = make_program(&e);
         let spec = spec_exit_code(&p);
         let got = machine_exit_code(&p.src, true);
-        prop_assert_eq!(got, spec, "program:\n{}", p.src);
+        assert_eq!(got, spec, "program:\n{}", p.src);
     }
 }
 
@@ -214,19 +231,23 @@ fn show_l(e: &LExp) -> String {
     }
 }
 
-fn arb_lexp() -> impl Strategy<Value = LExp> {
-    let leaf = proptest::collection::vec(any::<i8>(), 0..6).prop_map(LExp::Lit);
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (any::<i8>(), inner.clone()).prop_map(|(h, t)| LExp::Cons(h, t.into())),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| LExp::Append(a.into(), b.into())),
-            inner.clone().prop_map(|a| LExp::Rev(a.into())),
-            inner.clone().prop_map(|a| LExp::Filter(a.into())),
-            inner.clone().prop_map(|a| LExp::Map(a.into())),
-            inner.prop_map(|a| LExp::Sort(a.into())),
-        ]
-    })
+fn arb_lexp_at(c: &mut Ctx, depth: u32) -> LExp {
+    if depth == 0 || c.choose(3) == 0 {
+        return LExp::Lit(c.vec_of(0usize..6, |c| c.any::<i8>()));
+    }
+    let d = depth - 1;
+    match c.choose(6) {
+        0 => LExp::Cons(c.any::<i8>(), arb_lexp_at(c, d).into()),
+        1 => LExp::Append(arb_lexp_at(c, d).into(), arb_lexp_at(c, d).into()),
+        2 => LExp::Rev(arb_lexp_at(c, d).into()),
+        3 => LExp::Filter(arb_lexp_at(c, d).into()),
+        4 => LExp::Map(arb_lexp_at(c, d).into()),
+        _ => LExp::Sort(arb_lexp_at(c, d).into()),
+    }
+}
+
+fn arb_lexp(c: &mut Ctx) -> LExp {
+    arb_lexp_at(c, 4)
 }
 
 #[derive(Clone, Debug)]
@@ -260,19 +281,23 @@ fn show_s(e: &SExp) -> String {
     }
 }
 
-fn arb_sexp() -> impl Strategy<Value = SExp> {
-    let leaf = prop_oneof![
-        "[a-z ]{0,6}".prop_map(SExp::Lit),
-        any::<i16>().prop_map(SExp::OfInt),
-        arb_lexp().prop_map(SExp::Implode),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SExp::Concat(a.into(), b.into())),
-            inner.prop_map(|a| SExp::SubstrHalf(a.into())),
-        ]
-    })
+fn arb_sexp_at(c: &mut Ctx, depth: u32) -> SExp {
+    if depth == 0 || c.choose(3) == 0 {
+        return match c.choose(3) {
+            0 => SExp::Lit(c.string_of("abcdefghijklmnopqrstuvwxyz ", 0usize..=6)),
+            1 => SExp::OfInt(c.any::<i16>()),
+            _ => SExp::Implode(arb_lexp_at(c, 2.min(depth))),
+        };
+    }
+    let d = depth - 1;
+    match c.choose(2) {
+        0 => SExp::Concat(arb_sexp_at(c, d).into(), arb_sexp_at(c, d).into()),
+        _ => SExp::SubstrHalf(arb_sexp_at(c, d).into()),
+    }
+}
+
+fn arb_sexp(c: &mut Ctx) -> SExp {
+    arb_sexp_at(c, 3)
 }
 
 fn check_with_prelude(src: &str) {
@@ -305,13 +330,13 @@ fn check_with_prelude(src: &str) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+testkit::props! {
+    #![cases = 24]
 
     /// List programs through the prelude: observe a structure-sensitive
     /// checksum so ordering bugs are caught.
-    #[test]
-    fn list_programs_agree(e in arb_lexp()) {
+    fn list_programs_agree(ctx) {
+        let e = arb_lexp(ctx);
         let src = format!(
             "val xs = {};\n\
              val sum = foldl (fn a => fn b => (a * 31 + b) mod 65521) 7 xs;\n\
@@ -323,8 +348,8 @@ proptest! {
 
     /// String programs through the prelude (concat, substring,
     /// int_to_string, implode), observed via a rolling hash.
-    #[test]
-    fn string_programs_agree(e in arb_sexp()) {
+    fn string_programs_agree(ctx) {
+        let e = arb_sexp(ctx);
         let src = format!(
             "val s = {};\n\
              fun hash i acc =\n\

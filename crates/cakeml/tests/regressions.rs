@@ -1,0 +1,123 @@
+//! Historical counterexamples, pinned as named unit tests.
+//!
+//! The proptest era of `compiler_correctness.rs` persisted one shrunk
+//! counterexample in `compiler_correctness.proptest-regressions`:
+//!
+//! ```text
+//! e = Add(If(Not(And(Le(Lit(0), Sub(Lit(0), Var(1))),
+//!                    Or(Lit(false), Lt(Lit(108), Sub(Lit(335), Lit(1073741824)))))),
+//!            Mul(Lit(-139), Lit(0)),
+//!            Lit(1073741824)),
+//!        Mod(Lit(-439), Mod(Div(Lit(300), Lit(0)), Var(8284607985058737001))))
+//! ```
+//!
+//! That file is deleted (the hermetic `testkit` harness uses
+//! `*.testkit-regressions` seed files instead); the case lives on here,
+//! both verbatim and decomposed into the individual hazards it packs
+//! together: division by zero, `mod` with negative operands, the
+//! `1 << 30` boundary of the 31-bit tagged-integer range, multiply by
+//! zero with a negative operand, short-circuit evaluation guarding a
+//! crash, and out-of-range `Var` indices wrapping onto the one variable
+//! in scope (`Var(8284607985058737001) % 1 == v0`).
+//!
+//! Each test checks theorem (2) concretely: the compiled Silver machine
+//! code's exit code — crash codes included — equals the interpreter's,
+//! with and without the garbage collector.
+
+use cakeml::{compile_source, run_program, CompilerConfig, NoFfi, Stop, TargetLayout};
+
+/// Wraps `expr` in the same harness the property tests use (`v0` bound
+/// to 17, result passed to `Runtime.exit`) and asserts interpreter and
+/// machine agree on the exit code in both GC modes.
+fn check_exit_expr(expr: &str) {
+    let src = format!("val v0 = 17;\nval _ = Runtime.exit ({expr});");
+    let cfg = CompilerConfig { prelude: false, ..CompilerConfig::default() };
+    let (ast, _) = cakeml::frontend(&src, &cfg).expect("regression program type-checks");
+    let spec = match run_program(&ast, &mut NoFfi, 50_000_000) {
+        Ok(out) => out.exit_code,
+        Err(Stop::Exit(c)) => c,
+        Err(other) => panic!("interpreter failed: {other}"),
+    };
+    let layout = TargetLayout::default();
+    for gc in [false, true] {
+        let cfg = CompilerConfig { prelude: false, gc, ..CompilerConfig::default() };
+        let compiled = compile_source(&src, layout, &cfg).expect("compiles");
+        let mut s = ag32::State::new();
+        s.mem.write_bytes(layout.code_base, &compiled.code);
+        s.mem.write_word(
+            layout.halt_addr,
+            ag32::encode(ag32::Instr::Jump {
+                func: ag32::Func::Add,
+                w: ag32::Reg::new(0),
+                a: ag32::Ri::Imm(0),
+            }),
+        );
+        s.pc = layout.code_base;
+        s.run(100_000_000);
+        assert!(s.is_halted(), "compiled program must halt (gc={gc}): {src}");
+        let got = s.mem.read_word(layout.exit_code_addr) as u8;
+        assert_eq!(got, spec, "gc={gc}, program:\n{src}");
+    }
+}
+
+/// The full historical counterexample, rendered exactly as the old
+/// generator's pretty-printer did at depth 1 (both `Var`s reduce to
+/// `v0`).
+#[test]
+fn historical_proptest_counterexample() {
+    check_exit_expr(
+        "((if (not ((0 <= (0 - v0)) andalso (false orelse (108 < (335 - 1073741824))))) \
+          then (~139 * 0) else 1073741824) \
+          + (~439 mod ((300 div 0) mod v0)))",
+    );
+}
+
+/// Division by zero must produce the same crash exit code at both
+/// levels.
+#[test]
+fn div_by_zero_crash_code() {
+    check_exit_expr("(300 div 0)");
+}
+
+/// `mod` by zero likewise.
+#[test]
+fn mod_by_zero_crash_code() {
+    check_exit_expr("(300 mod 0)");
+}
+
+/// A crash inside a nested operand must propagate identically — the
+/// compiler must not reorder or constant-fold past it.
+#[test]
+fn crash_propagates_through_nested_mod() {
+    check_exit_expr("(~439 mod ((300 div 0) mod v0))");
+}
+
+/// `mod` with negative operands: SML `mod` has sign-of-divisor
+/// semantics, which differs from the machine's remainder.
+#[test]
+fn mod_with_negative_operands() {
+    check_exit_expr("((~439 mod 7) + (439 mod ~7) + 100)");
+}
+
+/// The `1 << 30` literal sits at the boundary of the 31-bit
+/// tagged-integer range; subtraction across it must not wrap
+/// differently in compiled code.
+#[test]
+fn int_boundary_at_two_pow_thirty() {
+    check_exit_expr("(if (108 < (335 - 1073741824)) then 1 else 2)");
+}
+
+/// Multiply by zero with a negative operand — the shrunk `then` branch.
+/// Constant folding must preserve the sign-of-zero-free result.
+#[test]
+fn negative_times_zero() {
+    check_exit_expr("((~139 * 0) + 55)");
+}
+
+/// Short-circuit `andalso`/`orelse` must guard a crashing operand: the
+/// division by zero on the untaken side must never execute.
+#[test]
+fn short_circuit_guards_crash() {
+    check_exit_expr("(if (false andalso ((1 div 0) = 0)) then 1 else 2)");
+    check_exit_expr("(if (true orelse ((1 div 0) = 0)) then 3 else 4)");
+}

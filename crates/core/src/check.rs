@@ -146,6 +146,54 @@ pub fn check_end_to_end(
     })
 }
 
+/// One workload for [`check_end_to_end_batch`].
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// A label for error messages.
+    pub name: String,
+    /// Program source.
+    pub src: String,
+    /// Command-line arguments.
+    pub args: Vec<String>,
+    /// Standard input.
+    pub stdin: Vec<u8>,
+}
+
+impl Workload {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, src: &str, args: &[&str], stdin: &[u8]) -> Self {
+        Workload {
+            name: name.to_string(),
+            src: src.to_string(),
+            args: args.iter().map(ToString::to_string).collect(),
+            stdin: stdin.to_vec(),
+        }
+    }
+}
+
+/// Runs [`check_end_to_end`] over a whole suite of workloads, fanned
+/// across threads with [`testkit::par::par_map`] (bounded by
+/// `TESTKIT_THREADS`). Results come back in input order.
+///
+/// # Errors
+///
+/// The first failing workload, labelled with its name. All workloads
+/// run to completion before the error is reported, so a batch failure
+/// message identifies every divergence in `stderr` logs.
+pub fn check_end_to_end_batch(
+    stack: &Stack,
+    workloads: Vec<Workload>,
+    opts: &CheckOptions,
+) -> Result<Vec<EndToEndReport>, String> {
+    let results = testkit::par::par_map(workloads, |w| {
+        let args: Vec<&str> = w.args.iter().map(String::as_str).collect();
+        check_end_to_end(stack, &w.src, &args, &w.stdin, opts)
+            .map_err(|e| format!("{}: {e}", w.name))
+    });
+    results.into_iter().collect()
+}
+
 impl From<StackError> for String {
     fn from(e: StackError) -> Self {
         e.to_string()

@@ -43,5 +43,5 @@ pub mod check;
 pub mod stack;
 
 pub use basis::ExitStatus;
-pub use check::{check_end_to_end, CheckOptions, EndToEndReport};
+pub use check::{check_end_to_end, check_end_to_end_batch, CheckOptions, EndToEndReport, Workload};
 pub use stack::{Backend, RunConfig, Stack, StackError, StackResult};

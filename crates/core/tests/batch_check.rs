@@ -1,0 +1,48 @@
+//! The parallel end-to-end checker: the paper's application suite run
+//! through every layer at once, fanned across threads with
+//! `testkit::par`.
+
+use silver_stack::{apps, check_end_to_end_batch, CheckOptions, Stack, Workload};
+
+#[test]
+fn app_suite_checks_end_to_end_in_parallel() {
+    let stack = Stack::new();
+    let workloads = vec![
+        Workload::new("hello", apps::HELLO, &["hello"], b""),
+        Workload::new("wc", apps::WC, &["wc"], b"one two three\nfour\n"),
+        Workload::new("cat", apps::CAT, &["cat"], b"line a\nline b\n"),
+        Workload::new("sort", apps::SORT, &["sort"], b"pear\napple\nplum\n"),
+    ];
+    let opts = CheckOptions { lockstep_instructions: 2_000, ..CheckOptions::default() };
+    let reports = check_end_to_end_batch(&stack, workloads, &opts).expect("all layers agree");
+    assert_eq!(reports.len(), 4);
+    // Reports come back in input order.
+    assert_eq!(reports[1].stdout, "2 4 19\n");
+    assert_eq!(reports[2].stdout, "line a\nline b\n");
+    assert_eq!(reports[3].stdout, "apple\npear\nplum\n");
+    for r in &reports {
+        assert_eq!(r.exit_code, 0);
+        assert!(r.isa_instructions > 0);
+        assert!(r.rtl_cycles >= r.isa_instructions);
+    }
+}
+
+#[test]
+fn batch_reports_failures_by_name() {
+    let stack = Stack::new();
+    let workloads = vec![
+        Workload::new("ok", apps::HELLO, &["hello"], b""),
+        Workload::new("broken", "val _ = exit (1 div 0);", &["broken"], b""),
+    ];
+    // `1 div 0` crashes with a nonzero code at every layer *identically*,
+    // so end-to-end checking succeeds — crash codes are behaviour too.
+    let reports =
+        check_end_to_end_batch(&stack, workloads, &CheckOptions::default()).expect("agree");
+    assert_eq!(reports[0].exit_code, 0);
+    assert_ne!(reports[1].exit_code, 0);
+
+    // An actually ill-formed program surfaces its workload name.
+    let bad = vec![Workload::new("nonsense", "val = = =", &["x"], b"")];
+    let err = check_end_to_end_batch(&stack, bad, &CheckOptions::default()).unwrap_err();
+    assert!(err.starts_with("nonsense:"), "error not labelled: {err}");
+}

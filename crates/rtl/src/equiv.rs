@@ -13,8 +13,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::rng::{Rng as _, TestRng};
 use verilog::ast::ValueOrArray;
 use verilog::value::Value;
 
@@ -156,7 +155,7 @@ fn lookup_verilog(
 ///
 /// Returns the first divergence or simulator error.
 pub fn check_equiv_random(circuit: &Circuit, seed: u64, cycles: u64) -> Result<(), EquivError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let input_decls: Vec<(String, RTy)> = circuit.inputs.clone();
     check_equiv(
         circuit,

@@ -1,7 +1,6 @@
 //! Property tests: circuit-vs-Verilog lockstep equivalence over random
 //! seeds, and interpreter laws.
 
-use proptest::prelude::*;
 use rtl::ast::*;
 use rtl::interp::{FixedEnv, RValue, RtlState};
 use rtl::{check_equiv_random, interp};
@@ -37,19 +36,19 @@ fn shifter_circuit() -> Circuit {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+testkit::props! {
+    #![cases = 16]
 
     /// Theorem-(10) analog on a shifting circuit: any random input trace
     /// keeps the circuit and its generated Verilog in lockstep.
-    #[test]
-    fn shifter_equivalence(seed in any::<u64>()) {
+    fn shifter_equivalence(ctx) {
+        let seed = ctx.any::<u64>();
         check_equiv_random(&shifter_circuit(), seed, 200).unwrap();
     }
 
     /// The circuit interpreter is deterministic.
-    #[test]
-    fn interpreter_deterministic(seed in any::<u64>()) {
+    fn interpreter_deterministic(ctx) {
+        let seed = ctx.any::<u64>();
         let c = shifter_circuit();
         let mut s1 = RtlState::zeroed(&c);
         let mut s2 = RtlState::zeroed(&c);
@@ -62,12 +61,13 @@ proptest! {
         let mut env2 = FixedEnv(inputs);
         interp::run(&c, &mut env1, &mut s1, 10).unwrap();
         interp::run(&c, &mut env2, &mut s2, 10).unwrap();
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2);
     }
 
     /// Rotate-right by `amt` equals the ISA's rotate.
-    #[test]
-    fn rotate_matches_native(x in any::<u32>(), amt in 0u32..32) {
+    fn rotate_matches_native(ctx) {
+        let x = ctx.any::<u32>();
+        let amt = ctx.gen_range(0u32..32);
         let c = shifter_circuit();
         let mut st = RtlState::zeroed(&c);
         let mut env = FixedEnv(vec![
@@ -76,7 +76,7 @@ proptest! {
             ("kind".to_string(), RValue::Word(2, 3)),
         ]);
         interp::run(&c, &mut env, &mut st, 1).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             st.get_scalar("out").unwrap() as u32,
             x.rotate_right(amt)
         );

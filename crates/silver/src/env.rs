@@ -11,9 +11,8 @@
 //! implementation from the ISA.
 
 use ag32::{IoEvent, Memory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtl::interp::{RValue, RtlEnv, RtlState};
+use testkit::rng::{Rng as _, TestRng};
 
 /// Latency behaviour of an interface.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,7 +28,7 @@ pub enum Latency {
 }
 
 impl Latency {
-    fn draw(self, rng: &mut StdRng) -> u32 {
+    fn draw(self, rng: &mut TestRng) -> u32 {
         match self {
             Latency::Fixed(n) => n,
             Latency::Random { max } => rng.gen_range(0..=max),
@@ -76,7 +75,7 @@ pub struct MemEnv {
     /// Value driven on the processor's input port.
     pub data_in: u32,
     cfg: MemEnvConfig,
-    rng: StdRng,
+    rng: TestRng,
     mem_countdown: Option<u32>,
     int_countdown: Option<u32>,
 }
@@ -85,7 +84,7 @@ impl MemEnv {
     /// Builds an environment around a pre-loaded memory image.
     #[must_use]
     pub fn new(mem: Memory, cfg: MemEnvConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = TestRng::seed_from_u64(cfg.seed);
         MemEnv {
             mem,
             io_events: Vec::new(),
@@ -173,7 +172,7 @@ mod tests {
 
     #[test]
     fn latency_draw_is_bounded() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = TestRng::seed_from_u64(1);
         for _ in 0..100 {
             assert!(Latency::Random { max: 3 }.draw(&mut rng) <= 3);
         }

@@ -5,9 +5,10 @@
 
 use ag32::asm::Assembler;
 use ag32::{encode, Func, Instr, Reg, Ri, Shift, State};
-use proptest::prelude::*;
 use silver::env::{Latency, MemEnvConfig};
 use silver::lockstep::run_lockstep;
+use testkit::prop::Ctx;
+use testkit::rng::{Rng as _, TestRng};
 
 fn state_with_code(base: u32, code: &[u8]) -> State {
     let mut s = State::new();
@@ -193,9 +194,7 @@ fn nonzero_initial_registers_and_pc() {
 /// random ALU/memory instructions — exercising the branch/jump paths the
 /// straight-line generator cannot.
 fn random_structured_program(seed: u64, blocks: u32) -> State {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut a = Assembler::new(0);
     let r = Reg::new;
     for b in 0..blocks {
@@ -232,30 +231,33 @@ fn random_structured_program(seed: u64, blocks: u32) -> State {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random *structured* programs — loops, branches, memory traffic,
-    /// random initial registers — stay in lockstep under random latency.
-    #[test]
-    fn random_structured_programs(seed in any::<u64>(), blocks in 1u32..5) {
+/// Random *structured* programs — loops, branches, memory traffic,
+/// random initial registers — stay in lockstep under random latency.
+/// The 24 seeds fan out across cores via `testkit::par`.
+#[test]
+fn random_structured_programs() {
+    let mut seeder = TestRng::seed_from_u64(testkit::master_seed() ^ 0x57C0);
+    let cases: Vec<(u64, u32)> =
+        (0..24).map(|_| (seeder.next_u64(), seeder.gen_range(1u32..5))).collect();
+    testkit::par::par_map(cases, |(seed, blocks)| {
         let s = random_structured_program(seed, blocks);
         run_lockstep(&s, 3000, cfg_random(seed ^ 0xABCD), 3_000_000)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-    }
+            .unwrap_or_else(|e| panic!("seed {seed:#x}, {blocks} blocks: {e}"));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_straightline(ctx: &mut Ctx) -> (Vec<u32>, u64) {
+    (ctx.vec_of(1usize..40, |c| c.any::<u32>()), ctx.any::<u64>())
+}
+
+testkit::props! {
+    #![cases = 24]
 
     /// Random straight-line programs (arbitrary instruction words with
     /// jumps excluded) agree between ISA and implementation under random
     /// memory latencies.
-    #[test]
-    fn random_straightline_programs(
-        words in proptest::collection::vec(any::<u32>(), 1..40),
-        seed in any::<u64>(),
-    ) {
+    fn random_straightline_programs(ctx) {
+        let (words, seed) = arb_straightline(ctx);
         let mut s = State::new();
         s.io_window = (0x8000, 4);
         let mut addr = 0u32;
@@ -277,18 +279,12 @@ proptest! {
             func: Func::Add, w: Reg::new(0), a: Ri::Imm(0),
         }));
         let rep = run_lockstep(&s, words.len() as u64 + 1, cfg_random(seed), 2_000_000)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert!(rep.cycles >= rep.instructions);
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(rep.cycles >= rep.instructions);
     }
 
     /// Random register/flag initial states on a fixed ALU program.
-    #[test]
-    fn random_initial_state(
-        regs in proptest::collection::vec(any::<u32>(), 64),
-        carry in any::<bool>(),
-        overflow in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+    fn random_initial_state(ctx) {
         let mut a = Assembler::new(0);
         let r = Reg::new;
         for f in [Func::Add, Func::AddWithCarry, Func::Sub, Func::MulHi, Func::Less] {
@@ -296,12 +292,13 @@ proptest! {
         }
         a.halt(r(4));
         let mut s = state_with_code(0, &a.assemble().unwrap());
-        for (i, v) in regs.iter().enumerate() {
-            s.regs[i] = *v;
+        for i in 0..64 {
+            s.regs[i] = ctx.any::<u32>();
         }
-        s.carry = carry;
-        s.overflow = overflow;
+        s.carry = ctx.any_bool();
+        s.overflow = ctx.any_bool();
+        let seed = ctx.any::<u64>();
         run_lockstep(&s, 100, cfg_random(seed), 100_000)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

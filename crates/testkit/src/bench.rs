@@ -1,0 +1,240 @@
+//! A wall-clock bench timer replacing criterion.
+//!
+//! Each benchmark runs a warmup, then `sample_size` timed samples; fast
+//! closures are auto-batched so every sample lasts long enough for the
+//! OS timer to resolve. Results are printed as a table and appended as
+//! JSON lines to `BENCH_<suite>.json` (override with the `BENCH_OUT`
+//! environment variable; set `BENCH_OUT=-` to skip the file).
+//!
+//! Bench binaries keep `harness = false` and call this from `main`:
+//!
+//! ```ignore
+//! fn main() {
+//!     let mut b = testkit::bench::Bench::new("layers").sample_size(10);
+//!     b.bench("layer2_isa", || { /* workload */ });
+//!     b.finish();
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Timing summary for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed samples taken.
+    pub samples: u32,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// 95th percentile over samples.
+    pub p95_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    fn json(&self, suite: &str) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"name\":\"{}\",\"samples\":{},\
+             \"iters_per_sample\":{},\"median_ns\":{:.1},\"p95_ns\":{:.1},\
+             \"min_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            escape(suite),
+            escape(&self.name),
+            self.samples,
+            self.iters_per_sample,
+            self.median_ns,
+            self.p95_ns,
+            self.min_ns,
+            self.mean_ns
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Formats nanoseconds human-readably.
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A benchmark suite: times closures and records JSON-lines results.
+pub struct Bench {
+    suite: String,
+    sample_size: u32,
+    warmup: u32,
+    /// Target duration per sample when auto-batching fast closures.
+    min_sample_ns: f64,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Creates a suite named `suite`.
+    #[must_use]
+    pub fn new(suite: &str) -> Self {
+        Bench {
+            suite: suite.to_string(),
+            sample_size: 10,
+            warmup: 2,
+            min_sample_ns: 5e6,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples (criterion's `sample_size`).
+    #[must_use]
+    pub fn sample_size(mut self, n: u32) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the number of warmup invocations.
+    #[must_use]
+    pub fn warmup(mut self, n: u32) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Times `f`, records the result, and prints a one-line summary.
+    /// The closure's return value is consumed with [`std::hint::black_box`]
+    /// so the work is not optimised away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        // Warmup, and measure a single call to pick the batch size.
+        let mut single_ns = f64::MAX;
+        for _ in 0..self.warmup.max(1) {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            single_ns = single_ns.min(t.elapsed().as_nanos() as f64);
+        }
+        let iters_per_sample = if single_ns >= self.min_sample_ns {
+            1
+        } else {
+            ((self.min_sample_ns / single_ns.max(1.0)).ceil() as u64).clamp(1, 1_000_000)
+        };
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size as usize);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let n = per_iter.len();
+        let median = if n % 2 == 0 {
+            (per_iter[n / 2 - 1] + per_iter[n / 2]) / 2.0
+        } else {
+            per_iter[n / 2]
+        };
+        let p95 = per_iter[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: self.sample_size,
+            iters_per_sample,
+            median_ns: median,
+            p95_ns: p95,
+            min_ns: per_iter[0],
+            mean_ns: per_iter.iter().sum::<f64>() / n as f64,
+        };
+        eprintln!(
+            "bench {:<32} median {:>12}   p95 {:>12}   ({} samples × {} iters)",
+            name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+            result.samples,
+            result.iters_per_sample
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The path JSON lines will be written to, or `None` when disabled.
+    #[must_use]
+    pub fn out_path(&self) -> Option<std::path::PathBuf> {
+        match std::env::var("BENCH_OUT") {
+            Ok(p) if p == "-" => None,
+            Ok(p) => Some(p.into()),
+            Err(_) => Some(format!("BENCH_{}.json", self.suite).into()),
+        }
+    }
+
+    /// Writes all recorded results as JSON lines and returns them.
+    pub fn finish(self) -> Vec<BenchResult> {
+        if let Some(path) = self.out_path() {
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    for r in &self.results {
+                        let _ = writeln!(f, "{}", r.json(&self.suite));
+                    }
+                    eprintln!("bench results -> {}", path.display());
+                }
+                Err(e) => eprintln!("bench: cannot write {}: {e}", path.display()),
+            }
+        }
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_closure_and_batches_fast_ones() {
+        let mut b = Bench::new("selftest").sample_size(4).warmup(1);
+        let r = b.bench("incr", || 1 + 1).clone();
+        assert_eq!(r.samples, 4);
+        assert!(r.iters_per_sample > 1, "trivial closure should batch");
+        assert!(r.median_ns >= 0.0 && r.min_ns <= r.p95_ns);
+    }
+
+    #[test]
+    fn json_is_wellformed_lines() {
+        let r = BenchResult {
+            name: "x\"y".into(),
+            samples: 3,
+            iters_per_sample: 7,
+            median_ns: 1.5,
+            p95_ns: 2.0,
+            min_ns: 1.0,
+            mean_ns: 1.6,
+        };
+        let j = r.json("suite");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"suite\":\"suite\""));
+        assert!(j.contains("x\\\"y"));
+        assert!(j.contains("\"median_ns\":1.5"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert!(fmt_ns(12_500.0).contains("µs"));
+        assert!(fmt_ns(12_500_000.0).contains("ms"));
+        assert!(fmt_ns(2.5e9).contains(" s"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Hermetic test infrastructure for the silver-stack workspace.
+//!
+//! The paper's substitution rule turns every HOL theorem into an
+//! *executable differential-testing obligation*, which makes the test
+//! harness the proof layer of this reproduction. That layer must be
+//! deterministic (two runs with the same seed must produce the same
+//! verdicts and the same shrunk counterexamples) and fully offline (the
+//! build environment has no registry access). `testkit` therefore
+//! replaces `rand`, `proptest` and `criterion` with four small,
+//! zero-dependency subsystems:
+//!
+//! * [`rng`] — a SplitMix64-seeded xoshiro256** PRNG behind a [`Rng`]
+//!   trait mirroring the `rand` surface the workspace uses
+//!   (`gen_range`, `gen_bool`, `gen`, `fill_bytes`), seedable from the
+//!   `TESTKIT_SEED` environment variable.
+//! * [`prop`] — a property-testing harness with sized generators,
+//!   *integrated shrinking* over the recorded choice stream (halving
+//!   for integers, trimming for collections and recursive AST-shaped
+//!   data), per-test case budgets and regression-seed persistence to
+//!   `*.testkit-regressions` files.
+//! * [`bench`] — a wall-clock bench timer (warmup + N samples,
+//!   median/p95) with JSON-lines output for `BENCH_*.json` records.
+//! * [`par`] — a `std::thread` fan-out helper so differential suites
+//!   can run seeds across cores.
+//!
+//! # Environment knobs
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `TESTKIT_SEED` | master seed for all property tests (decimal or `0x…`) |
+//! | `TESTKIT_CASES` | overrides the number of random cases per property |
+//! | `TESTKIT_CASE_SEED` | replays exactly one case with this seed (printed by failures) |
+//! | `TESTKIT_THREADS` | thread count for [`par`] fan-out |
+//! | `BENCH_OUT` | path for bench JSON-lines output (default `BENCH_<suite>.json`) |
+
+pub mod bench;
+pub mod par;
+pub mod prop;
+pub mod rng;
+
+pub use prop::{check, Config, Ctx};
+pub use rng::{Rng, SplitMix64, TestRng};
+
+/// Parses a seed that may be decimal or `0x`-prefixed hexadecimal.
+#[must_use]
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The master seed: `TESTKIT_SEED` if set, else a fixed default so runs
+/// are deterministic out of the box.
+#[must_use]
+pub fn master_seed() -> u64 {
+    std::env::var("TESTKIT_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+        .unwrap_or(0x5EED_CAFE_F00D_0001)
+}

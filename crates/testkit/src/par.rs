@@ -1,0 +1,128 @@
+//! `std::thread` fan-out for differential suites.
+//!
+//! Lockstep and end-to-end checks are embarrassingly parallel across
+//! seeds; [`par_map`] spreads them over the machine's cores (or
+//! `TESTKIT_THREADS`) with a work-stealing index, preserving input
+//! order in the result. Worker panics propagate to the caller so a
+//! failing seed still fails the enclosing test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The fan-out width: `TESTKIT_THREADS`, else available parallelism,
+/// at least 1.
+#[must_use]
+pub fn num_threads() -> usize {
+    std::env::var("TESTKIT_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Applies `f` to every item on up to [`num_threads`] worker threads,
+/// returning results in input order.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (after all workers have stopped),
+/// so assertion failures inside `f` behave like sequential ones.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            }));
+        }
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                first_panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("worker filled slot"))
+        .collect()
+}
+
+/// Runs `f` once per seed across threads — the common shape of
+/// differential lockstep suites.
+///
+/// # Panics
+///
+/// Propagates the first failing seed's panic.
+pub fn for_each_seed<F>(seeds: impl IntoIterator<Item = u64>, f: F)
+where
+    F: Fn(u64) + Sync,
+{
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let _unit: Vec<()> = par_map(seeds, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            par_map((0..8u64).collect(), |x| {
+                assert!(x != 5, "seed 5 fails");
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn for_each_seed_runs_all() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        for_each_seed(1..=10, |s| {
+            sum.fetch_add(s, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,809 @@
+//! A minimal property-testing harness with integrated shrinking.
+//!
+//! # Model
+//!
+//! A property is a closure `FnMut(&mut Ctx)` that draws random values
+//! through the [`Ctx`] handle and panics (usually via `assert!`) when
+//! the property is violated. Every draw is recorded as a `u64` *choice*;
+//! shrinking operates on the recorded choice stream (Hypothesis-style):
+//! candidate streams are produced by trimming chunks (which shrinks
+//! collections and recursive AST-shaped data, because generators read
+//! zeros past the end of the stream and zero selects the first/leaf
+//! alternative) and by halving individual choices toward zero (which
+//! shrinks integers toward the simplest value). A candidate is accepted
+//! only if replaying it still fails the property, so the reported
+//! counterexample is always a genuine failure.
+//!
+//! # Determinism and reproduction
+//!
+//! Case seeds derive from the master seed (`TESTKIT_SEED`, or a fixed
+//! default) via SplitMix64, so two runs with the same seed generate the
+//! same cases, find the same failures, and — because the shrink passes
+//! are deterministic — report the identical minimal counterexample.
+//! Failures print a one-line reproduction command
+//! (`TESTKIT_CASE_SEED=… cargo test …`) and persist their seed to a
+//! `*.testkit-regressions` file that is re-run before fresh cases on
+//! every subsequent invocation.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use crate::rng::{draw_below_inclusive, SampleRange, SampleUniform, SplitMix64, TestRng};
+
+/// Default number of random cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Configuration for a single property check.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Property name (the `#[test]` function name).
+    pub name: &'static str,
+    /// Package name, for the printed reproduction command.
+    pub pkg: &'static str,
+    /// Number of random cases (overridden by `TESTKIT_CASES`).
+    pub cases: u32,
+    /// Evaluation budget for the shrink loop.
+    pub max_shrink_evals: u32,
+    /// Regression-seed file, re-run before fresh cases and appended on
+    /// new failures. `None` disables persistence.
+    pub regressions: Option<PathBuf>,
+}
+
+impl Config {
+    /// A configuration with defaults and no regression persistence.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Config {
+            name,
+            pkg: "",
+            cases: DEFAULT_CASES,
+            max_shrink_evals: 1024,
+            regressions: None,
+        }
+    }
+
+    /// Sets the package name used in reproduction commands.
+    #[must_use]
+    pub fn pkg(mut self, pkg: &'static str) -> Self {
+        self.pkg = pkg;
+        self
+    }
+
+    /// Sets the case count.
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the case count unless `cases` is zero (macro plumbing).
+    #[must_use]
+    pub fn default_cases(mut self, cases: u32) -> Self {
+        if cases > 0 {
+            self.cases = cases;
+        }
+        self
+    }
+
+    /// Sets the shrink evaluation budget.
+    #[must_use]
+    pub fn max_shrink_evals(mut self, evals: u32) -> Self {
+        self.max_shrink_evals = evals;
+        self
+    }
+
+    /// Persist regression seeds to an explicit file.
+    #[must_use]
+    pub fn regressions_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.regressions = Some(path.into());
+        self
+    }
+
+    /// Persist regression seeds to
+    /// `<manifest_dir>/tests/<file stem>.testkit-regressions` — the
+    /// in-tree replacement for proptest's `*.proptest-regressions`.
+    #[must_use]
+    pub fn regressions_for(self, manifest_dir: &str, source_file: &str) -> Self {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("prop");
+        self.regressions_file(
+            Path::new(manifest_dir)
+                .join("tests")
+                .join(format!("{stem}.testkit-regressions")),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Choice sources
+// ---------------------------------------------------------------------------
+
+enum Source<'a> {
+    /// Draw fresh values from the PRNG, recording every choice.
+    Fresh(&'a mut TestRng),
+    /// Replay a recorded stream; reads past the end yield zero (the
+    /// minimal choice), which generators must treat as "simplest".
+    Replay { choices: &'a [u64], pos: usize },
+}
+
+/// The handle a property draws random values through.
+///
+/// Draw methods are shrink-aware by construction: choice `0` always maps
+/// to the simplest value (zero for integer ranges spanning zero, the
+/// lower bound otherwise, `false` for booleans, the first alternative
+/// for [`Ctx::choose`], the empty collection for [`Ctx::vec_of`]).
+pub struct Ctx<'a> {
+    source: Source<'a>,
+    record: Vec<u64>,
+}
+
+impl<'a> Ctx<'a> {
+    fn fresh(rng: &'a mut TestRng) -> Self {
+        Ctx { source: Source::Fresh(rng), record: Vec::new() }
+    }
+
+    fn replay(choices: &'a [u64]) -> Self {
+        Ctx { source: Source::Replay { choices, pos: 0 }, record: Vec::new() }
+    }
+
+    /// A raw choice in `0..=bound`.
+    pub fn draw(&mut self, bound: u64) -> u64 {
+        let v = match &mut self.source {
+            Source::Fresh(rng) => draw_below_inclusive(*rng, bound),
+            Source::Replay { choices, pos } => {
+                let v = choices.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v.min(bound)
+            }
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// A uniform value in `range` (`a..b` or `a..=b`); shrinks toward
+    /// zero when the range contains zero, toward the lower bound
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: CtxSample, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds_inclusive();
+        assert!(lo <= hi, "empty range in Ctx::gen_range");
+        T::sample_ctx(self, lo, hi)
+    }
+
+    /// `true` with probability `p`; shrinks toward `false`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        const BITS: u64 = 1 << 53;
+        let threshold = ((1.0 - p.clamp(0.0, 1.0)) * BITS as f64) as u64;
+        self.draw(BITS - 1) >= threshold
+    }
+
+    /// A uniformly random value of a primitive type; shrinks toward
+    /// zero / `false`.
+    pub fn any<T: CtxSample + Bounded>(&mut self) -> T {
+        let (lo, hi) = T::FULL_RANGE;
+        T::sample_ctx(self, lo, hi)
+    }
+
+    /// A uniformly random `bool`; shrinks toward `false`.
+    pub fn any_bool(&mut self) -> bool {
+        self.draw(1) == 1
+    }
+
+    /// Chooses an alternative index in `0..n`; shrinks toward the first
+    /// alternative, so put leaves before recursive arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn choose(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Ctx::choose of zero alternatives");
+        self.draw(n as u64 - 1) as usize
+    }
+
+    /// A vector with a length drawn from `len`, elements from `f`;
+    /// shrinks by trimming.
+    pub fn vec_of<T>(
+        &mut self,
+        len: impl SampleRange<usize>,
+        mut f: impl FnMut(&mut Ctx) -> T,
+    ) -> Vec<T> {
+        let n = self.gen_range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A string of length drawn from `len` over the given alphabet
+    /// (replacement for simple regex strategies such as `[a-z ]{0,6}`).
+    pub fn string_of(&mut self, alphabet: &str, len: impl SampleRange<usize>) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "empty alphabet");
+        let n = self.gen_range(len);
+        (0..n).map(|_| chars[self.choose(chars.len())]).collect()
+    }
+
+    /// Random bytes; shrinks toward zeros.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for b in dest {
+            *b = self.gen_range(0u8..=u8::MAX);
+        }
+    }
+}
+
+/// Types with compile-time full-range bounds, for [`Ctx::any`].
+pub trait Bounded: Sized {
+    /// `(MIN, MAX)`.
+    const FULL_RANGE: (Self, Self);
+}
+
+macro_rules! bounded {
+    ($($t:ty),*) => {$(
+        impl Bounded for $t {
+            const FULL_RANGE: (Self, Self) = (<$t>::MIN, <$t>::MAX);
+        }
+    )*};
+}
+bounded!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer sampling through the recorded choice stream.
+pub trait CtxSample: SampleUniform {
+    /// A uniform value in `lo..=hi` drawn through `ctx`.
+    fn sample_ctx(ctx: &mut Ctx, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! ctx_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl CtxSample for $t {
+            fn sample_ctx(ctx: &mut Ctx, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(ctx.draw(span) as $t)
+            }
+        }
+    )*};
+}
+ctx_sample_unsigned!(u8, u16, u32, u64, usize);
+
+/// Maps choice `c` into `lo..=hi` (which must contain 0) so that
+/// `0 ↦ 0, 1 ↦ 1, 2 ↦ -1, 3 ↦ 2, …` — the zig-zag ordering that makes
+/// halving a choice shrink a signed value toward zero.
+fn zigzag(c: u64, lo: i64, hi: i64) -> i64 {
+    debug_assert!(lo <= 0 && hi >= 0);
+    if c == 0 {
+        return 0;
+    }
+    let pos = hi as u64;
+    let neg = lo.unsigned_abs();
+    let k = c - 1;
+    let m = pos.min(neg);
+    if k < 2 * m {
+        let step = (k / 2 + 1) as i64;
+        if k % 2 == 0 {
+            step
+        } else {
+            -step
+        }
+    } else if pos > neg {
+        (m + (k - 2 * m) + 1) as i64
+    } else {
+        -(((m + (k - 2 * m) + 1)) as i64)
+    }
+}
+
+macro_rules! ctx_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl CtxSample for $t {
+            fn sample_ctx(ctx: &mut Ctx, lo: Self, hi: Self) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                let c = ctx.draw(span);
+                if lo <= 0 && hi >= 0 {
+                    if span < u64::MAX {
+                        zigzag(c, lo as i64, hi as i64) as $t
+                    } else {
+                        // Full 64-bit range: plain zig-zag decode.
+                        (((c >> 1) as i64) ^ -((c & 1) as i64)) as $t
+                    }
+                } else {
+                    lo.wrapping_add(c as $t)
+                }
+            }
+        }
+    )*};
+}
+ctx_sample_signed!(i8 => u8, i16 => u16, i32 => u32);
+ctx_sample_signed!(i64 => u64, isize => usize);
+
+// ---------------------------------------------------------------------------
+// Panic capture
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs the property once in fresh mode; returns the recorded choices
+/// and the failure message if it failed.
+fn run_fresh(
+    prop: &mut dyn FnMut(&mut Ctx),
+    seed: u64,
+) -> Result<(), (Vec<u64>, String)> {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut ctx = Ctx::fresh(&mut rng);
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(&mut ctx)));
+    QUIET.with(|q| q.set(false));
+    match result {
+        Ok(()) => Ok(()),
+        Err(payload) => Err((ctx.record, payload_message(payload.as_ref()))),
+    }
+}
+
+/// Replays a choice stream; returns the failure message if it failed.
+fn run_replay(prop: &mut dyn FnMut(&mut Ctx), choices: &[u64]) -> Result<(), String> {
+    let mut ctx = Ctx::replay(choices);
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(&mut ctx)));
+    QUIET.with(|q| q.set(false));
+    match result {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(payload_message(payload.as_ref())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Deterministically minimises a failing choice stream. Returns the
+/// minimal stream, its failure message, and the number of evaluations
+/// spent.
+fn shrink(
+    prop: &mut dyn FnMut(&mut Ctx),
+    mut best: Vec<u64>,
+    mut msg: String,
+    budget: u32,
+) -> (Vec<u64>, String, u32) {
+    let mut evals = 0u32;
+    let mut try_candidate =
+        |cand: &[u64], evals: &mut u32| -> Option<String> {
+            if *evals >= budget {
+                return None;
+            }
+            *evals += 1;
+            run_replay(prop, cand).err()
+        };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: trim chunks — shrinks vectors and recursion depth.
+        // (Replaying a shortened stream pads with zero choices, which
+        // select leaf alternatives and empty collections.)
+        let mut k = best.len().max(1).next_power_of_two();
+        while k >= 1 {
+            let mut i = 0;
+            while i + k <= best.len() {
+                let mut cand = Vec::with_capacity(best.len() - k);
+                cand.extend_from_slice(&best[..i]);
+                cand.extend_from_slice(&best[i + k..]);
+                if let Some(m) = try_candidate(&cand, &mut evals) {
+                    best = cand;
+                    msg = m;
+                    improved = true;
+                    // Retry at the same position (new content slid in).
+                } else {
+                    i += k;
+                }
+                if evals >= budget {
+                    return (best, msg, evals);
+                }
+            }
+            k /= 2;
+        }
+
+        // Pass 2: minimise individual choices — zero, then repeated
+        // halving, then decrement.
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            let original = best[i];
+            // Zero first (the biggest jump).
+            best[i] = 0;
+            if let Some(m) = try_candidate(&best.clone(), &mut evals) {
+                msg = m;
+                improved = true;
+                continue;
+            }
+            best[i] = original;
+            // Binary-search the smallest failing value in (0, original].
+            let mut lo = 0u64; // known passing
+            let mut hi = original; // known failing
+            while hi - lo > 1 && evals < budget {
+                let mid = lo + (hi - lo) / 2;
+                best[i] = mid;
+                if let Some(m) = try_candidate(&best.clone(), &mut evals) {
+                    msg = m;
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if hi != original {
+                improved = true;
+            }
+            best[i] = hi;
+            // Step-down ladders: decrementing by 2 preserves the sign
+            // parity of zig-zag-encoded signed values, so this walks a
+            // signed counterexample down to its exact boundary; the
+            // final decrement-by-1 catches the unsigned off-by-one.
+            for delta in [2u64, 1] {
+                while best[i] >= delta && evals < budget {
+                    best[i] -= delta;
+                    if let Some(m) = try_candidate(&best.clone(), &mut evals) {
+                        msg = m;
+                        improved = true;
+                    } else {
+                        best[i] += delta;
+                        break;
+                    }
+                }
+            }
+            if evals >= budget {
+                return (best, msg, evals);
+            }
+        }
+
+        if !improved {
+            return (best, msg, evals);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression persistence
+// ---------------------------------------------------------------------------
+
+fn read_regression_seeds(path: &Path, name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some(name) {
+            continue;
+        }
+        if let Some(kv) = parts.next() {
+            if let Some(raw) = kv.strip_prefix("seed=") {
+                if let Some(seed) = crate::parse_seed(raw) {
+                    seeds.push(seed);
+                }
+            }
+        }
+    }
+    seeds
+}
+
+fn persist_regression_seed(path: &Path, name: &str, seed: u64, summary: &str) {
+    if read_regression_seeds(path, name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let header = if path.exists() {
+        String::new()
+    } else {
+        "# testkit regression seeds. Each line is `<test> seed=<n> # <summary>`.\n\
+         # These cases re-run before any fresh random cases; check this file in\n\
+         # to source control so every run benefits from past failures.\n"
+            .to_string()
+    };
+    let summary: String = summary
+        .lines()
+        .next()
+        .unwrap_or("")
+        .chars()
+        .take(160)
+        .collect();
+    let line = format!("{header}{name} seed={seed:#x} # {summary}\n");
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+fn fail_case(
+    cfg: &Config,
+    prop: &mut dyn FnMut(&mut Ctx),
+    origin: &str,
+    seed: u64,
+    choices: Vec<u64>,
+    msg: String,
+    persist: bool,
+) -> ! {
+    let (min_choices, min_msg, evals) =
+        shrink(prop, choices, msg, cfg.max_shrink_evals);
+    if persist {
+        if let Some(path) = &cfg.regressions {
+            persist_regression_seed(path, cfg.name, seed, &min_msg);
+        }
+    }
+    let repro = format!(
+        "TESTKIT_CASE_SEED={seed:#x} cargo test -q -p {} {}",
+        if cfg.pkg.is_empty() { "<pkg>" } else { cfg.pkg },
+        cfg.name
+    );
+    panic!(
+        "property `{name}` failed ({origin}, seed {seed:#x}).\n\
+         minimal counterexample after {evals} shrink evals \
+         ({n} choices): {min_msg}\n\
+         reproduce with: {repro}",
+        name = cfg.name,
+        n = min_choices.len(),
+    );
+}
+
+/// Checks a property: replays persisted regression seeds, then runs
+/// `cfg.cases` fresh cases with seeds derived from the master seed.
+/// On failure the choice stream is shrunk, the seed persisted, and a
+/// one-line reproduction command printed.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the property fails.
+pub fn check(cfg: Config, mut prop: impl FnMut(&mut Ctx)) {
+    install_quiet_hook();
+    let prop: &mut dyn FnMut(&mut Ctx) = &mut prop;
+
+    // Single-case replay mode.
+    if let Ok(raw) = std::env::var("TESTKIT_CASE_SEED") {
+        let seed = crate::parse_seed(&raw)
+            .unwrap_or_else(|| panic!("unparseable TESTKIT_CASE_SEED: {raw:?}"));
+        if let Err((choices, msg)) = run_fresh(prop, seed) {
+            fail_case(&cfg, prop, "TESTKIT_CASE_SEED", seed, choices, msg, false);
+        }
+        return;
+    }
+
+    // Regression seeds first.
+    if let Some(path) = cfg.regressions.clone() {
+        for seed in read_regression_seeds(&path, cfg.name) {
+            if let Err((choices, msg)) = run_fresh(prop, seed) {
+                fail_case(&cfg, prop, "regression seed", seed, choices, msg, false);
+            }
+        }
+    }
+
+    // Fresh cases, seeds derived from the master seed and the property
+    // name so sibling properties explore independent streams.
+    let cases = std::env::var("TESTKIT_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(cfg.cases);
+    let mut name_hash = SplitMix64::new(
+        cfg.name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+        }),
+    );
+    let mut seeder = SplitMix64::new(crate::master_seed() ^ name_hash.next_u64());
+    for case in 0..cases {
+        let seed = seeder.next_u64();
+        if let Err((choices, msg)) = run_fresh(prop, seed) {
+            let origin = format!("case {case}/{cases}");
+            fail_case(&cfg, prop, &origin, seed, choices, msg, true);
+        }
+    }
+}
+
+/// Declares property-based `#[test]` functions.
+///
+/// ```ignore
+/// testkit::props! {
+///     #![cases = 96]
+///     /// Doc comments and attributes are allowed.
+///     fn addition_commutes(ctx) {
+///         let a = ctx.any::<u32>();
+///         let b = ctx.any::<u32>();
+///         assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+///
+/// Each generated test persists regression seeds next to its source
+/// file (`tests/<stem>.testkit-regressions`) and prints a one-line
+/// reproduction command on failure.
+#[macro_export]
+macro_rules! props {
+    (@run $cases:expr; $( $(#[$meta:meta])* fn $name:ident($ctx:ident) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let cfg = $crate::prop::Config::new(stringify!($name))
+                    .pkg(env!("CARGO_PKG_NAME"))
+                    .default_cases($cases)
+                    .regressions_for(env!("CARGO_MANIFEST_DIR"), file!());
+                $crate::prop::check(cfg, |$ctx: &mut $crate::prop::Ctx| $body);
+            }
+        )*
+    };
+    (#![cases = $cases:expr] $($rest:tt)*) => {
+        $crate::props! { @run $cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::props! { @run 0u32; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_orders_toward_zero() {
+        assert_eq!(zigzag(0, -32, 31), 0);
+        assert_eq!(zigzag(1, -32, 31), 1);
+        assert_eq!(zigzag(2, -32, 31), -1);
+        assert_eq!(zigzag(3, -32, 31), 2);
+        // All 64 values of -32..=31 are hit exactly once.
+        let mut seen: Vec<i64> = (0..64).map(|c| zigzag(c, -32, 31)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (-32..=31).collect::<Vec<_>>());
+        // Asymmetric range.
+        let mut seen: Vec<i64> = (0..=12).map(|c| zigzag(c, -2, 10)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (-2..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        check(Config::new("tautology").cases(50), |ctx| {
+            let v = ctx.gen_range(0u32..100);
+            assert!(v < 100);
+        });
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // v >= 500 fails; minimal failing value is exactly 500.
+        let result = panic::catch_unwind(|| {
+            check(Config::new("boundary").cases(200), |ctx| {
+                let v = ctx.gen_range(0u32..1000);
+                assert!(v < 500, "counterexample v={v}");
+            });
+        });
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("v=500"), "expected minimal v=500, got: {msg}");
+        assert!(msg.contains("reproduce with:"), "missing repro line: {msg}");
+    }
+
+    #[test]
+    fn shrinking_trims_vectors() {
+        // Fails when the vec contains any element >= 10; minimal failure
+        // is a single-element vec [10].
+        let result = panic::catch_unwind(|| {
+            check(Config::new("trim").cases(200), |ctx| {
+                let xs = ctx.vec_of(0usize..20, |c| c.gen_range(0u32..100));
+                assert!(
+                    xs.iter().all(|&x| x < 10),
+                    "counterexample {xs:?} (len {})",
+                    xs.len()
+                );
+            });
+        });
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("[10] (len 1)"), "expected [10], got: {msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_recursive_structures() {
+        #[derive(Debug)]
+        enum T {
+            Leaf(i32),
+            Node(Box<T>, Box<T>),
+        }
+        fn gen_t(ctx: &mut Ctx, depth: u32) -> T {
+            if depth == 0 || ctx.choose(3) == 0 {
+                T::Leaf(ctx.gen_range(-50i32..=50))
+            } else {
+                T::Node(Box::new(gen_t(ctx, depth - 1)), Box::new(gen_t(ctx, depth - 1)))
+            }
+        }
+        fn count(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => count(a) + count(b),
+            }
+        }
+        fn has_big(t: &T) -> bool {
+            match t {
+                T::Leaf(v) => *v >= 40,
+                T::Node(a, b) => has_big(a) || has_big(b),
+            }
+        }
+        let result = panic::catch_unwind(|| {
+            check(Config::new("ast").cases(400), |ctx| {
+                let t = gen_t(ctx, 5);
+                assert!(!has_big(&t), "counterexample nodes={} {t:?}", count(&t));
+            });
+        });
+        let msg = payload_message(result.unwrap_err().as_ref());
+        // The minimal counterexample is a single leaf at the boundary.
+        assert!(
+            msg.contains("nodes=1 Leaf(40)"),
+            "expected single Leaf(40), got: {msg}"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mut outputs = Vec::new();
+        for _ in 0..2 {
+            let mut rng = TestRng::seed_from_u64(99);
+            let mut ctx = Ctx::fresh(&mut rng);
+            let v: Vec<u32> = (0..10).map(|_| ctx.gen_range(0u32..1000)).collect();
+            let rec = ctx.record.clone();
+            let mut rctx = Ctx::replay(&rec);
+            let w: Vec<u32> = (0..10).map(|_| rctx.gen_range(0u32..1000)).collect();
+            assert_eq!(v, w, "replay must reproduce fresh generation");
+            outputs.push(v);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn regression_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "testkit-regr-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("x.testkit-regressions");
+        let _ = std::fs::remove_file(&path);
+        persist_regression_seed(&path, "my_test", 0xABCD, "boom\nsecond line");
+        persist_regression_seed(&path, "my_test", 0xABCD, "boom"); // dedup
+        persist_regression_seed(&path, "other_test", 7, "pow");
+        assert_eq!(read_regression_seeds(&path, "my_test"), vec![0xABCD]);
+        assert_eq!(read_regression_seeds(&path, "other_test"), vec![7]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("my_test").count(), 1);
+        assert!(!text.contains("second line"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

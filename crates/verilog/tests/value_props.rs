@@ -1,0 +1,39 @@
+//! Property tests for the deep-embedded Verilog bit-vector values, on
+//! the hermetic `testkit` harness.
+
+use verilog::Value;
+
+testkit::props! {
+    /// `as_u64 ∘ from_u64` truncates to the declared width — the same
+    /// masking a Verilog `logic [w-1:0]` assignment performs.
+    fn from_as_u64_roundtrip(ctx) {
+        let width = ctx.gen_range(1usize..=64);
+        let v = ctx.any::<u64>();
+        let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        let val = Value::from_u64(width, v);
+        assert_eq!(val.width(), width);
+        assert_eq!(val.as_u64(), masked);
+    }
+
+    /// `zeros` really is the all-zero vector at every width.
+    fn zeros_is_zero(ctx) {
+        let width = ctx.gen_range(1usize..=128);
+        let z = Value::zeros(width);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), width);
+        assert!(z.bits().iter().all(|b| !b));
+    }
+
+    /// `bits` has exactly `width` entries and agrees with `as_u64`
+    /// bit-by-bit on word-sized values.
+    fn bits_agree_with_u64(ctx) {
+        let width = ctx.gen_range(1usize..=64);
+        let v = ctx.any::<u64>();
+        let val = Value::from_u64(width, v);
+        let bits = val.bits();
+        assert_eq!(bits.len(), width);
+        for (i, b) in bits.iter().enumerate() {
+            assert_eq!(*b, val.as_u64() >> i & 1 == 1, "bit {i}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the silver-stack workspace.
+#
+# Everything here is hermetic: no registry access is required (or
+# attempted — the build falls back to --offline when the network is
+# unavailable), randomness comes only from the in-tree `testkit` PRNG
+# seeded by TESTKIT_SEED, and a guard asserts no crate outside
+# crates/testkit reaches for proptest / rand / criterion again.
+#
+# Usage: scripts/ci.sh
+#   TESTKIT_SEED=0x...  derive all property-test cases from this seed
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency hygiene guard =="
+# No crate outside testkit may mention the old external dependencies.
+# (testkit itself only names them in docs/comments.)
+violations=$(grep -RnE '\bproptest\b|\brand::|\bcriterion\b' \
+    --include='*.rs' --include='Cargo.toml' crates \
+    | grep -v '^crates/testkit/' \
+    | grep -vE '//.*(proptest|rand|criterion)|#!?\[.*\]|^\s*#' \
+    || true)
+if [ -n "$violations" ]; then
+    echo "forbidden external test dependencies referenced outside crates/testkit:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "ok: no proptest / rand:: / criterion outside crates/testkit"
+
+echo "== build (release) =="
+if ! cargo build --release 2>/dev/null; then
+    echo "online build failed; retrying with --offline"
+    cargo build --release --offline
+fi
+
+echo "== tests =="
+cargo test -q
+
+echo "== benches compile =="
+cargo build --benches -p bench --offline 2>/dev/null || cargo build --benches -p bench
+
+echo "CI green (TESTKIT_SEED=${TESTKIT_SEED:-default})"
