@@ -44,6 +44,7 @@
 //! ```
 
 pub mod asm;
+pub mod coverage;
 pub mod disasm;
 pub mod encode;
 mod exec;
@@ -51,6 +52,7 @@ mod insn;
 mod mem;
 mod state;
 
+pub use coverage::{Coverage, EdgeSet, ExecStats, NoCoverage, Opcode};
 pub use disasm::{disassemble, dump};
 pub use encode::{decode, encode};
 pub use insn::{Func, Instr, Reg, Ri, Shift};

@@ -5,6 +5,7 @@
 //! words), the current program counter (PC), some flags, and a trace of
 //! I/O events."
 
+use crate::coverage::{Coverage, ExecStats, NoCoverage, Opcode};
 use crate::exec;
 use crate::insn::{Func, Instr, Ri};
 use crate::mem::Memory;
@@ -70,6 +71,9 @@ pub struct State {
     /// Count of retired instructions (not part of the ISA state proper;
     /// used by the benchmark harness).
     pub instructions_retired: u64,
+    /// Per-opcode retire counters (not part of the ISA state proper;
+    /// the basis of `silverc --stats` and campaign opcode coverage).
+    pub stats: ExecStats,
 }
 
 fn identity_accel(x: u32) -> u32 {
@@ -98,6 +102,7 @@ impl State {
             io_window: (0, 0),
             accel: identity_accel,
             instructions_retired: 0,
+            stats: ExecStats::new(),
         }
     }
 
@@ -120,24 +125,42 @@ impl State {
 
     /// `Next`: fetch, decode and execute one instruction (§4.1).
     pub fn next(&mut self) -> StepOutcome {
+        self.next_with(&mut NoCoverage)
+    }
+
+    /// [`State::next`] with a [`Coverage`] sink observing the retire.
+    ///
+    /// With [`NoCoverage`] this monomorphises to exactly the plain
+    /// fetch–decode–execute step; campaigns pass an
+    /// [`EdgeSet`](crate::EdgeSet) to collect PC-edge coverage.
+    pub fn next_with<C: Coverage>(&mut self, cov: &mut C) -> StepOutcome {
         let instr = self.current_instr();
         if instr == Instr::Reserved {
             return StepOutcome::Wedged;
         }
+        let pc_before = self.pc;
         exec::execute(self, instr);
         self.instructions_retired += 1;
+        let op = Opcode::of(&instr);
+        self.stats.opcode_retired[op as usize] += 1;
+        cov.retire(op, pc_before, self.pc);
         StepOutcome::Retired(instr)
     }
 
     /// Runs up to `fuel` instructions, stopping early when
     /// [halted](State::is_halted) or wedged. Returns instructions retired.
     pub fn run(&mut self, fuel: u64) -> u64 {
+        self.run_with(fuel, &mut NoCoverage)
+    }
+
+    /// [`State::run`] with a [`Coverage`] sink observing every retire.
+    pub fn run_with<C: Coverage>(&mut self, fuel: u64, cov: &mut C) -> u64 {
         let mut n = 0;
         while n < fuel {
             if self.is_halted() {
                 break;
             }
-            match self.next() {
+            match self.next_with(cov) {
                 StepOutcome::Retired(_) => n += 1,
                 StepOutcome::Wedged => break,
             }

@@ -133,3 +133,65 @@ fn exhaustive_disassemble_recovers_instructions() {
         assert_eq!(*got, want, "disassembly diverged at {addr:#x}");
     }
 }
+
+#[test]
+fn every_opcode_retires_and_is_counted() {
+    // A straight-line program that executes each instruction class
+    // once (twice for `Jump`: the `jmp` and the final halt), then
+    // checks the per-opcode retire counters: every class except the
+    // never-retiring `Reserved` must be nonzero, and the counters must
+    // sum to `instructions_retired`.
+    use ag32::asm::Assembler;
+    use ag32::{Opcode, State};
+
+    let mut a = Assembler::new(0x100);
+    a.normal(Func::Add, Reg::new(1), Ri::Imm(1), Ri::Imm(2)); // Normal
+    a.shift(Shift::Ll, Reg::new(2), Ri::Reg(Reg::new(1)), Ri::Imm(1)); // Shift
+    a.li(Reg::new(3), 0x2000); // LoadConstant
+    a.instr(Instr::LoadUpperConstant { w: Reg::new(3), imm: 0 }); // LoadUpperConstant
+    a.li(Reg::new(3), 0x2000); // (rebuild the address the line above clobbered)
+    a.instr(Instr::StoreMem { a: Ri::Reg(Reg::new(1)), b: Ri::Reg(Reg::new(3)) });
+    a.instr(Instr::StoreMemByte { a: Ri::Reg(Reg::new(2)), b: Ri::Reg(Reg::new(3)) });
+    a.instr(Instr::LoadMem { w: Reg::new(4), a: Ri::Reg(Reg::new(3)) });
+    a.instr(Instr::LoadMemByte { w: Reg::new(5), a: Ri::Reg(Reg::new(3)) });
+    a.instr(Instr::In { w: Reg::new(6) }); // In
+    a.instr(Instr::Out {
+        func: Func::Add,
+        w: Reg::new(7),
+        a: Ri::Reg(Reg::new(1)),
+        b: Ri::Imm(1),
+    }); // Out
+    a.instr(Instr::Accelerator { w: Reg::new(8), a: Ri::Reg(Reg::new(1)) });
+    a.instr(Instr::Interrupt); // Interrupt (records an I/O event)
+    a.jmp("fwd", Reg::new(9), Reg::new(10)); // Jump
+    a.label("fwd");
+    // One taken and one fall-through conditional each way.
+    a.branch_zero_sub(Ri::Imm(0), Ri::Imm(0), "z", Reg::new(9)); // JumpIfZero
+    a.label("z");
+    a.branch_nonzero_sub(Ri::Imm(1), Ri::Imm(0), "nz", Reg::new(9)); // JumpIfNotZero
+    a.label("nz");
+    a.halt(Reg::new(11)); // Jump (Add, Imm 0)
+
+    let bytes = a.assemble().expect("assembles");
+    let mut s = State::new();
+    s.pc = 0x100;
+    s.mem.write_bytes(0x100, &bytes);
+    let retired = s.run(1_000);
+    assert!(s.is_halted(), "program did not halt after {retired} instructions");
+
+    for &op in &Opcode::ALL {
+        if op == Opcode::Reserved {
+            assert_eq!(s.stats.count(op), 0, "Reserved must never retire");
+        } else {
+            assert!(
+                s.stats.count(op) > 0,
+                "opcode {} never retired (counters: {:?})",
+                op.name(),
+                s.stats.opcode_retired,
+            );
+        }
+    }
+    assert_eq!(s.stats.total(), s.instructions_retired);
+    assert_eq!(s.stats.opcodes_exercised(), Opcode::COUNT - 1);
+    assert_eq!(s.io_events.len(), 1, "the Interrupt step records its event");
+}

@@ -57,7 +57,13 @@ impl fmt::Display for ImageError {
 impl std::error::Error for ImageError {}
 
 /// Initial value of the exit-code word: distinguishes "never exited".
-pub const EXIT_UNSET: u32 = 0xFF;
+///
+/// Deliberately outside the `u8` range every exit path stores (the
+/// compiler's `rt_exit` masks with `0xFF`, the `exit` system call loads
+/// a single byte, the oracle widens a `u8`), so no legitimate exit code
+/// can collide with the sentinel. The first fuzzing campaign caught the
+/// original in-band value `0xFF`: `exit 255` was reported as wedged.
+pub const EXIT_UNSET: u32 = 0x100;
 
 /// Builds the complete initial machine state: memory per Figure 2, PC at
 /// the startup code, I/O window over the output buffer.

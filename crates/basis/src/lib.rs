@@ -47,5 +47,5 @@ pub mod syscalls;
 
 pub use fs::FsState;
 pub use image::{build_image, ImageError};
-pub use machine::{extract_streams, run_to_halt, run_with_oracle, ExitStatus, MachineResult};
+pub use machine::{extract_streams, run_to_halt, run_to_halt_with, run_with_oracle, ExitStatus, MachineResult};
 pub use oracle::{call_ffi, BasisHost, FfiOutcome};

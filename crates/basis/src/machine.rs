@@ -103,8 +103,21 @@ fn classify(state: &State, layout: &TargetLayout, fuel_left: bool) -> ExitStatus
 
 /// Runs a loaded image under pure `Next` steps until it halts.
 #[must_use]
-pub fn run_to_halt(mut state: State, layout: &TargetLayout, fuel: u64) -> MachineResult {
-    let instructions = state.run(fuel);
+pub fn run_to_halt(state: State, layout: &TargetLayout, fuel: u64) -> MachineResult {
+    run_to_halt_with(state, layout, fuel, &mut ag32::NoCoverage)
+}
+
+/// [`run_to_halt`] with a [`Coverage`](ag32::Coverage) sink observing
+/// every retired instruction — the campaign engine passes an
+/// [`EdgeSet`](ag32::EdgeSet) here to collect PC-edge coverage.
+#[must_use]
+pub fn run_to_halt_with<C: ag32::Coverage>(
+    mut state: State,
+    layout: &TargetLayout,
+    fuel: u64,
+    cov: &mut C,
+) -> MachineResult {
+    let instructions = state.run_with(fuel, cov);
     let exit = classify(&state, layout, instructions < fuel);
     let (stdout, stderr) = extract_streams(&state.io_events);
     MachineResult { exit, stdout, stderr, instructions, state }

@@ -1,0 +1,474 @@
+//! Source-level feature coverage.
+//!
+//! The campaign engine (crate `campaign`) judges a generated workload not
+//! only by the ISA-level edges it exercises but also by which *source
+//! language constructs* it contains: a corpus full of integer arithmetic
+//! is worth little for shaking out the pattern-match compiler. This
+//! module assigns every AST construct of interest a [`Feature`] bit and
+//! folds a whole [`Program`] into a [`FeatureSet`] — a 64-bit set with
+//! the same `insert`/`merge`/`has_new_bits` vocabulary as
+//! `ag32::EdgeSet`, so the corpus "keep if new coverage" policy can
+//! treat the two uniformly.
+
+use crate::ast::{Decl, Expr, Lit, Pat, Prim, Program};
+
+/// A source-language construct tracked for corpus coverage.
+///
+/// The variants are dense (`LitInt = 0` …) so a [`FeatureSet`] is a
+/// plain `u64` bitset. Primitive operations are grouped into categories
+/// (all comparison operators are one feature) — the point is steering
+/// generation toward unexercised *compiler paths*, not cataloguing every
+/// operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Feature {
+    /// Integer literal.
+    LitInt = 0,
+    /// Boolean literal.
+    LitBool,
+    /// Character literal.
+    LitChar,
+    /// String literal.
+    LitStr,
+    /// `()` literal.
+    LitUnit,
+    /// Constructor application (value position).
+    ConExpr,
+    /// Tuple expression.
+    TupleExpr,
+    /// Curried function application.
+    App,
+    /// `fn x => e` lambda.
+    Lambda,
+    /// `let val ... in ... end`.
+    Let,
+    /// `let fun ... in ... end` (local recursion).
+    LetFun,
+    /// `if`/`then`/`else`.
+    If,
+    /// `case ... of ...`.
+    Case,
+    /// `andalso` / `orelse` short-circuit operators.
+    ShortCircuit,
+    /// `e1; e2` sequencing.
+    Seq,
+    /// Wildcard or variable pattern.
+    PatTrivial,
+    /// Literal pattern.
+    PatLit,
+    /// Tuple pattern.
+    PatTuple,
+    /// Datatype-constructor pattern.
+    PatCon,
+    /// List patterns (`::` or `[]`).
+    PatList,
+    /// `val` declaration.
+    DeclVal,
+    /// `fun` declaration (top-level recursion).
+    DeclFun,
+    /// `datatype` declaration.
+    DeclDatatype,
+    /// Wrapping arithmetic (`+ - *`).
+    Arith,
+    /// Trapping `div` / `mod`.
+    DivMod,
+    /// Comparison (`< <= > >=`) and equality (`= <>`).
+    Compare,
+    /// `not`.
+    BoolOp,
+    /// String operations (concat, size, sub, substring, ord, chr).
+    StringOp,
+    /// Byte-array operations.
+    BytesOp,
+    /// References (`ref`, `!`, `:=`).
+    RefOp,
+    /// `ffi "name" conf bytes`.
+    Ffi,
+    /// `Runtime.exit`.
+    Exit,
+}
+
+impl Feature {
+    /// Number of features (dense from 0).
+    pub const COUNT: usize = Feature::Exit as usize + 1;
+
+    /// All features in declaration order.
+    pub const ALL: [Feature; Feature::COUNT] = [
+        Feature::LitInt,
+        Feature::LitBool,
+        Feature::LitChar,
+        Feature::LitStr,
+        Feature::LitUnit,
+        Feature::ConExpr,
+        Feature::TupleExpr,
+        Feature::App,
+        Feature::Lambda,
+        Feature::Let,
+        Feature::LetFun,
+        Feature::If,
+        Feature::Case,
+        Feature::ShortCircuit,
+        Feature::Seq,
+        Feature::PatTrivial,
+        Feature::PatLit,
+        Feature::PatTuple,
+        Feature::PatCon,
+        Feature::PatList,
+        Feature::DeclVal,
+        Feature::DeclFun,
+        Feature::DeclDatatype,
+        Feature::Arith,
+        Feature::DivMod,
+        Feature::Compare,
+        Feature::BoolOp,
+        Feature::StringOp,
+        Feature::BytesOp,
+        Feature::RefOp,
+        Feature::Ffi,
+        Feature::Exit,
+    ];
+
+    /// Stable human-readable name (used in campaign reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::LitInt => "lit-int",
+            Feature::LitBool => "lit-bool",
+            Feature::LitChar => "lit-char",
+            Feature::LitStr => "lit-str",
+            Feature::LitUnit => "lit-unit",
+            Feature::ConExpr => "con",
+            Feature::TupleExpr => "tuple",
+            Feature::App => "app",
+            Feature::Lambda => "lambda",
+            Feature::Let => "let",
+            Feature::LetFun => "letfun",
+            Feature::If => "if",
+            Feature::Case => "case",
+            Feature::ShortCircuit => "short-circuit",
+            Feature::Seq => "seq",
+            Feature::PatTrivial => "pat-trivial",
+            Feature::PatLit => "pat-lit",
+            Feature::PatTuple => "pat-tuple",
+            Feature::PatCon => "pat-con",
+            Feature::PatList => "pat-list",
+            Feature::DeclVal => "decl-val",
+            Feature::DeclFun => "decl-fun",
+            Feature::DeclDatatype => "decl-datatype",
+            Feature::Arith => "arith",
+            Feature::DivMod => "divmod",
+            Feature::Compare => "compare",
+            Feature::BoolOp => "bool-op",
+            Feature::StringOp => "string-op",
+            Feature::BytesOp => "bytes-op",
+            Feature::RefOp => "ref-op",
+            Feature::Ffi => "ffi",
+            Feature::Exit => "exit",
+        }
+    }
+
+    /// The feature category of a primitive operation.
+    #[must_use]
+    pub fn of_prim(p: &Prim) -> Feature {
+        match p {
+            Prim::Add | Prim::Sub | Prim::Mul => Feature::Arith,
+            Prim::Div | Prim::Mod => Feature::DivMod,
+            Prim::Lt
+            | Prim::Le
+            | Prim::Gt
+            | Prim::Ge
+            | Prim::Eq
+            | Prim::Ne
+            | Prim::EqStr => Feature::Compare,
+            Prim::Not => Feature::BoolOp,
+            Prim::Concat
+            | Prim::StrSize
+            | Prim::StrSub
+            | Prim::StrSubstr
+            | Prim::Ord
+            | Prim::Chr => Feature::StringOp,
+            Prim::BytesNew
+            | Prim::BytesLen
+            | Prim::BytesGet
+            | Prim::BytesSet
+            | Prim::BytesToStr
+            | Prim::StrToBytes => Feature::BytesOp,
+            Prim::RefNew | Prim::RefGet | Prim::RefSet => Feature::RefOp,
+            Prim::Ffi(_) => Feature::Ffi,
+            Prim::Exit => Feature::Exit,
+        }
+    }
+}
+
+/// A set of [`Feature`]s as a `u64` bitset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeatureSet {
+    bits: u64,
+}
+
+impl FeatureSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        FeatureSet { bits: 0 }
+    }
+
+    /// Inserts a feature; returns `true` if it was not present before.
+    pub fn insert(&mut self, f: Feature) -> bool {
+        let bit = 1u64 << (f as u8);
+        let fresh = self.bits & bit == 0;
+        self.bits |= bit;
+        fresh
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, f: Feature) -> bool {
+        self.bits & (1u64 << (f as u8)) != 0
+    }
+
+    /// Number of features present.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Does `self` contain any feature missing from `seen`?
+    #[must_use]
+    pub fn has_new_bits(&self, seen: &FeatureSet) -> bool {
+        self.bits & !seen.bits != 0
+    }
+
+    /// Unions `other` into `self`; returns how many features were new.
+    pub fn merge(&mut self, other: &FeatureSet) -> usize {
+        let new = (other.bits & !self.bits).count_ones() as usize;
+        self.bits |= other.bits;
+        new
+    }
+
+    /// The raw bits (stable across runs: variant discriminants).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Names of the present features, in declaration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        Feature::ALL
+            .iter()
+            .filter(|f| self.contains(**f))
+            .map(|f| f.name())
+            .collect()
+    }
+}
+
+/// Folds an entire program into its feature set.
+#[must_use]
+pub fn program_features(p: &Program) -> FeatureSet {
+    let mut set = FeatureSet::new();
+    for d in &p.decls {
+        walk_decl(d, &mut set);
+    }
+    set
+}
+
+fn walk_decl(d: &Decl, set: &mut FeatureSet) {
+    match d {
+        Decl::Val(p, e) => {
+            set.insert(Feature::DeclVal);
+            walk_pat(p, set);
+            walk_expr(e, set);
+        }
+        Decl::Fun(binds) => {
+            set.insert(Feature::DeclFun);
+            for b in binds {
+                walk_expr(&b.body, set);
+            }
+        }
+        Decl::Datatype(_, _) => {
+            set.insert(Feature::DeclDatatype);
+        }
+    }
+}
+
+fn walk_lit(l: &Lit, set: &mut FeatureSet) {
+    set.insert(match l {
+        Lit::Int(_) => Feature::LitInt,
+        Lit::Bool(_) => Feature::LitBool,
+        Lit::Char(_) => Feature::LitChar,
+        Lit::Str(_) => Feature::LitStr,
+        Lit::Unit => Feature::LitUnit,
+    });
+}
+
+fn walk_pat(p: &Pat, set: &mut FeatureSet) {
+    match p {
+        Pat::Wild | Pat::Var(_) => {
+            set.insert(Feature::PatTrivial);
+        }
+        Pat::Lit(l) => {
+            set.insert(Feature::PatLit);
+            walk_lit(l, set);
+        }
+        Pat::Tuple(ps) => {
+            set.insert(Feature::PatTuple);
+            for q in ps {
+                walk_pat(q, set);
+            }
+        }
+        Pat::Con(_, arg) => {
+            set.insert(Feature::PatCon);
+            if let Some(q) = arg {
+                walk_pat(q, set);
+            }
+        }
+        Pat::Cons(h, t) => {
+            set.insert(Feature::PatList);
+            walk_pat(h, set);
+            walk_pat(t, set);
+        }
+        Pat::ListNil => {
+            set.insert(Feature::PatList);
+        }
+    }
+}
+
+fn walk_expr(e: &Expr, set: &mut FeatureSet) {
+    match e {
+        Expr::Lit(l) => walk_lit(l, set),
+        Expr::Var(_) => {}
+        Expr::Con(_, arg) => {
+            set.insert(Feature::ConExpr);
+            if let Some(a) = arg {
+                walk_expr(a, set);
+            }
+        }
+        Expr::Tuple(es) => {
+            set.insert(Feature::TupleExpr);
+            for x in es {
+                walk_expr(x, set);
+            }
+        }
+        Expr::Prim(p, es) => {
+            set.insert(Feature::of_prim(p));
+            for x in es {
+                walk_expr(x, set);
+            }
+        }
+        Expr::App(f, a) => {
+            set.insert(Feature::App);
+            walk_expr(f, set);
+            walk_expr(a, set);
+        }
+        Expr::Fn(_, b) => {
+            set.insert(Feature::Lambda);
+            walk_expr(b, set);
+        }
+        Expr::Let(p, e1, e2) => {
+            set.insert(Feature::Let);
+            walk_pat(p, set);
+            walk_expr(e1, set);
+            walk_expr(e2, set);
+        }
+        Expr::LetFun(binds, body) => {
+            set.insert(Feature::LetFun);
+            for b in binds {
+                walk_expr(&b.body, set);
+            }
+            walk_expr(body, set);
+        }
+        Expr::If(c, t, f) => {
+            set.insert(Feature::If);
+            walk_expr(c, set);
+            walk_expr(t, set);
+            walk_expr(f, set);
+        }
+        Expr::Case(scrut, arms) => {
+            set.insert(Feature::Case);
+            walk_expr(scrut, set);
+            for (p, a) in arms {
+                walk_pat(p, set);
+                walk_expr(a, set);
+            }
+        }
+        Expr::AndAlso(a, b) | Expr::OrElse(a, b) => {
+            set.insert(Feature::ShortCircuit);
+            walk_expr(a, set);
+            walk_expr(b, set);
+        }
+        Expr::Seq(a, b) => {
+            set.insert(Feature::Seq);
+            walk_expr(a, set);
+            walk_expr(b, set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_bits_fit_in_u64_and_are_dense() {
+        assert!(Feature::COUNT <= 64);
+        for (i, f) in Feature::ALL.iter().enumerate() {
+            assert_eq!(*f as usize, i, "{:?} is not dense", f);
+        }
+        // Names are unique.
+        let mut names: Vec<_> = Feature::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Feature::COUNT);
+    }
+
+    #[test]
+    fn set_insert_merge_new_bits() {
+        let mut a = FeatureSet::new();
+        assert!(a.insert(Feature::If));
+        assert!(!a.insert(Feature::If));
+        assert!(a.contains(Feature::If));
+        assert_eq!(a.count(), 1);
+
+        let mut b = FeatureSet::new();
+        b.insert(Feature::If);
+        b.insert(Feature::Case);
+        assert!(b.has_new_bits(&a));
+        assert!(!a.has_new_bits(&b));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.count(), 2);
+        assert!(!b.has_new_bits(&a));
+        assert_eq!(a.names(), vec!["if", "case"]);
+    }
+
+    #[test]
+    fn program_features_walks_all_layers() {
+        let src = r#"
+            datatype t = A | B of int;
+            fun f x = case x of A => 0 | B n => n + 1;
+            val r = ref 5;
+            val _ = r := (if !r < 10 then f (B 2) else 0);
+            val _ = Runtime.exit (!r);
+        "#;
+        let prog = crate::parser::parse_program(src).expect("parse");
+        let fs = program_features(&prog);
+        for f in [
+            Feature::DeclDatatype,
+            Feature::DeclFun,
+            Feature::DeclVal,
+            Feature::Case,
+            Feature::PatCon,
+            Feature::PatTrivial,
+            Feature::If,
+            Feature::RefOp,
+            Feature::Arith,
+            Feature::Compare,
+            Feature::Exit,
+            Feature::LitInt,
+        ] {
+            assert!(fs.contains(f), "missing {:?} in {:?}", f, fs.names());
+        }
+        assert!(!fs.contains(Feature::BytesOp));
+        assert!(!fs.contains(Feature::Ffi));
+    }
+}

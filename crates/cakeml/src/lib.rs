@@ -46,6 +46,7 @@ pub mod ast;
 pub mod clos;
 pub mod codegen;
 pub mod compile;
+pub mod features;
 pub mod interp;
 pub mod layout;
 pub mod lexer;
@@ -57,6 +58,7 @@ pub mod types;
 pub use ast::Program;
 pub use codegen::{CompiledProgram, CompilerConfig};
 pub use compile::{compile_source, frontend, full_source, CompileError};
+pub use features::{program_features, Feature, FeatureSet};
 pub use interp::{run_program, FfiHost, NoFfi, RunOutcome, Stop, Value};
 pub use layout::TargetLayout;
 pub use parser::parse_program;

@@ -1,0 +1,229 @@
+//! Corpus management: deduplicated, size-capped, replayable seeds.
+//!
+//! A corpus entry is a target name plus the recorded `testkit` choice
+//! stream that produced an interesting case (one that added coverage).
+//! Entries are persisted one file per entry under a `corpus/` directory
+//! as plain text — first line the target name, second line the choices
+//! in hexadecimal — so a seed file is directly replayable with
+//! `silver-fuzz --replay <file>` and diffs legibly in review.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Hard cap on choices kept per entry; longer streams are truncated
+/// (replay reads past the end yield the simplest choice, so a truncated
+/// stream still replays to a well-formed case).
+pub const MAX_CHOICES: usize = 512;
+
+/// Hard cap on corpus entries; once full, new coverage no longer admits
+/// entries (the cap bounds both memory and the `corpus/` directory).
+pub const MAX_ENTRIES: usize = 512;
+
+/// One interesting case: a target and the choice stream reproducing it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Target the choices are meant for.
+    pub target: String,
+    /// Recorded choice stream (possibly truncated to [`MAX_CHOICES`]).
+    pub choices: Vec<u64>,
+}
+
+impl CorpusEntry {
+    /// Builds an entry, truncating over-long choice streams.
+    #[must_use]
+    pub fn new(target: &str, mut choices: Vec<u64>) -> Self {
+        choices.truncate(MAX_CHOICES);
+        CorpusEntry { target: target.to_string(), choices }
+    }
+
+    /// A stable content hash (SplitMix64 avalanche fold) for dedup and
+    /// file naming.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64;
+        for b in self.target.bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        for &c in &self.choices {
+            h = mix(h ^ c);
+        }
+        h
+    }
+
+    /// Renders the two-line seed-file format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let hex: Vec<String> = self.choices.iter().map(|c| format!("{c:x}")).collect();
+        format!("{}\n{}\n", self.target, hex.join(" "))
+    }
+
+    /// Parses the seed-file format produced by [`CorpusEntry::render`].
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        let target = lines.next()?.trim();
+        if target.is_empty() || target.starts_with('#') {
+            return None;
+        }
+        let choices: Option<Vec<u64>> = lines
+            .next()
+            .unwrap_or("")
+            .split_whitespace()
+            .map(|w| u64::from_str_radix(w, 16).ok())
+            .collect();
+        Some(CorpusEntry::new(target, choices?))
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The in-memory corpus: insertion-ordered entries with content dedup.
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    hashes: BTreeSet<u64>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// All entries, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Entries for one target, in insertion order.
+    pub fn for_target<'a>(&'a self, target: &'a str) -> impl Iterator<Item = &'a CorpusEntry> {
+        self.entries.iter().filter(move |e| e.target == target)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds an entry unless it is a duplicate or the corpus is full.
+    /// Returns whether it was admitted.
+    pub fn add(&mut self, entry: CorpusEntry) -> bool {
+        if self.entries.len() >= MAX_ENTRIES {
+            return false;
+        }
+        let h = entry.hash();
+        if !self.hashes.insert(h) {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Loads every `*.seed` file under `dir` (missing dir = empty
+    /// corpus). Files are visited in sorted name order so the load is
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than a missing directory.
+    pub fn load(dir: &Path) -> io::Result<Corpus> {
+        let mut corpus = Corpus::new();
+        let rd = match fs::read_dir(dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(corpus),
+            Err(e) => return Err(e),
+        };
+        let mut paths: Vec<_> = rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            if let Some(entry) = CorpusEntry::parse(&fs::read_to_string(&p)?) {
+                corpus.add(entry);
+            }
+        }
+        Ok(corpus)
+    }
+
+    /// Writes every entry to `dir` as `<target>-<hash>.seed`, creating
+    /// the directory if needed. Existing files for the same content are
+    /// overwritten byte-identically; returns how many files were
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, dir: &Path) -> io::Result<usize> {
+        fs::create_dir_all(dir)?;
+        for e in &self.entries {
+            let name = format!("{}-{:016x}.seed", e.target, e.hash());
+            fs::write(dir.join(name), e.render())?;
+        }
+        Ok(self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trips() {
+        let e = CorpusEntry::new("t2", vec![0, 7, 0xDEAD_BEEF, u64::MAX]);
+        let back = CorpusEntry::parse(&e.render()).expect("parses");
+        assert_eq!(back, e);
+        assert_eq!(back.hash(), e.hash());
+        // Different content hashes differently.
+        assert_ne!(CorpusEntry::new("t2", vec![1]).hash(), e.hash());
+        assert_ne!(CorpusEntry::new("t9", e.choices.clone()).hash(), e.hash());
+    }
+
+    #[test]
+    fn dedup_and_caps() {
+        let mut c = Corpus::new();
+        assert!(c.add(CorpusEntry::new("t2", vec![1, 2, 3])));
+        assert!(!c.add(CorpusEntry::new("t2", vec![1, 2, 3])), "duplicate admitted");
+        assert!(c.add(CorpusEntry::new("t9", vec![1, 2, 3])));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.for_target("t2").count(), 1);
+
+        // Over-long choice streams are truncated at construction.
+        let long = CorpusEntry::new("t2", vec![9; MAX_CHOICES * 2]);
+        assert_eq!(long.choices.len(), MAX_CHOICES);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("campaign-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut c = Corpus::new();
+        c.add(CorpusEntry::new("t2", vec![3, 1, 4, 1, 5]));
+        c.add(CorpusEntry::new("t9", vec![2, 7]));
+        assert_eq!(c.save(&dir).expect("save"), 2);
+        let back = Corpus::load(&dir).expect("load");
+        assert_eq!(back.len(), 2);
+        let mut got: Vec<_> = back.entries().to_vec();
+        got.sort_by(|a, b| a.target.cmp(&b.target));
+        assert_eq!(got[0], CorpusEntry::new("t2", vec![3, 1, 4, 1, 5]));
+        assert_eq!(got[1], CorpusEntry::new("t9", vec![2, 7]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,301 @@
+//! The campaign engine: sharded, deterministic, budgeted.
+//!
+//! Execution proceeds in *rounds*. Each round hands every shard a fixed
+//! number of cases and an immutable snapshot of the corpus; shards run
+//! on `testkit::par` threads and return per-case records; the main
+//! thread merges records **in (shard, case) order**, so coverage
+//! accounting, corpus admission and failure discovery are independent
+//! of thread scheduling. Every case's RNG is seeded from
+//! `(seed, round, shard, case)` through SplitMix64, which makes the
+//! whole campaign a pure function of the master seed and the case
+//! budget — two runs with the same `--seed` and `--budget N` produce
+//! byte-identical JSON reports. Wall-clock budgets stop at round
+//! boundaries (case counts then depend on machine speed, which is why
+//! throughput lives in the stderr summary, not the JSON).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use testkit::prop::Ctx;
+use testkit::rng::{Rng as _, SplitMix64, TestRng};
+
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::coverage::{CovSnap, GlobalCoverage};
+use crate::gen;
+use crate::report::{CampaignReport, FailureRecord, TargetReport};
+use crate::targets::{Target, Verdict};
+use crate::triage;
+
+/// When to stop.
+#[derive(Clone, Copy, Debug)]
+pub enum Budget {
+    /// Run exactly this many cases (deterministic reports).
+    Cases(u64),
+    /// Run until the wall clock expires, stopping at a round boundary.
+    Wall(Duration),
+}
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Shard (thread) count.
+    pub shards: usize,
+    /// Stop condition.
+    pub budget: Budget,
+    /// Cases per shard per round.
+    pub cases_per_shard_round: u64,
+    /// Directory to load the seed corpus from and save new entries to.
+    pub corpus_dir: Option<PathBuf>,
+    /// Run triage (minimise + layer re-attribution + repro) on failures.
+    pub triage: bool,
+    /// Shrink-evaluation budget per triaged failure.
+    pub triage_budget: u32,
+    /// At most this many failures are triaged (the rest keep their raw
+    /// choice streams).
+    pub max_triaged: usize,
+    /// File to append triaged repro lines to.
+    pub regressions_path: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: testkit::master_seed(),
+            shards: 1,
+            budget: Budget::Cases(200),
+            cases_per_shard_round: 25,
+            corpus_dir: None,
+            triage: true,
+            triage_budget: 300,
+            max_triaged: 4,
+            regressions_path: None,
+        }
+    }
+}
+
+/// What one case produced, as reported by a shard.
+struct CaseRecord {
+    target_idx: usize,
+    choices: Vec<u64>,
+    cov: CovSnap,
+    verdict: Verdict,
+}
+
+fn mix4(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut s = SplitMix64::new(a);
+    let mut out = s.next_u64() ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    out = SplitMix64::new(out ^ c.rotate_left(17)).next_u64();
+    SplitMix64::new(out ^ d.rotate_left(31)).next_u64()
+}
+
+/// Weighted target pick: deterministic in `roll`.
+fn pick_target(weights: &[u32], total: u32, roll: u64) -> usize {
+    let mut x = (roll % u64::from(total)) as u32;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= *w;
+    }
+    weights.len() - 1
+}
+
+/// Runs one shard's slice of a round against a corpus snapshot.
+fn run_shard(
+    targets: &[Box<dyn Target>],
+    weights: &[u32],
+    total_weight: u32,
+    corpus: &Corpus,
+    seed: u64,
+    round: u64,
+    shard: u64,
+    cases: u64,
+) -> Vec<CaseRecord> {
+    let mut out = Vec::with_capacity(cases as usize);
+    for i in 0..cases {
+        let case_seed = mix4(seed, round, shard, i);
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        let target_idx = pick_target(weights, total_weight, rng.next_u64());
+        let target = &targets[target_idx];
+        let bases: Vec<&CorpusEntry> = corpus.for_target(target.name()).collect();
+        let mutate = !bases.is_empty() && rng.gen_bool(0.5);
+        let (choices, outcome) = if mutate {
+            let base = bases[(rng.next_u64() % bases.len() as u64) as usize];
+            let mutated = gen::mutate(&mut rng, &base.choices);
+            let mut ctx = Ctx::replaying(&mutated);
+            let outcome = target.run_case(&mut ctx);
+            (ctx.recorded_choices().to_vec(), outcome)
+        } else {
+            let mut ctx = Ctx::recording(&mut rng);
+            let outcome = target.run_case(&mut ctx);
+            (ctx.recorded_choices().to_vec(), outcome)
+        };
+        out.push(CaseRecord { target_idx, choices, cov: outcome.cov, verdict: outcome.verdict });
+    }
+    out
+}
+
+/// Runs a campaign over `targets`.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or `shards == 0`.
+#[must_use]
+pub fn run_campaign(targets: &[Box<dyn Target>], cfg: &CampaignConfig) -> CampaignReport {
+    assert!(!targets.is_empty(), "campaign needs at least one target");
+    assert!(cfg.shards > 0, "campaign needs at least one shard");
+    let start = Instant::now();
+
+    let weights: Vec<u32> = targets.iter().map(|t| t.weight().max(1)).collect();
+    let total_weight: u32 = weights.iter().sum();
+
+    let mut corpus = match &cfg.corpus_dir {
+        Some(dir) => Corpus::load(dir).unwrap_or_default(),
+        None => Corpus::new(),
+    };
+    let mut coverage: Vec<GlobalCoverage> =
+        targets.iter().map(|_| GlobalCoverage::new()).collect();
+    let mut cases_per_target: Vec<u64> = vec![0; targets.len()];
+    let mut failures_per_target: Vec<u64> = vec![0; targets.len()];
+    let mut failures: Vec<FailureRecord> = Vec::new();
+
+    let mut total_cases = 0u64;
+    let mut rounds = 0u64;
+    loop {
+        // Budget check (case budgets are exact; wall budgets stop here).
+        let round_quota = match cfg.budget {
+            Budget::Cases(n) => {
+                if total_cases >= n {
+                    break;
+                }
+                (n - total_cases).min(cfg.cases_per_shard_round * cfg.shards as u64)
+            }
+            Budget::Wall(limit) => {
+                if start.elapsed() >= limit {
+                    break;
+                }
+                cfg.cases_per_shard_round * cfg.shards as u64
+            }
+        };
+        // Deterministic split of the quota across shards.
+        let base = round_quota / cfg.shards as u64;
+        let extra = round_quota % cfg.shards as u64;
+        let shard_inputs: Vec<(u64, u64)> = (0..cfg.shards as u64)
+            .map(|s| (s, base + u64::from(s < extra)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+
+        let corpus_ref = &corpus;
+        let results = testkit::par::par_map(shard_inputs, |(shard, n)| {
+            run_shard(targets, &weights, total_weight, corpus_ref, cfg.seed, rounds, shard, n)
+        });
+
+        // Merge in (shard, case) order: deterministic regardless of the
+        // thread schedule above.
+        for shard_records in results {
+            for rec in shard_records {
+                total_cases += 1;
+                cases_per_target[rec.target_idx] += 1;
+                let fresh = coverage[rec.target_idx].merge(&rec.cov);
+                if fresh {
+                    corpus.add(CorpusEntry::new(targets[rec.target_idx].name(), rec.choices.clone()));
+                }
+                if let Verdict::Fail { layer, message } = rec.verdict {
+                    failures_per_target[rec.target_idx] += 1;
+                    failures.push(FailureRecord {
+                        target: targets[rec.target_idx].name().to_string(),
+                        layer,
+                        message,
+                        choices: rec.choices,
+                        minimized: None,
+                        repro: None,
+                    });
+                }
+            }
+        }
+        rounds += 1;
+    }
+
+    if cfg.triage {
+        for rec in failures.iter_mut().take(cfg.max_triaged) {
+            if let Some(target) = targets.iter().find(|t| t.name() == rec.target) {
+                triage::triage_failure(target.as_ref(), rec, cfg.triage_budget);
+            }
+        }
+        if let Some(path) = &cfg.regressions_path {
+            let _ = triage::append_regressions(path, &failures);
+        }
+    }
+
+    if let Some(dir) = &cfg.corpus_dir {
+        let _ = corpus.save(dir);
+    }
+
+    CampaignReport {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        rounds,
+        cases: total_cases,
+        corpus_len: corpus.len(),
+        targets: targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TargetReport {
+                name: t.name().to_string(),
+                cases: cases_per_target[i],
+                failures: failures_per_target[i],
+                opcodes: coverage[i].opcodes(),
+                opcode_pct: coverage[i].opcode_pct(),
+                edges: coverage[i].edge_count(),
+                features: coverage[i].feature_count(),
+            })
+            .collect(),
+        failures,
+        wall: start.elapsed(),
+    }
+}
+
+/// Replays one case against the named target from `targets`.
+///
+/// # Errors
+///
+/// When no target with that name is registered.
+pub fn replay_case(
+    targets: &[Box<dyn Target>],
+    target_name: &str,
+    choices: &[u64],
+) -> Result<crate::targets::CaseOutcome, String> {
+    let target = targets
+        .iter()
+        .find(|t| t.name() == target_name)
+        .ok_or_else(|| format!("no target named {target_name:?} registered"))?;
+    Ok(target.run_case(&mut Ctx::replaying(choices)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_pick_is_exhaustive_and_stable() {
+        let weights = [4, 2, 1];
+        let mut seen = [0u32; 3];
+        for roll in 0..70u64 {
+            seen[pick_target(&weights, 7, roll)] += 1;
+        }
+        assert_eq!(seen, [40, 20, 10]);
+        assert_eq!(pick_target(&weights, 7, 6), 2);
+    }
+
+    #[test]
+    fn mix4_separates_coordinates() {
+        let a = mix4(1, 0, 0, 0);
+        assert_ne!(a, mix4(1, 0, 0, 1));
+        assert_ne!(a, mix4(1, 0, 1, 0));
+        assert_ne!(a, mix4(1, 1, 0, 0));
+        assert_ne!(a, mix4(2, 0, 0, 0));
+        assert_eq!(a, mix4(1, 0, 0, 0));
+    }
+}

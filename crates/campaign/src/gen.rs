@@ -1,0 +1,278 @@
+//! Case generators: choice streams → programs.
+//!
+//! Every generator is a pure function of a [`Ctx`] choice stream, so a
+//! case is fully described by its recorded choices: fresh generation,
+//! corpus replay and shrinking all go through the same code path. The
+//! generators mirror the shapes the paper's differential obligations
+//! care about — typed expression trees for the compiler (theorem (2)),
+//! structured loops of ALU work for the processor (theorem (9)/(10)),
+//! and I/O-heavy basis programs for the system-call layer
+//! (theorems (11)–(13)).
+
+use ag32::asm::Assembler;
+use ag32::{Func, Reg, Ri, Shift, State};
+use testkit::prop::Ctx;
+use testkit::rng::{Rng as _, TestRng};
+
+// ---- source-expression generator (compiler targets) ----
+
+/// Emits an integer expression over variables `v0..v<depth>`.
+fn int_expr(c: &mut Ctx, depth: u32, scope: u32) -> String {
+    if depth == 0 || c.choose(3) == 0 {
+        return match c.choose(4) {
+            0 => {
+                let v: i32 = c.gen_range(-1000i32..1000);
+                if v < 0 {
+                    format!("~{}", -v)
+                } else {
+                    v.to_string()
+                }
+            }
+            1 => "0".to_string(),
+            2 => "1073741824".to_string(), // 1 << 30: the 31-bit boundary
+            _ => format!("v{}", c.choose(scope.max(1) as usize)),
+        };
+    }
+    let d = depth - 1;
+    match c.choose(8) {
+        0 => format!("({} + {})", int_expr(c, d, scope), int_expr(c, d, scope)),
+        1 => format!("({} - {})", int_expr(c, d, scope), int_expr(c, d, scope)),
+        2 => format!("({} * {})", int_expr(c, d, scope), int_expr(c, d, scope)),
+        3 => format!("({} div {})", int_expr(c, d, scope), int_expr(c, d, scope)),
+        4 => format!("({} mod {})", int_expr(c, d, scope), int_expr(c, d, scope)),
+        5 => format!(
+            "(if {} then {} else {})",
+            bool_expr(c, 2.min(d), scope),
+            int_expr(c, d, scope),
+            int_expr(c, d, scope)
+        ),
+        6 => format!(
+            "(let val v{scope} = {} in {} end)",
+            int_expr(c, d, scope),
+            int_expr(c, d, scope + 1)
+        ),
+        _ => format!(
+            "(case {} of 0 => {} | _ => {})",
+            int_expr(c, d, scope),
+            int_expr(c, d, scope),
+            int_expr(c, d, scope)
+        ),
+    }
+}
+
+fn bool_expr(c: &mut Ctx, depth: u32, scope: u32) -> String {
+    if depth == 0 || c.choose(3) == 0 {
+        return match c.choose(4) {
+            0 => if c.any_bool() { "true" } else { "false" }.to_string(),
+            1 => format!("({} < {})", int_expr(c, 1, scope), int_expr(c, 1, scope)),
+            2 => format!("({} <= {})", int_expr(c, 1, scope), int_expr(c, 1, scope)),
+            _ => format!("({} = {})", int_expr(c, 1, scope), int_expr(c, 1, scope)),
+        };
+    }
+    let d = depth - 1;
+    match c.choose(3) {
+        0 => format!("({} andalso {})", bool_expr(c, d, scope), bool_expr(c, d, scope)),
+        1 => format!("({} orelse {})", bool_expr(c, d, scope), bool_expr(c, d, scope)),
+        _ => format!("(not {})", bool_expr(c, d, scope)),
+    }
+}
+
+/// A prelude-free exit-code program: `val v0 = 17; val _ = Runtime.exit
+/// (e);` with `e` a random expression tree. Crashing behaviours
+/// (div/mod by zero, unmatched case) are in scope on purpose — crash
+/// exit codes are behaviour the layers must agree on too.
+#[must_use]
+pub fn source_program(c: &mut Ctx) -> String {
+    let depth = 1 + c.choose(5) as u32;
+    format!("val v0 = 17;\nval _ = Runtime.exit ({});", int_expr(c, depth, 1))
+}
+
+// ---- basis/FFI program generator (system-call targets) ----
+
+fn small_string(c: &mut Ctx) -> String {
+    c.string_of("abc XYZ09\n", 0..=12)
+}
+
+/// A prelude-using program exercising the basis I/O protocols: random
+/// mixes of `print`, `print_err`, stdin consumption and integer
+/// formatting, ending in an explicit exit. Returns `(src, stdin)`.
+#[must_use]
+pub fn ffi_program(c: &mut Ctx) -> (String, Vec<u8>) {
+    let stdin = small_string(c).into_bytes();
+    let mut body = String::new();
+    let stmts = 1 + c.choose(4);
+    for i in 0..stmts {
+        match c.choose(5) {
+            0 => body.push_str(&format!("val _ = print {:?};\n", small_string(c))),
+            1 => body.push_str(&format!("val _ = print_err {:?};\n", small_string(c))),
+            2 => {
+                let v: i32 = c.gen_range(-9999i32..9999);
+                let lit = if v < 0 { format!("~{}", -v) } else { v.to_string() };
+                body.push_str(&format!("val _ = print (int_to_string {lit});\n"));
+            }
+            3 => body.push_str(&format!("val s{i} = read_all ();\nval _ = print s{i};\n")),
+            _ => body.push_str(&format!(
+                "val _ = print (concat_strings [{:?}, {:?}]);\n",
+                small_string(c),
+                small_string(c)
+            )),
+        }
+    }
+    let code = c.gen_range(0u8..=3);
+    body.push_str(&format!("val _ = exit {code};\n"));
+    (body, stdin)
+}
+
+// ---- machine-code generator (processor targets) ----
+
+/// A random structured Silver program assembled at address 0: counted
+/// loops of ALU/shift/memory work ending in the canonical halt — the
+/// same shape the lockstep suites use, but drawn from the replayable
+/// choice stream.
+///
+/// # Panics
+///
+/// Never for in-range choices: the assembler input is well-formed by
+/// construction.
+#[must_use]
+pub fn isa_state(c: &mut Ctx) -> State {
+    let mut a = Assembler::new(0);
+    let r = Reg::new;
+    let blocks = 1 + c.choose(3) as u32;
+    for b in 0..blocks {
+        let counter = r(50 + b as u8);
+        a.li(counter, 1 + c.choose(4) as u32);
+        a.label(&format!("block{b}"));
+        let body = 1 + c.choose(5);
+        for _ in 0..body {
+            let w = r(1 + c.choose(40) as u8);
+            let x = Ri::Reg(r(1 + c.choose(40) as u8));
+            let y = if c.any_bool() {
+                Ri::Reg(r(1 + c.choose(40) as u8))
+            } else {
+                Ri::Imm(c.gen_range(-32i8..=31))
+            };
+            if c.gen_bool(0.25) {
+                a.shift(Shift::from_bits(c.choose(4) as u32), w, x, y);
+            } else {
+                a.normal(Func::from_bits(c.choose(16) as u32), w, x, y);
+            }
+        }
+        a.normal(Func::Dec, counter, Ri::Imm(0), Ri::Reg(counter));
+        a.branch_nonzero_sub(Ri::Reg(counter), Ri::Imm(0), &format!("block{b}"), r(60));
+    }
+    a.halt(r(61));
+    let code = a.assemble().expect("generated program assembles");
+    let mut s = State::new();
+    s.mem.write_bytes(0, &code);
+    s
+}
+
+// ---- choice-stream mutation (corpus evolution) ----
+
+/// Mutates a recorded choice stream: point perturbations, truncation,
+/// segment duplication or random extension, chosen by `rng`. The result
+/// replays into a *related* case — the reads-past-end-yield-zero rule
+/// keeps every mutant well-formed.
+#[must_use]
+pub fn mutate(rng: &mut TestRng, base: &[u64]) -> Vec<u64> {
+    let mut out = base.to_vec();
+    if out.is_empty() {
+        out.push(rng.next_u64() & 0xFF);
+        return out;
+    }
+    let ops = 1 + (rng.next_u32() % 3) as usize;
+    for _ in 0..ops {
+        match rng.next_u32() % 4 {
+            // Perturb one position (small delta keeps values in-range
+            // more often than a fresh draw would).
+            0 => {
+                let i = (rng.next_u64() % out.len() as u64) as usize;
+                let delta = (rng.next_u64() % 7) + 1;
+                out[i] = if rng.gen_bool(0.5) {
+                    out[i].wrapping_add(delta)
+                } else {
+                    out[i].saturating_sub(delta)
+                };
+            }
+            // Truncate a suffix (shrinks toward simpler cases).
+            1 => {
+                let keep = (rng.next_u64() % out.len() as u64) as usize;
+                out.truncate(keep.max(1));
+            }
+            // Duplicate a segment (grows structure).
+            2 => {
+                let start = (rng.next_u64() % out.len() as u64) as usize;
+                let len = 1 + (rng.next_u64() % 8) as usize;
+                let seg: Vec<u64> =
+                    out[start..(start + len).min(out.len())].to_vec();
+                let at = (rng.next_u64() % (out.len() as u64 + 1)) as usize;
+                for (k, v) in seg.into_iter().enumerate() {
+                    out.insert(at + k, v);
+                }
+            }
+            // Append fresh randomness (explores deeper structure).
+            _ => {
+                let extra = 1 + (rng.next_u64() % 8) as usize;
+                for _ in 0..extra {
+                    out.push(rng.next_u64() & 0xFFFF);
+                }
+            }
+        }
+    }
+    out.truncate(crate::corpus::MAX_CHOICES);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::rng::TestRng;
+
+    #[test]
+    fn generators_are_pure_functions_of_choices() {
+        let mut rng = TestRng::seed_from_u64(42);
+        let mut ctx = Ctx::recording(&mut rng);
+        let src = source_program(&mut ctx);
+        let choices = ctx.recorded_choices().to_vec();
+
+        let mut replay = Ctx::replaying(&choices);
+        assert_eq!(source_program(&mut replay), src);
+
+        // Machine-program generation replays identically too.
+        let mut rng2 = TestRng::seed_from_u64(7);
+        let mut ctx2 = Ctx::recording(&mut rng2);
+        let s = isa_state(&mut ctx2);
+        let choices2 = ctx2.recorded_choices().to_vec();
+        let s2 = isa_state(&mut Ctx::replaying(&choices2));
+        assert!(s.isa_visible_eq(&s2));
+    }
+
+    #[test]
+    fn generated_sources_compile_and_ffi_programs_parse() {
+        let mut rng = TestRng::seed_from_u64(1234);
+        for _ in 0..8 {
+            let mut ctx = Ctx::recording(&mut rng);
+            let src = source_program(&mut ctx);
+            let cfg = cakeml::CompilerConfig { prelude: false, ..Default::default() };
+            cakeml::frontend(&src, &cfg).unwrap_or_else(|e| panic!("{src}\n{e}"));
+
+            let mut ctx = Ctx::recording(&mut rng);
+            let (ffi_src, _stdin) = ffi_program(&mut ctx);
+            cakeml::frontend(&ffi_src, &cakeml::CompilerConfig::default())
+                .unwrap_or_else(|e| panic!("{ffi_src}\n{e}"));
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_bounded() {
+        let base: Vec<u64> = (0..100).collect();
+        let m1 = mutate(&mut TestRng::seed_from_u64(5), &base);
+        let m2 = mutate(&mut TestRng::seed_from_u64(5), &base);
+        assert_eq!(m1, m2);
+        assert!(!m1.is_empty());
+        assert!(m1.len() <= crate::corpus::MAX_CHOICES);
+        // An empty base still yields something replayable.
+        assert!(!mutate(&mut TestRng::seed_from_u64(9), &[]).is_empty());
+    }
+}

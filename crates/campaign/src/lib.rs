@@ -1,0 +1,60 @@
+//! # campaign — coverage-guided differential-testing campaigns
+//!
+//! The paper proves its theorems once; this reproduction *checks* them,
+//! continuously, on randomly generated programs. `campaign` is the
+//! engine for doing that at scale: a coverage-guided fuzzer whose
+//! "targets" are the repo's theorem-analog relations —
+//!
+//! * interpreter ↔ compiled ISA code (theorem (2), per compiler
+//!   configuration including the GC build),
+//! * ISA ↔ circuit lockstep (theorem (9)),
+//! * circuit ↔ generated Verilog (theorem (10)),
+//! * FFI oracle ↔ real system-call machine code (theorems (11)–(13)),
+//! * and, registered from the `silver-stack` crate, the full end-to-end
+//!   stack (theorem (8)).
+//!
+//! Three coverage signals guide the search ([`coverage`]): per-opcode
+//! retire counters and PC-edge bitmaps from `ag32`, and source-feature
+//! sets from `cakeml`. Cases that add coverage enter a deduplicated,
+//! size-capped, file-persisted [`corpus`]; later cases mutate corpus
+//! choice streams as often as they generate fresh ones ([`gen`]).
+//! Execution is sharded and *deterministic* ([`engine`]): same seed and
+//! case budget ⇒ byte-identical JSON report. Failures are triaged
+//! automatically ([`triage`]): the diverging layer pair is named, the
+//! choice stream is shrunk with the testkit minimiser, and a one-line
+//! `silver-fuzz --replay` command is appended to a
+//! `*.testkit-regressions` file.
+//!
+//! The `silver-fuzz` CLI in the `silver-stack` crate fronts all of this.
+//!
+//! # Example
+//!
+//! ```
+//! use campaign::{registry, run_campaign, Budget, CampaignConfig};
+//!
+//! let targets = registry("t2").unwrap();
+//! let cfg = CampaignConfig {
+//!     seed: 1,
+//!     shards: 2,
+//!     budget: Budget::Cases(8),
+//!     ..CampaignConfig::default()
+//! };
+//! let report = run_campaign(&targets, &cfg);
+//! assert_eq!(report.cases, 8);
+//! assert!(report.failures.is_empty());
+//! ```
+
+pub mod corpus;
+pub mod coverage;
+pub mod engine;
+pub mod gen;
+pub mod report;
+pub mod targets;
+pub mod triage;
+
+pub use corpus::{Corpus, CorpusEntry};
+pub use coverage::{CovSnap, GlobalCoverage};
+pub use engine::{replay_case, run_campaign, Budget, CampaignConfig};
+pub use report::{CampaignReport, FailureRecord, TargetReport};
+pub use targets::{registry, CaseOutcome, Target, Verdict};
+pub use triage::{minimise, parse_replay, repro_line, triage_failure};

@@ -1,0 +1,238 @@
+//! Campaign reports: a deterministic JSON-lines record plus a human
+//! summary.
+//!
+//! The JSON body contains only fields that are a pure function of the
+//! campaign's seed and case budget — byte-identical across runs and
+//! machines — so the smoke tests can assert determinism on the raw
+//! bytes. Wall-clock time and throughput are *not* in the JSON; they go
+//! to the human summary (stderr) instead.
+
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// One divergence found by the campaign.
+#[derive(Clone, Debug)]
+pub struct FailureRecord {
+    /// Target that found it.
+    pub target: String,
+    /// Layer (pair) blamed, e.g. `"isa vs source"`.
+    pub layer: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// The choice stream that produced the failing case.
+    pub choices: Vec<u64>,
+    /// Shrunk choice stream, when triage ran.
+    pub minimized: Option<Vec<u64>>,
+    /// One-line `silver-fuzz --replay` command, when triage ran.
+    pub repro: Option<String>,
+}
+
+/// Per-target tallies.
+#[derive(Clone, Debug)]
+pub struct TargetReport {
+    /// Target name.
+    pub name: String,
+    /// Cases run.
+    pub cases: u64,
+    /// Failing cases.
+    pub failures: u64,
+    /// Distinct opcodes retired.
+    pub opcodes: usize,
+    /// Opcode coverage percent (0–100).
+    pub opcode_pct: f64,
+    /// Distinct PC edges seen.
+    pub edges: usize,
+    /// Distinct source features seen.
+    pub features: usize,
+}
+
+/// The whole campaign's outcome.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Shard count.
+    pub shards: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total cases across all targets.
+    pub cases: u64,
+    /// Corpus size after the campaign.
+    pub corpus_len: usize,
+    /// Per-target tallies, in registry order.
+    pub targets: Vec<TargetReport>,
+    /// Divergences, in discovery order.
+    pub failures: Vec<FailureRecord>,
+    /// Wall-clock duration (kept out of the JSON on purpose).
+    pub wall: Duration,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hex_list(choices: &[u64]) -> String {
+    let parts: Vec<String> = choices.iter().map(|c| format!("{c:x}")).collect();
+    parts.join(",")
+}
+
+impl CampaignReport {
+    /// The deterministic JSON-lines rendition (one object per line:
+    /// campaign header, then targets, then failures).
+    #[must_use]
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"suite\":\"campaign\",\"seed\":{},\"shards\":{},\"rounds\":{},\
+             \"cases\":{},\"failures\":{},\"corpus\":{}}}\n",
+            self.seed,
+            self.shards,
+            self.rounds,
+            self.cases,
+            self.failures.len(),
+            self.corpus_len,
+        ));
+        for t in &self.targets {
+            out.push_str(&format!(
+                "{{\"target\":\"{}\",\"cases\":{},\"failures\":{},\"opcodes\":{},\
+                 \"opcode_pct\":{:.1},\"edges\":{},\"features\":{}}}\n",
+                esc(&t.name),
+                t.cases,
+                t.failures,
+                t.opcodes,
+                t.opcode_pct,
+                t.edges,
+                t.features,
+            ));
+        }
+        for f in &self.failures {
+            let msg: String = f.message.chars().take(200).collect();
+            out.push_str(&format!(
+                "{{\"failure\":{{\"target\":\"{}\",\"layer\":\"{}\",\"message\":\"{}\",\
+                 \"choices\":\"{}\"{}{}}}}}\n",
+                esc(&f.target),
+                esc(&f.layer),
+                esc(&msg),
+                hex_list(&f.choices),
+                f.minimized
+                    .as_ref()
+                    .map(|m| format!(",\"minimized\":\"{}\"", hex_list(m)))
+                    .unwrap_or_default(),
+                f.repro
+                    .as_ref()
+                    .map(|r| format!(",\"repro\":\"{}\"", esc(r)))
+                    .unwrap_or_default(),
+            ));
+        }
+        out
+    }
+
+    /// Writes [`CampaignReport::json_lines`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.json_lines())
+    }
+
+    /// The human summary, including the nondeterministic wall-clock and
+    /// throughput numbers the JSON deliberately omits.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let secs = self.wall.as_secs_f64();
+        let rate = if secs > 0.0 { self.cases as f64 / secs } else { 0.0 };
+        let mut out = format!(
+            "campaign: seed {:#x}, {} shard(s), {} round(s), {} cases in {:.1}s ({:.0} cases/s), \
+             corpus {}, {} failure(s)\n",
+            self.seed,
+            self.shards,
+            self.rounds,
+            self.cases,
+            secs,
+            rate,
+            self.corpus_len,
+            self.failures.len(),
+        );
+        for t in &self.targets {
+            out.push_str(&format!(
+                "  {:<9} {:>6} cases  {:>2} failures  opcodes {:>2}/{} ({:.0}%)  edges {:>5}  features {:>2}\n",
+                t.name,
+                t.cases,
+                t.failures,
+                t.opcodes,
+                ag32::Opcode::COUNT,
+                t.opcode_pct,
+                t.edges,
+                t.features,
+            ));
+        }
+        for f in &self.failures {
+            out.push_str(&format!(
+                "  FAILURE [{}] {}: {}\n",
+                f.target,
+                f.layer,
+                f.message.lines().next().unwrap_or(""),
+            ));
+            if let Some(r) = &f.repro {
+                out.push_str(&format!("    repro: {r}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let rep = CampaignReport {
+            seed: 1,
+            shards: 2,
+            rounds: 3,
+            cases: 10,
+            corpus_len: 4,
+            targets: vec![TargetReport {
+                name: "t2".into(),
+                cases: 10,
+                failures: 1,
+                opcodes: 5,
+                opcode_pct: 31.25,
+                edges: 7,
+                features: 3,
+            }],
+            failures: vec![FailureRecord {
+                target: "t2".into(),
+                layer: "isa vs source".into(),
+                message: "exit 1 vs 2 for:\n\"x\"".into(),
+                choices: vec![1, 255],
+                minimized: Some(vec![1]),
+                repro: Some("silver-fuzz --target t2 --replay t2:1".into()),
+            }],
+            wall: Duration::from_secs(9),
+        };
+        let j1 = rep.json_lines();
+        let j2 = rep.clone().json_lines();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"choices\":\"1,ff\""));
+        assert!(j1.contains("\\n\\\"x\\\""), "newline/quote not escaped: {j1}");
+        // Wall-clock stays out of the JSON but shows in the summary.
+        assert!(!j1.contains("9.0"));
+        assert!(rep.summary().contains("9.0s"));
+    }
+}

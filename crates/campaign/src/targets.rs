@@ -1,0 +1,441 @@
+//! The differential-target registry.
+//!
+//! Each [`Target`] wraps one of the repo's theorem-analog relations as
+//! a fuzzable check: draw a case from a choice stream, run the two (or
+//! three) semantics it relates, and report agreement plus the coverage
+//! the case earned. Failure verdicts name the layer pair that diverged
+//! — the targets compare adjacent layers top-down, so the first failing
+//! comparison *is* the layer bisection the triage step reports.
+//!
+//! | target | relation | paper |
+//! |---|---|---|
+//! | `t2`, `t2-gc`, `t2-noopt` | interpreter ↔ compiled ISA code | theorem (2) |
+//! | `t9` | ISA ↔ circuit lockstep | theorem (9) |
+//! | `t10` | circuit ↔ generated Verilog | theorem (10) |
+//! | `syscall` | oracle ↔ system-call machine code | theorems (11)–(13) |
+//!
+//! The full end-to-end target (theorem (8)) lives in the `silver-stack`
+//! crate — it needs the stack composition, which sits above this crate.
+
+
+use basis::{build_image, run_to_halt_with, run_with_oracle, BasisHost, ExitStatus, FsState};
+use cakeml::{
+    compile_source, frontend, program_features, run_program, CompilerConfig, NoFfi, Stop,
+    TargetLayout,
+};
+use silver::env::{Latency, MemEnvConfig};
+use testkit::prop::Ctx;
+
+use crate::coverage::CovSnap;
+use crate::gen;
+
+/// The verdict of one case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// All compared layers agreed.
+    Pass,
+    /// Two layers diverged (or one of them failed to run).
+    Fail {
+        /// Which layer (pair) is to blame, e.g. `"isa vs source"`.
+        layer: String,
+        /// Human-readable detail, including the generated case.
+        message: String,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Fail`].
+    #[must_use]
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Verdict::Fail { .. })
+    }
+}
+
+/// What one case produced: its verdict and the coverage it earned.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Coverage observed while running the case.
+    pub cov: CovSnap,
+    /// Agreement verdict.
+    pub verdict: Verdict,
+}
+
+impl CaseOutcome {
+    fn pass(cov: CovSnap) -> Self {
+        CaseOutcome { cov, verdict: Verdict::Pass }
+    }
+
+    fn fail(cov: CovSnap, layer: &str, message: String) -> Self {
+        CaseOutcome { cov, verdict: Verdict::Fail { layer: layer.to_string(), message } }
+    }
+}
+
+/// A differential fuzz target: a pure function from a choice stream to
+/// a [`CaseOutcome`]. Implementations must be deterministic — the same
+/// choices must yield the same verdict — because replay, shrinking and
+/// the corpus all depend on it.
+pub trait Target: Sync {
+    /// Stable registry name (used in reports, seed files, repro lines).
+    fn name(&self) -> &'static str;
+
+    /// Draws one case from `ctx` and checks it.
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome;
+
+    /// Relative scheduling weight (cheap targets get more cases).
+    fn weight(&self) -> u32 {
+        3
+    }
+}
+
+// ---- theorem (2): interpreter vs compiled ISA code ----
+
+/// Compiler correctness under one [`CompilerConfig`].
+pub struct CompilerTarget {
+    name: &'static str,
+    cfg: CompilerConfig,
+}
+
+impl CompilerTarget {
+    /// The config matrix: default optimising build, GC build, and the
+    /// everything-off build (each exercises different backend paths).
+    #[must_use]
+    pub fn matrix() -> Vec<CompilerTarget> {
+        let base = CompilerConfig { prelude: false, ..CompilerConfig::default() };
+        vec![
+            CompilerTarget { name: "t2", cfg: base.clone() },
+            CompilerTarget { name: "t2-gc", cfg: CompilerConfig { gc: true, ..base.clone() } },
+            CompilerTarget {
+                name: "t2-noopt",
+                cfg: CompilerConfig {
+                    direct_calls: false,
+                    tail_calls: false,
+                    const_fold: false,
+                    ..base
+                },
+            },
+        ]
+    }
+}
+
+impl Target for CompilerTarget {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn weight(&self) -> u32 {
+        4
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        let src = gen::source_program(ctx);
+        let mut cov = CovSnap::new();
+
+        let (prog, _) = match frontend(&src, &self.cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                return CaseOutcome::fail(cov, "source", format!("generated program rejected: {e}\n{src}"))
+            }
+        };
+        cov.features = program_features(&prog);
+
+        // Specification: the interpreter.
+        let spec = match run_program(&prog, &mut NoFfi, 50_000_000) {
+            Ok(out) => out.exit_code,
+            Err(Stop::Exit(c)) => c,
+            Err(other) => {
+                return CaseOutcome::fail(cov, "source", format!("interpreter: {other}\n{src}"))
+            }
+        };
+
+        // Implementation: compiled Silver code under pure `Next`.
+        let layout = TargetLayout::default();
+        let compiled = match compile_source(&src, layout, &self.cfg) {
+            Ok(c) => c,
+            Err(e) => return CaseOutcome::fail(cov, "compile", format!("{e}\n{src}")),
+        };
+        let mut s = ag32::State::new();
+        s.mem.write_bytes(layout.code_base, &compiled.code);
+        s.mem.write_word(
+            layout.halt_addr,
+            ag32::encode(ag32::Instr::Jump {
+                func: ag32::Func::Add,
+                w: ag32::Reg::new(0),
+                a: ag32::Ri::Imm(0),
+            }),
+        );
+        s.pc = layout.code_base;
+        s.run_with(100_000_000, &mut cov.edges);
+        if !s.is_halted() {
+            cov.stats = s.stats.clone();
+            return CaseOutcome::fail(cov, "isa", format!("compiled code did not halt\n{src}"));
+        }
+        let got = s.mem.read_word(layout.exit_code_addr) as u8;
+        cov.stats = s.stats.clone();
+        if got != spec {
+            return CaseOutcome::fail(
+                cov,
+                "isa vs source",
+                format!("exit {got} vs {spec} for:\n{src}"),
+            );
+        }
+        CaseOutcome::pass(cov)
+    }
+}
+
+// ---- theorem (9): ISA vs circuit lockstep ----
+
+/// ISA↔RTL lockstep over random structured machine programs with a
+/// randomised-latency environment.
+pub struct LockstepTarget;
+
+impl Target for LockstepTarget {
+    fn name(&self) -> &'static str {
+        "t9"
+    }
+
+    fn weight(&self) -> u32 {
+        2
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        let state = gen::isa_state(ctx);
+        let max_instructions: u64 = ctx.gen_range(50u64..=1500);
+        let cfg = MemEnvConfig {
+            mem_latency: Latency::Random { max: ctx.choose(4) as u32 },
+            interrupt_latency: Latency::Random { max: ctx.choose(4) as u32 },
+            start_delay: ctx.choose(3) as u32,
+            seed: ctx.draw(u64::MAX),
+        };
+
+        // ISA-side coverage run (also the spec side of the relation).
+        let mut cov = CovSnap::new();
+        let mut isa = state.clone();
+        isa.accel = |x| x;
+        isa.run_with(max_instructions, &mut cov.edges);
+        cov.stats = isa.stats.clone();
+
+        match silver::lockstep::run_lockstep(&state, max_instructions, cfg, max_instructions * 64 + 10_000) {
+            Ok(_) => CaseOutcome::pass(cov),
+            Err(e) => CaseOutcome::fail(cov, "rtl vs isa", e.to_string()),
+        }
+    }
+}
+
+// ---- theorem (10): circuit vs generated Verilog ----
+
+/// Cycle-exact circuit↔Verilog agreement from the all-zero reset state
+/// (the program is assembled at address 0, as the equivalence checker
+/// requires).
+pub struct VerilogTarget;
+
+impl Target for VerilogTarget {
+    fn name(&self) -> &'static str {
+        "t10"
+    }
+
+    fn weight(&self) -> u32 {
+        1
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        let state = gen::isa_state(ctx);
+        let cycles: u64 = ctx.gen_range(40u64..=250);
+        let cfg = MemEnvConfig {
+            mem_latency: Latency::Random { max: ctx.choose(3) as u32 },
+            interrupt_latency: Latency::Fixed(0),
+            start_delay: ctx.choose(3) as u32,
+            seed: ctx.draw(u64::MAX),
+        };
+
+        // ISA shadow run for coverage feedback (the equivalence check
+        // itself compares signals, not retires).
+        let mut cov = CovSnap::new();
+        let mut isa = state.clone();
+        isa.run_with(cycles, &mut cov.edges);
+        cov.stats = isa.stats.clone();
+
+        match silver::verilog_level::check_cpu_verilog_equiv(&state, cfg, cycles) {
+            Ok(()) => CaseOutcome::pass(cov),
+            Err(e) => CaseOutcome::fail(cov, "verilog vs rtl", e.to_string()),
+        }
+    }
+}
+
+// ---- theorems (11)–(13): oracle vs system-call machine code ----
+
+/// Three-way agreement on I/O-performing programs: interpreter with the
+/// `basis_ffi` oracle, `machine_sem` (FFI serviced by the oracle), and
+/// pure `Next` through the real system-call code.
+pub struct SyscallTarget;
+
+impl Target for SyscallTarget {
+    fn name(&self) -> &'static str {
+        "syscall"
+    }
+
+    fn weight(&self) -> u32 {
+        2
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        let (src, stdin) = gen::ffi_program(ctx);
+        let args = ["fuzz"];
+        let layout = TargetLayout::default();
+        let cfg = CompilerConfig::default();
+        let mut cov = CovSnap::new();
+
+        let (prog, _) = match frontend(&src, &cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                return CaseOutcome::fail(cov, "source", format!("generated program rejected: {e}\n{src}"))
+            }
+        };
+        cov.features = program_features(&prog);
+
+        // 1. Interpreter + oracle (the specification).
+        let mut host = BasisHost::new(FsState::stdin_only(&args, &stdin));
+        let spec_code = match run_program(&prog, &mut host, 2_000_000_000) {
+            Ok(out) => out.exit_code,
+            Err(Stop::Exit(c)) => c,
+            Err(other) => {
+                return CaseOutcome::fail(cov, "source", format!("interpreter: {other}\n{src}"))
+            }
+        };
+        let spec_out = host.fs.stdout_utf8();
+        let spec_err = host.fs.stderr_utf8();
+
+        let compiled = match compile_source(&src, layout, &cfg) {
+            Ok(c) => c,
+            Err(e) => return CaseOutcome::fail(cov, "compile", format!("{e}\n{src}")),
+        };
+        let image = match build_image(&compiled, &args, &stdin) {
+            Ok(i) => i,
+            Err(e) => return CaseOutcome::fail(cov, "image", format!("{e}\n{src}")),
+        };
+
+        // 2. machine_sem: FFI steps serviced by the interference oracle.
+        let oracle_run = run_with_oracle(
+            image.clone(),
+            &layout,
+            &compiled.ffi_names,
+            FsState::stdin_only(&args, &stdin),
+            500_000_000,
+        );
+        if oracle_run.exit != ExitStatus::Exited(spec_code)
+            || oracle_run.stdout_utf8() != spec_out
+            || oracle_run.stderr_utf8() != spec_err
+        {
+            return CaseOutcome::fail(
+                cov,
+                "oracle vs source",
+                format!(
+                    "oracle-mode {:?}/{:?} vs interpreter {spec_code}/{spec_out:?} for:\n{src}",
+                    oracle_run.exit,
+                    oracle_run.stdout_utf8()
+                ),
+            );
+        }
+
+        // 3. Pure `Next` through the real system-call machine code.
+        let machine_run = run_to_halt_with(image, &layout, 500_000_000, &mut cov.edges);
+        cov.stats = machine_run.state.stats.clone();
+        if machine_run.exit != oracle_run.exit
+            || machine_run.stdout != oracle_run.stdout
+            || machine_run.stderr != oracle_run.stderr
+        {
+            return CaseOutcome::fail(
+                cov,
+                "machine vs oracle",
+                format!(
+                    "machine {:?}/{:?} vs oracle {:?}/{:?} for:\n{src}",
+                    machine_run.exit,
+                    machine_run.stdout_utf8(),
+                    oracle_run.exit,
+                    oracle_run.stdout_utf8()
+                ),
+            );
+        }
+        CaseOutcome::pass(cov)
+    }
+}
+
+// ---- registry ----
+
+/// Resolves a `--target` selection to a list of targets.
+///
+/// # Errors
+///
+/// An unknown selection name (listing the valid ones).
+pub fn registry(selection: &str) -> Result<Vec<Box<dyn Target>>, String> {
+    let mut out: Vec<Box<dyn Target>> = Vec::new();
+    match selection {
+        "all" => {
+            out.extend(CompilerTarget::matrix().into_iter().map(|t| Box::new(t) as _));
+            out.push(Box::new(LockstepTarget));
+            out.push(Box::new(VerilogTarget));
+            out.push(Box::new(SyscallTarget));
+        }
+        "t2" => out.extend(CompilerTarget::matrix().into_iter().map(|t| Box::new(t) as _)),
+        "t9" | "lockstep" => out.push(Box::new(LockstepTarget)),
+        "t10" | "verilog" => out.push(Box::new(VerilogTarget)),
+        "syscall" | "ffi" => out.push(Box::new(SyscallTarget)),
+        other => {
+            return Err(format!(
+                "unknown target {other:?}; expected one of: all, t2, t9, t10, syscall"
+            ))
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::rng::TestRng;
+
+    #[test]
+    fn registry_resolves_and_rejects() {
+        assert_eq!(registry("all").expect("all").len(), 6);
+        assert_eq!(registry("t2").expect("t2").len(), 3);
+        assert_eq!(registry("t9").expect("t9").len(), 1);
+        assert!(registry("bogus").is_err());
+    }
+
+    #[test]
+    fn compiler_target_passes_and_replays_deterministically() {
+        let t = &CompilerTarget::matrix()[0];
+        let mut rng = TestRng::seed_from_u64(0xCA5E);
+        for _ in 0..4 {
+            let mut ctx = Ctx::recording(&mut rng);
+            let out = t.run_case(&mut ctx);
+            assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+            assert!(out.cov.stats.total() > 0, "no instructions retired");
+            assert!(out.cov.edges.count() > 0, "no edges observed");
+            assert!(out.cov.features.count() > 0, "no features observed");
+
+            // Replaying the recorded choices reproduces the outcome.
+            let choices = ctx.recorded_choices().to_vec();
+            let again = t.run_case(&mut Ctx::replaying(&choices));
+            assert_eq!(again.verdict, out.verdict);
+            assert_eq!(again.cov.stats, out.cov.stats);
+        }
+    }
+
+    #[test]
+    fn lockstep_target_passes() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let mut ctx = Ctx::recording(&mut rng);
+        let out = LockstepTarget.run_case(&mut ctx);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.cov.stats.total() > 0);
+    }
+
+    #[test]
+    fn syscall_target_passes() {
+        let mut rng = TestRng::seed_from_u64(77);
+        let mut ctx = Ctx::recording(&mut rng);
+        let out = SyscallTarget.run_case(&mut ctx);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.cov.features.count() > 0);
+    }
+}

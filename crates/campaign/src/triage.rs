@@ -1,0 +1,177 @@
+//! Failure triage: layer bisection, minimisation, one-line repros.
+//!
+//! The bisection itself happens inside the targets: each compares
+//! adjacent layers top-down (source → ISA → RTL → Verilog), so the
+//! layer named by a [`Verdict::Fail`](crate::targets::Verdict) is
+//! already the first diverging pair. Triage's job is (a) shrinking the
+//! failing choice stream with the testkit minimiser, (b) re-running the
+//! minimal case to refresh the layer attribution (shrinking can move a
+//! failure to an earlier layer — that's the point), and (c) emitting a
+//! one-line `silver-fuzz --replay` command, persisted to a
+//! `*.testkit-regressions` file in the same spirit as the property
+//! harness's seed files.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use testkit::prop::Ctx;
+
+use crate::report::FailureRecord;
+use crate::targets::{Target, Verdict};
+
+/// Shrinks `choices` to a minimal stream on which `target` still fails,
+/// spending at most `budget` re-executions.
+#[must_use]
+pub fn minimise(target: &dyn Target, choices: &[u64], budget: u32) -> Vec<u64> {
+    testkit::shrink_choices(
+        |ctx| target.run_case(ctx).verdict.is_fail(),
+        choices.to_vec(),
+        budget,
+    )
+}
+
+/// Renders the one-line reproduction command for a choice stream.
+#[must_use]
+pub fn repro_line(target: &str, choices: &[u64]) -> String {
+    let hex: Vec<String> = choices.iter().map(|c| format!("{c:x}")).collect();
+    format!("silver-fuzz --target {target} --replay {target}:{}", hex.join(","))
+}
+
+/// Parses a `--replay` argument: either `<target>:<hex,hex,...>` inline
+/// or a path to a corpus seed file.
+///
+/// # Errors
+///
+/// A description of the malformed spec.
+pub fn parse_replay(spec: &str) -> Result<(String, Vec<u64>), String> {
+    if let Some((target, rest)) = spec.split_once(':') {
+        let choices: Result<Vec<u64>, _> = rest
+            .split(',')
+            .filter(|w| !w.is_empty())
+            .map(|w| u64::from_str_radix(w.trim(), 16))
+            .collect();
+        return match choices {
+            Ok(c) => Ok((target.to_string(), c)),
+            Err(e) => Err(format!("bad hex in replay spec: {e}")),
+        };
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    crate::corpus::CorpusEntry::parse(&text)
+        .map(|e| (e.target, e.choices))
+        .ok_or_else(|| format!("{spec} is not a seed file"))
+}
+
+/// Runs the full triage pipeline on a failure record: minimise, re-run
+/// for layer attribution, attach the repro line.
+pub fn triage_failure(target: &dyn Target, rec: &mut FailureRecord, budget: u32) {
+    let min = minimise(target, &rec.choices, budget);
+    let out = target.run_case(&mut Ctx::replaying(&min));
+    if let Verdict::Fail { layer, message } = out.verdict {
+        rec.layer = layer;
+        rec.message = message;
+    }
+    rec.repro = Some(repro_line(&rec.target, &min));
+    rec.minimized = Some(min);
+}
+
+/// Appends triaged failures to a `*.testkit-regressions` file: one
+/// `<target> replay=<hex,...> # <layer>: <summary>` line each, so past
+/// counterexamples stay replayable from source control.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn append_regressions(path: &Path, failures: &[FailureRecord]) -> io::Result<()> {
+    let triaged: Vec<&FailureRecord> =
+        failures.iter().filter(|f| f.minimized.is_some()).collect();
+    if triaged.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if f.metadata()?.len() == 0 {
+        writeln!(
+            f,
+            "# silver-fuzz campaign counterexamples. Each line is\n\
+             # `<target> replay=<hex,...> # <layer>: <summary>`; replay one with\n\
+             # `silver-fuzz --target <target> --replay <target>:<hex,...>`."
+        )?;
+    }
+    for rec in triaged {
+        let min = rec.minimized.as_ref().expect("filtered to triaged");
+        let hex: Vec<String> = min.iter().map(|c| format!("{c:x}")).collect();
+        let summary: String =
+            rec.message.lines().next().unwrap_or("").chars().take(120).collect();
+        writeln!(f, "{} replay={} # {}: {}", rec.target, hex.join(","), rec.layer, summary)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CovSnap;
+    use crate::targets::CaseOutcome;
+
+    /// A synthetic target that fails whenever its drawn value is at
+    /// least 700 — the minimum failing stream is exactly `[700]`.
+    struct Threshold;
+
+    impl Target for Threshold {
+        fn name(&self) -> &'static str {
+            "threshold"
+        }
+
+        fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+            let v: u64 = ctx.gen_range(0u64..10_000);
+            let pad: u64 = ctx.gen_range(0u64..100); // irrelevant second draw
+            let _ = pad;
+            if v >= 700 {
+                CaseOutcome {
+                    cov: CovSnap::new(),
+                    verdict: Verdict::Fail {
+                        layer: "isa vs source".into(),
+                        message: format!("value {v} over threshold"),
+                    },
+                }
+            } else {
+                CaseOutcome { cov: CovSnap::new(), verdict: Verdict::Pass }
+            }
+        }
+    }
+
+    #[test]
+    fn minimise_finds_the_boundary() {
+        let min = minimise(&Threshold, &[9_999, 73], 2_000);
+        let out = Threshold.run_case(&mut Ctx::replaying(&min));
+        assert!(out.verdict.is_fail(), "minimised case no longer fails");
+        assert_eq!(min.first().copied(), Some(700), "not shrunk to the boundary: {min:?}");
+    }
+
+    #[test]
+    fn triage_attaches_layer_and_repro() {
+        let mut rec = FailureRecord {
+            target: "threshold".into(),
+            layer: String::new(),
+            message: String::new(),
+            choices: vec![5_000, 9],
+            minimized: None,
+            repro: None,
+        };
+        triage_failure(&Threshold, &mut rec, 2_000);
+        assert_eq!(rec.layer, "isa vs source");
+        assert!(rec.message.contains("700"), "layer re-attribution ran on the minimum");
+        let repro = rec.repro.as_deref().expect("repro line");
+        assert_eq!(repro, "silver-fuzz --target threshold --replay threshold:2bc");
+
+        // The repro line round-trips through the replay parser.
+        let (t, choices) = parse_replay("threshold:2bc").expect("parses");
+        assert_eq!(t, "threshold");
+        assert_eq!(choices, vec![0x2bc]);
+        assert!(parse_replay("nonsense-without-colon-or-file").is_err());
+    }
+}

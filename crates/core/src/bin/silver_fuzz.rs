@@ -1,0 +1,148 @@
+//! `silver-fuzz` — coverage-guided differential-testing campaigns over
+//! the verified stack.
+//!
+//! ```sh
+//! silver-fuzz [--target NAME] [--shards N] [--budget N|Ns] [--seed N]
+//!             [--replay SPEC] [--triage|--no-triage] [--corpus DIR]
+//!             [--report FILE] [--regressions FILE]
+//! ```
+//!
+//! Targets are the repo's theorem-analog relations (see
+//! `campaign::registry` and `silver_stack::full_registry`): `t2`,
+//! `t2-gc`, `t2-noopt`, `t9`, `t10`, `syscall`, `e2e`, or the
+//! selections `t2` (all three compiler configurations) and `all`
+//! (everything). `--budget` accepts a case count (`--budget 2000`,
+//! deterministic reports) or a wall-clock duration (`--budget 60s`).
+//! The JSON-lines report is written to `BENCH_campaign.json` (override
+//! with `--report`); the human summary goes to stderr. `--replay`
+//! accepts either `<target>:<hex,hex,...>` (as printed in repro lines)
+//! or the path of a corpus seed file, and re-runs that single case.
+//!
+//! Exit code: 0 when every case passed, 1 when any failed, 2 on usage
+//! or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use campaign::{parse_replay, replay_case, run_campaign, Budget, CampaignConfig, Verdict};
+use silver_stack::full_registry;
+
+struct Options {
+    target: String,
+    replay: Option<String>,
+    report: PathBuf,
+    cfg: CampaignConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|e2e|all]\n\
+         \x20                 [--shards N] [--budget N|Ns] [--seed N]\n\
+         \x20                 [--replay TARGET:HEX,HEX,...|SEEDFILE] [--triage|--no-triage]\n\
+         \x20                 [--corpus DIR] [--report FILE] [--regressions FILE]"
+    );
+    std::process::exit(2)
+}
+
+/// `"60s"` → wall-clock, `"2000"` → exact case count.
+fn parse_budget(spec: &str) -> Option<Budget> {
+    if let Some(secs) = spec.strip_suffix('s') {
+        return secs.parse::<u64>().ok().map(|s| Budget::Wall(Duration::from_secs(s)));
+    }
+    spec.parse::<u64>().ok().map(Budget::Cases)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        target: "all".to_string(),
+        replay: None,
+        report: PathBuf::from("BENCH_campaign.json"),
+        cfg: CampaignConfig::default(),
+    };
+    let need = |v: Option<String>| v.unwrap_or_else(|| usage());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--target" => opts.target = need(args.next()),
+            "--shards" => {
+                opts.cfg.shards = need(args.next()).parse().unwrap_or_else(|_| usage());
+                if opts.cfg.shards == 0 {
+                    usage();
+                }
+            }
+            "--budget" => {
+                opts.cfg.budget = parse_budget(&need(args.next())).unwrap_or_else(|| usage());
+            }
+            "--seed" => opts.cfg.seed = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--replay" => opts.replay = Some(need(args.next())),
+            "--triage" => opts.cfg.triage = true,
+            "--no-triage" => opts.cfg.triage = false,
+            "--corpus" => opts.cfg.corpus_dir = Some(PathBuf::from(need(args.next()))),
+            "--report" => opts.report = PathBuf::from(need(args.next())),
+            "--regressions" => {
+                opts.cfg.regressions_path = Some(PathBuf::from(need(args.next())));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if let Some(spec) = &opts.replay {
+        let (target, choices) = match parse_replay(spec) {
+            Ok(tc) => tc,
+            Err(e) => {
+                eprintln!("silver-fuzz: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let targets = match full_registry("all") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("silver-fuzz: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match replay_case(&targets, &target, &choices) {
+            Ok(out) => match out.verdict {
+                Verdict::Pass => {
+                    eprintln!("silver-fuzz: replay of {target} case passed");
+                    ExitCode::SUCCESS
+                }
+                Verdict::Fail { layer, message } => {
+                    eprintln!("silver-fuzz: replay FAILED [{layer}]\n{message}");
+                    ExitCode::from(1)
+                }
+            },
+            Err(e) => {
+                eprintln!("silver-fuzz: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let targets = match full_registry(&opts.target) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("silver-fuzz: unknown --target {:?}; known: {e}", opts.target);
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_campaign(&targets, &opts.cfg);
+    if let Err(e) = report.write_json(&opts.report) {
+        eprintln!("silver-fuzz: cannot write {}: {e}", opts.report.display());
+        return ExitCode::from(2);
+    }
+    eprint!("{}", report.summary());
+    eprintln!("silver-fuzz: report written to {}", opts.report.display());
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

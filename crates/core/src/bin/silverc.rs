@@ -11,6 +11,10 @@
 //! with the program's exit code. `--backend rtl` runs on the circuit-
 //! level Silver CPU, `verilog` under the Verilog semantics (slow; small
 //! programs only).
+//!
+//! `--stats` prints the retired-instruction count, the clock-cycle
+//! count (circuit backends), and — on the ISA backend — a per-opcode
+//! retire histogram, most-frequent class first.
 
 use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
@@ -117,6 +121,16 @@ fn main() -> ExitCode {
         eprintln!("silverc: instructions = {}", result.instructions);
         if let Some(c) = result.cycles {
             eprintln!("silverc: clock cycles = {c}");
+        }
+        if let Some(stats) = &result.stats {
+            eprintln!(
+                "silverc: opcode histogram ({}/{} classes exercised):",
+                stats.opcodes_exercised(),
+                ag32::Opcode::COUNT,
+            );
+            for (op, count) in stats.histogram() {
+                eprintln!("silverc:   {:<18} {count}", op.name());
+            }
         }
     }
     match result.exit {

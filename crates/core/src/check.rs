@@ -5,12 +5,119 @@
 //! observed by running the *hardware* (the circuit-level CPU, and
 //! optionally its generated Verilog) equals the behaviour of the source
 //! semantics — same exit status, same standard output and error.
+//!
+//! Failures are structured: a [`CheckFailure`] names the [`Layer`] that
+//! errored, or the pair of adjacent layers that disagreed — the campaign
+//! engine's triage (`campaign::triage`) leans on this to report "first
+//! diverging layer" without string matching.
+
+use std::fmt;
 
 use basis::{BasisHost, ExitStatus, FsState};
 use cakeml::frontend;
 use silver::lockstep::run_lockstep;
 
 use crate::stack::{Backend, RunConfig, Stack, StackError, StackResult};
+
+/// One layer of the paper's Figure-1 stack, as exercised by the checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// The source semantics (the CakeML interpreter) — the specification.
+    Source,
+    /// The Silver ISA `Next` function.
+    Isa,
+    /// The circuit-level CPU implementation.
+    Rtl,
+    /// The generated deep-embedded Verilog.
+    Verilog,
+    /// The ISA↔circuit lockstep simulation relation (theorem (9)).
+    Lockstep,
+}
+
+impl Layer {
+    /// Stable lower-case name used in reports and repro lines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Source => "source",
+            Layer::Isa => "isa",
+            Layer::Rtl => "rtl",
+            Layer::Verilog => "verilog",
+            Layer::Lockstep => "lockstep",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an end-to-end check did not produce an [`EndToEndReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckFailure {
+    /// A layer could not produce a behaviour at all: compile/load error,
+    /// simulator failure, fuel exhaustion, or a run that wedged instead
+    /// of exiting.
+    Error {
+        /// The layer that failed.
+        layer: Layer,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Two layers both produced behaviours, and the behaviours differ —
+    /// a genuine counterexample to the theorem analog.
+    Disagreement {
+        /// The layer acting as specification in this comparison.
+        spec: Layer,
+        /// The layer under test that diverged from it.
+        impl_: Layer,
+        /// What differed (exit codes, stdout, stderr).
+        message: String,
+    },
+}
+
+impl CheckFailure {
+    /// The layer to blame: the erroring layer, or for a disagreement the
+    /// implementation-side layer (the first one to diverge walking the
+    /// stack downward from the source semantics).
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        match self {
+            CheckFailure::Error { layer, .. } => *layer,
+            CheckFailure::Disagreement { impl_, .. } => *impl_,
+        }
+    }
+
+    /// True for [`CheckFailure::Disagreement`] — a real divergence
+    /// between two layers rather than an infrastructure error.
+    #[must_use]
+    pub fn is_disagreement(&self) -> bool {
+        matches!(self, CheckFailure::Disagreement { .. })
+    }
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckFailure::Error { layer, message } => {
+                write!(f, "[{layer}] error: {message}")
+            }
+            CheckFailure::Disagreement { spec, impl_, message } => {
+                write!(f, "[{impl_}] disagrees with [{spec}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+impl From<CheckFailure> for String {
+    fn from(f: CheckFailure) -> String {
+        f.to_string()
+    }
+}
 
 /// What to include in the end-to-end check.
 #[derive(Clone, Copy, Debug)]
@@ -45,77 +152,131 @@ pub struct EndToEndReport {
     pub rtl_cycles: u64,
     /// Verilog-level clock cycles, when checked.
     pub verilog_cycles: Option<u64>,
+    /// Per-opcode retire counters from the ISA run.
+    pub isa_stats: Option<ag32::ExecStats>,
 }
 
-fn expect_exit(label: &str, r: &StackResult) -> Result<u8, String> {
+fn err(layer: Layer, message: impl Into<String>) -> CheckFailure {
+    CheckFailure::Error { layer, message: message.into() }
+}
+
+fn expect_exit(layer: Layer, r: &StackResult) -> Result<u8, CheckFailure> {
     match r.exit {
         ExitStatus::Exited(c) => Ok(c),
-        ref other => Err(format!("{label}: did not exit cleanly: {other:?}")),
+        ref other => Err(err(layer, format!("did not exit cleanly: {other:?}"))),
     }
+}
+
+/// Compares the observable behaviour of two layers' runs.
+fn compare_behaviour(
+    spec: Layer,
+    spec_code: u8,
+    spec_out: &str,
+    spec_err: &str,
+    impl_: Layer,
+    impl_code: u8,
+    impl_out: &str,
+    impl_err: &str,
+) -> Result<(), CheckFailure> {
+    if impl_code != spec_code {
+        return Err(CheckFailure::Disagreement {
+            spec,
+            impl_,
+            message: format!("exit {impl_code} vs {spec_code}"),
+        });
+    }
+    if impl_out != spec_out {
+        return Err(CheckFailure::Disagreement {
+            spec,
+            impl_,
+            message: format!("stdout {impl_out:?} vs {spec_out:?}"),
+        });
+    }
+    if impl_err != spec_err {
+        return Err(CheckFailure::Disagreement {
+            spec,
+            impl_,
+            message: format!("stderr {impl_err:?} vs {spec_err:?}"),
+        });
+    }
+    Ok(())
 }
 
 /// Runs `src` at every level and checks the observable behaviours agree.
 ///
 /// # Errors
 ///
-/// A description of the first disagreement or failure.
+/// A [`CheckFailure`] naming the first layer to error or diverge.
 pub fn check_end_to_end(
     stack: &Stack,
     src: &str,
     args: &[&str],
     stdin: &[u8],
     opts: &CheckOptions,
-) -> Result<EndToEndReport, String> {
+) -> Result<EndToEndReport, CheckFailure> {
     let rc = RunConfig::default();
 
     // Source semantics (the specification side of theorem (1)).
-    let (prog, _) = frontend(src, &stack.compiler).map_err(|e| e.to_string())?;
+    let (prog, _) = frontend(src, &stack.compiler).map_err(|e| err(Layer::Source, e.to_string()))?;
     let mut host = BasisHost::new(FsState::stdin_only(args, stdin));
     let interp = cakeml::run_program(&prog, &mut host, opts.interp_fuel)
-        .map_err(|e| format!("interpreter: {e}"))?;
+        .map_err(|e| err(Layer::Source, format!("interpreter: {e}")))?;
     let spec_out = host.fs.stdout_utf8();
     let spec_err = host.fs.stderr_utf8();
 
-    let compiled = stack.compile(src).map_err(|e| e.to_string())?;
-    let image = stack.load(&compiled, args, stdin).map_err(|e| e.to_string())?;
+    let compiled = stack.compile(src).map_err(|e| err(Layer::Source, e.to_string()))?;
+    let image = stack
+        .load(&compiled, args, stdin)
+        .map_err(|e| err(Layer::Source, e.to_string()))?;
 
     // ISA level (theorem (6)).
     let isa = stack
         .run_image(image.clone(), Backend::Isa, &rc)
-        .map_err(|e| e.to_string())?;
-    let isa_code = expect_exit("isa", &isa)?;
-    if isa_code != interp.exit_code
-        || isa.stdout_utf8() != spec_out
-        || isa.stderr_utf8() != spec_err
-    {
-        return Err(format!(
-            "ISA disagrees with source semantics: exit {isa_code} vs {}, stdout {:?} vs {:?}",
-            interp.exit_code,
-            isa.stdout_utf8(),
-            spec_out
-        ));
-    }
+        .map_err(|e| err(Layer::Isa, e.to_string()))?;
+    let isa_code = expect_exit(Layer::Isa, &isa)?;
+    compare_behaviour(
+        Layer::Source,
+        interp.exit_code,
+        &spec_out,
+        &spec_err,
+        Layer::Isa,
+        isa_code,
+        &isa.stdout_utf8(),
+        &isa.stderr_utf8(),
+    )?;
 
     // Circuit level (theorem (9) composed in).
     let rtl = stack
         .run_image(image.clone(), Backend::Rtl, &rc)
-        .map_err(|e| e.to_string())?;
-    let rtl_code = expect_exit("rtl", &rtl)?;
-    if rtl_code != isa_code || rtl.stdout != isa.stdout || rtl.stderr != isa.stderr {
-        return Err(format!(
-            "circuit level disagrees with ISA: exit {rtl_code} vs {isa_code}"
-        ));
-    }
+        .map_err(|e| err(Layer::Rtl, e.to_string()))?;
+    let rtl_code = expect_exit(Layer::Rtl, &rtl)?;
+    compare_behaviour(
+        Layer::Isa,
+        isa_code,
+        &isa.stdout_utf8(),
+        &isa.stderr_utf8(),
+        Layer::Rtl,
+        rtl_code,
+        &rtl.stdout_utf8(),
+        &rtl.stderr_utf8(),
+    )?;
 
     // Verilog level (theorem (8)).
     let verilog_cycles = if opts.verilog {
         let v = stack
             .run_image(image.clone(), Backend::Verilog, &rc)
-            .map_err(|e| e.to_string())?;
-        let v_code = expect_exit("verilog", &v)?;
-        if v_code != isa_code || v.stdout != isa.stdout || v.stderr != isa.stderr {
-            return Err("verilog level disagrees with ISA".to_string());
-        }
+            .map_err(|e| err(Layer::Verilog, e.to_string()))?;
+        let v_code = expect_exit(Layer::Verilog, &v)?;
+        compare_behaviour(
+            Layer::Isa,
+            isa_code,
+            &isa.stdout_utf8(),
+            &isa.stderr_utf8(),
+            Layer::Verilog,
+            v_code,
+            &v.stdout_utf8(),
+            &v.stderr_utf8(),
+        )?;
         v.cycles
     } else {
         None
@@ -133,7 +294,7 @@ pub fn check_end_to_end(
             },
             opts.lockstep_instructions * 64 + 10_000,
         )
-        .map_err(|e| format!("lockstep: {e}"))?;
+        .map_err(|e| err(Layer::Lockstep, e.to_string()))?;
     }
 
     Ok(EndToEndReport {
@@ -143,6 +304,7 @@ pub fn check_end_to_end(
         isa_instructions: isa.instructions,
         rtl_cycles: rtl.cycles.unwrap_or(0),
         verilog_cycles,
+        isa_stats: isa.stats,
     })
 }
 
@@ -174,28 +336,81 @@ impl Workload {
 
 /// Runs [`check_end_to_end`] over a whole suite of workloads, fanned
 /// across threads with [`testkit::par::par_map`] (bounded by
-/// `TESTKIT_THREADS`). Results come back in input order.
-///
-/// # Errors
-///
-/// The first failing workload, labelled with its name. All workloads
-/// run to completion before the error is reported, so a batch failure
-/// message identifies every divergence in `stderr` logs.
+/// `TESTKIT_THREADS`). Results come back in input order, each paired
+/// with its workload; every workload runs to completion, so one batch
+/// identifies *every* divergence, not just the first.
+#[must_use]
 pub fn check_end_to_end_batch(
     stack: &Stack,
     workloads: Vec<Workload>,
     opts: &CheckOptions,
-) -> Result<Vec<EndToEndReport>, String> {
-    let results = testkit::par::par_map(workloads, |w| {
+) -> Vec<(Workload, Result<EndToEndReport, CheckFailure>)> {
+    testkit::par::par_map(workloads, |w| {
         let args: Vec<&str> = w.args.iter().map(String::as_str).collect();
-        check_end_to_end(stack, &w.src, &args, &w.stdin, opts)
-            .map_err(|e| format!("{}: {e}", w.name))
-    });
-    results.into_iter().collect()
+        let r = check_end_to_end(stack, &w.src, &args, &w.stdin, opts);
+        (w, r)
+    })
+}
+
+/// Collapses a batch result into `Ok(reports)` or the first failure
+/// rendered as a string — the shape the batch API had before failures
+/// became structured, still convenient for plain assertion suites.
+///
+/// # Errors
+///
+/// The first failing workload, labelled with its name.
+pub fn batch_reports(
+    results: Vec<(Workload, Result<EndToEndReport, CheckFailure>)>,
+) -> Result<Vec<EndToEndReport>, String> {
+    results
+        .into_iter()
+        .map(|(w, r)| r.map_err(|e| format!("{}: {e}", w.name)))
+        .collect()
 }
 
 impl From<StackError> for String {
     fn from(e: StackError) -> Self {
         e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_behaviour_names_the_diverging_pair() {
+        // Exit-code divergence between source and ISA.
+        let f = compare_behaviour(Layer::Source, 3, "", "", Layer::Isa, 4, "", "")
+            .unwrap_err();
+        assert!(f.is_disagreement());
+        assert_eq!(f.layer(), Layer::Isa);
+        assert_eq!(f.to_string(), "[isa] disagrees with [source]: exit 4 vs 3");
+
+        // Stdout divergence between ISA and RTL.
+        let f = compare_behaviour(Layer::Isa, 0, "a", "", Layer::Rtl, 0, "b", "")
+            .unwrap_err();
+        match &f {
+            CheckFailure::Disagreement { spec, impl_, .. } => {
+                assert_eq!(*spec, Layer::Isa);
+                assert_eq!(*impl_, Layer::Rtl);
+            }
+            other => panic!("expected disagreement, got {other:?}"),
+        }
+
+        // Stderr divergence is caught too.
+        assert!(compare_behaviour(Layer::Isa, 0, "", "x", Layer::Verilog, 0, "", "y").is_err());
+
+        // Agreement passes.
+        assert!(compare_behaviour(Layer::Source, 7, "o", "e", Layer::Isa, 7, "o", "e").is_ok());
+    }
+
+    #[test]
+    fn error_failures_name_their_layer() {
+        let f = err(Layer::Rtl, "timed out");
+        assert!(!f.is_disagreement());
+        assert_eq!(f.layer(), Layer::Rtl);
+        assert_eq!(f.to_string(), "[rtl] error: timed out");
+        assert_eq!(Layer::Lockstep.name(), "lockstep");
     }
 }

@@ -1,0 +1,132 @@
+//! The end-to-end fuzz target (theorem (8)) for the campaign engine.
+//!
+//! `campaign` sits below this crate, so its registry cannot reach the
+//! stack composition; this module supplies the missing target — every
+//! layer at once via [`check_end_to_end`] — and a wrapper around the
+//! campaign registry that includes it.
+
+use campaign::coverage::CovSnap;
+use campaign::targets::{CaseOutcome, Target, Verdict};
+use campaign::{gen, registry};
+use cakeml::program_features;
+use testkit::prop::Ctx;
+
+use crate::check::{check_end_to_end, CheckFailure, CheckOptions};
+use crate::stack::Stack;
+
+/// Theorem (8) as a fuzz target: source semantics == ISA == circuit
+/// (Verilog and lockstep are left to their dedicated targets — the
+/// end-to-end case is already the most expensive in the registry).
+pub struct EndToEndTarget {
+    stack: Stack,
+    opts: CheckOptions,
+}
+
+impl Default for EndToEndTarget {
+    fn default() -> Self {
+        EndToEndTarget::new()
+    }
+}
+
+impl EndToEndTarget {
+    /// A target over the default stack, without the slow Verilog and
+    /// lockstep extras.
+    #[must_use]
+    pub fn new() -> Self {
+        EndToEndTarget {
+            stack: Stack::new(),
+            opts: CheckOptions { verilog: false, lockstep_instructions: 0, ..Default::default() },
+        }
+    }
+}
+
+impl Target for EndToEndTarget {
+    fn name(&self) -> &'static str {
+        "e2e"
+    }
+
+    fn weight(&self) -> u32 {
+        1 // each case runs the circuit simulator: keep it rare.
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        // Small prelude-free exit-code programs: the RTL side runs at
+        // circuit speed, so the generated cases must stay tiny.
+        let src = gen::source_program(ctx);
+        let mut cov = CovSnap::new();
+        if let Ok((prog, _)) = cakeml::frontend(&src, &self.stack.compiler) {
+            cov.features = program_features(&prog);
+        }
+        match check_end_to_end(&self.stack, &src, &["fuzz"], b"", &self.opts) {
+            Ok(report) => {
+                if let Some(stats) = report.isa_stats {
+                    cov.stats = stats;
+                }
+                CaseOutcome { cov, verdict: Verdict::Pass }
+            }
+            Err(failure) => {
+                let layer = match &failure {
+                    CheckFailure::Error { layer, .. } => layer.name().to_string(),
+                    CheckFailure::Disagreement { spec, impl_, .. } => {
+                        format!("{impl_} vs {spec}")
+                    }
+                };
+                CaseOutcome {
+                    cov,
+                    verdict: Verdict::Fail { layer, message: format!("{failure}\n{src}") },
+                }
+            }
+        }
+    }
+}
+
+/// The full registry: everything `campaign::registry` knows, plus the
+/// stack-level selections `e2e` and `all`.
+///
+/// # Errors
+///
+/// An unknown selection name.
+pub fn full_registry(selection: &str) -> Result<Vec<Box<dyn Target>>, String> {
+    match selection {
+        "e2e" | "t8" => Ok(vec![Box::new(EndToEndTarget::new())]),
+        "all" => {
+            let mut targets = registry("all")?;
+            targets.push(Box::new(EndToEndTarget::new()));
+            Ok(targets)
+        }
+        other => registry(other).map_err(|e| {
+            format!("{e}, e2e")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::rng::TestRng;
+
+    #[test]
+    fn full_registry_adds_the_stack_target() {
+        assert_eq!(full_registry("all").expect("all").len(), 7);
+        assert_eq!(full_registry("e2e").expect("e2e").len(), 1);
+        assert_eq!(full_registry("t2").expect("t2").len(), 3);
+        let err = match full_registry("bogus") {
+            Err(e) => e,
+            Ok(_) => panic!("bogus selection accepted"),
+        };
+        assert!(err.contains("e2e"));
+    }
+
+    #[test]
+    fn end_to_end_target_passes_and_replays() {
+        let t = EndToEndTarget::new();
+        let mut rng = TestRng::seed_from_u64(0xE2E);
+        let mut ctx = Ctx::recording(&mut rng);
+        let out = t.run_case(&mut ctx);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.cov.stats.total() > 0);
+        let choices = ctx.recorded_choices().to_vec();
+        let again = t.run_case(&mut Ctx::replaying(&choices));
+        assert_eq!(again.verdict, Verdict::Pass);
+    }
+}

@@ -40,8 +40,13 @@
 
 pub mod apps;
 pub mod check;
+pub mod fuzz;
 pub mod stack;
 
 pub use basis::ExitStatus;
-pub use check::{check_end_to_end, check_end_to_end_batch, CheckOptions, EndToEndReport, Workload};
+pub use check::{
+    batch_reports, check_end_to_end, check_end_to_end_batch, CheckFailure, CheckOptions,
+    EndToEndReport, Layer, Workload,
+};
+pub use fuzz::{full_registry, EndToEndTarget};
 pub use stack::{Backend, RunConfig, Stack, StackError, StackResult};

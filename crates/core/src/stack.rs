@@ -54,6 +54,9 @@ pub struct StackResult {
     pub instructions: u64,
     /// Clock cycles (hardware backends only).
     pub cycles: Option<u64>,
+    /// Per-opcode retire counters (ISA backend only; the hardware
+    /// simulators do not decode what they retire).
+    pub stats: Option<ag32::ExecStats>,
 }
 
 impl StackResult {
@@ -197,6 +200,7 @@ impl Stack {
                     stderr: r.stderr,
                     instructions: r.instructions,
                     cycles: None,
+                    stats: Some(r.state.stats.clone()),
                 })
             }
             Backend::Rtl => {
@@ -207,7 +211,14 @@ impl Stack {
                     StackError::Hardware(LockstepError::Rtl(e))
                 })?;
                 let exit = classify_hw(&env.mem, &self.layout, &rtl_state)?;
-                Ok(StackResult { exit, stdout, stderr, instructions, cycles: Some(cycles) })
+                Ok(StackResult {
+                    exit,
+                    stdout,
+                    stderr,
+                    instructions,
+                    cycles: Some(cycles),
+                    stats: None,
+                })
             }
             Backend::Verilog => {
                 let (fin, env, cycles) =
@@ -220,7 +231,14 @@ impl Stack {
                 } else {
                     ExitStatus::Wedged
                 };
-                Ok(StackResult { exit, stdout, stderr, instructions: 0, cycles: Some(cycles) })
+                Ok(StackResult {
+                    exit,
+                    stdout,
+                    stderr,
+                    instructions: 0,
+                    cycles: Some(cycles),
+                    stats: None,
+                })
             }
         }
     }

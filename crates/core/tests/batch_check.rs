@@ -1,8 +1,12 @@
 //! The parallel end-to-end checker: the paper's application suite run
 //! through every layer at once, fanned across threads with
-//! `testkit::par`.
+//! `testkit::par`, plus the failure paths of the structured
+//! per-workload result shape.
 
-use silver_stack::{apps, check_end_to_end_batch, CheckOptions, Stack, Workload};
+use silver_stack::{
+    apps, batch_reports, check_end_to_end_batch, CheckFailure, CheckOptions, Layer, Stack,
+    Workload,
+};
 
 #[test]
 fn app_suite_checks_end_to_end_in_parallel() {
@@ -14,7 +18,8 @@ fn app_suite_checks_end_to_end_in_parallel() {
         Workload::new("sort", apps::SORT, &["sort"], b"pear\napple\nplum\n"),
     ];
     let opts = CheckOptions { lockstep_instructions: 2_000, ..CheckOptions::default() };
-    let reports = check_end_to_end_batch(&stack, workloads, &opts).expect("all layers agree");
+    let reports = batch_reports(check_end_to_end_batch(&stack, workloads, &opts))
+        .expect("all layers agree");
     assert_eq!(reports.len(), 4);
     // Reports come back in input order.
     assert_eq!(reports[1].stdout, "2 4 19\n");
@@ -24,25 +29,79 @@ fn app_suite_checks_end_to_end_in_parallel() {
         assert_eq!(r.exit_code, 0);
         assert!(r.isa_instructions > 0);
         assert!(r.rtl_cycles >= r.isa_instructions);
+        // The ISA run reports which opcodes it retired.
+        let stats = r.isa_stats.as_ref().expect("isa stats recorded");
+        assert_eq!(stats.total(), r.isa_instructions);
+        assert!(stats.opcodes_exercised() > 4);
     }
 }
 
 #[test]
-fn batch_reports_failures_by_name() {
+fn batch_results_pair_each_workload_with_its_outcome() {
     let stack = Stack::new();
     let workloads = vec![
         Workload::new("ok", apps::HELLO, &["hello"], b""),
         Workload::new("broken", "val _ = exit (1 div 0);", &["broken"], b""),
+        Workload::new("nonsense", "val = = =", &["x"], b""),
     ];
+    let results = check_end_to_end_batch(&stack, workloads, &CheckOptions::default());
+    assert_eq!(results.len(), 3);
+
+    // Results come back paired with their workloads, in input order.
+    assert_eq!(results[0].0.name, "ok");
+    assert_eq!(results[0].1.as_ref().expect("hello passes").exit_code, 0);
+
     // `1 div 0` crashes with a nonzero code at every layer *identically*,
     // so end-to-end checking succeeds — crash codes are behaviour too.
-    let reports =
-        check_end_to_end_batch(&stack, workloads, &CheckOptions::default()).expect("agree");
-    assert_eq!(reports[0].exit_code, 0);
-    assert_ne!(reports[1].exit_code, 0);
+    assert_eq!(results[1].0.name, "broken");
+    assert_ne!(results[1].1.as_ref().expect("crash codes agree").exit_code, 0);
 
-    // An actually ill-formed program surfaces its workload name.
-    let bad = vec![Workload::new("nonsense", "val = = =", &["x"], b"")];
-    let err = check_end_to_end_batch(&stack, bad, &CheckOptions::default()).unwrap_err();
+    // An ill-formed program is an *error* at the source layer, not a
+    // cross-layer disagreement.
+    assert_eq!(results[2].0.name, "nonsense");
+    let failure = results[2].1.as_ref().expect_err("parse failure surfaces");
+    assert_eq!(failure.layer(), Layer::Source);
+    assert!(!failure.is_disagreement());
+    match failure {
+        CheckFailure::Error { layer: Layer::Source, message } => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected source-layer error, got {other:?}"),
+    }
+
+    // The string-collapsing view labels failures with the workload name.
+    let err = batch_reports(results).unwrap_err();
     assert!(err.starts_with("nonsense:"), "error not labelled: {err}");
+}
+
+/// Found by the first `silver-fuzz` campaign (repro `e2e:0,0,0,2`,
+/// minimised to `Runtime.exit (~1)`): the exit-code sentinel used to be
+/// the in-band value `0xFF`, so a program exiting with code 255 — which
+/// is also what every negative argument masks to — was classified as
+/// wedged instead of exited. The sentinel now lives outside the `u8`
+/// range; the full boundary must round-trip through every layer.
+#[test]
+fn exit_code_255_is_a_clean_exit_not_a_wedge() {
+    let stack = Stack::new();
+    let workloads = vec![
+        Workload::new("max", "val _ = exit 255;", &["max"], b""),
+        Workload::new("neg", "val v0 = 17;\nval _ = Runtime.exit (~1);", &["neg"], b""),
+    ];
+    let reports = batch_reports(check_end_to_end_batch(&stack, workloads, &CheckOptions::default()))
+        .expect("exit 255 agrees at every layer");
+    assert_eq!(reports[0].exit_code, 255);
+    assert_eq!(reports[1].exit_code, 255);
+}
+
+#[test]
+fn interpreter_fuel_exhaustion_is_a_source_layer_error() {
+    let stack = Stack::new();
+    let spin = "fun loop n = loop (n + 1);\nval _ = exit (loop 0);";
+    let workloads = vec![Workload::new("spin", spin, &["spin"], b"")];
+    let opts = CheckOptions { interp_fuel: 10_000, ..CheckOptions::default() };
+    let results = check_end_to_end_batch(&stack, workloads, &opts);
+    let failure = results[0].1.as_ref().expect_err("fuel runs out");
+    assert_eq!(failure.layer(), Layer::Source);
+    assert!(!failure.is_disagreement());
+    assert!(failure.to_string().starts_with("[source]"), "got: {failure}");
 }

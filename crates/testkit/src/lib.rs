@@ -38,7 +38,7 @@ pub mod par;
 pub mod prop;
 pub mod rng;
 
-pub use prop::{check, Config, Ctx};
+pub use prop::{check, shrink_choices, Config, Ctx};
 pub use rng::{Rng, SplitMix64, TestRng};
 
 /// Parses a seed that may be decimal or `0x`-prefixed hexadecimal.

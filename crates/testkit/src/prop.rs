@@ -150,6 +150,30 @@ impl<'a> Ctx<'a> {
         Ctx { source: Source::Replay { choices, pos: 0 }, record: Vec::new() }
     }
 
+    /// A context drawing fresh values from `rng`, recording every
+    /// choice. The campaign engine uses this to generate a case *and*
+    /// keep its choice stream for the corpus
+    /// ([`Ctx::recorded_choices`]).
+    #[must_use]
+    pub fn recording(rng: &'a mut TestRng) -> Self {
+        Ctx::fresh(rng)
+    }
+
+    /// A context replaying a recorded choice stream. Reads past the end
+    /// yield zero — the simplest choice — so truncated or mutated
+    /// streams still produce a well-formed value. This is how corpus
+    /// seed files are turned back into cases.
+    #[must_use]
+    pub fn replaying(choices: &'a [u64]) -> Self {
+        Ctx::replay(choices)
+    }
+
+    /// The choices drawn through this context so far.
+    #[must_use]
+    pub fn recorded_choices(&self) -> &[u64] {
+        &self.record
+    }
+
     /// A raw choice in `0..=bound`.
     pub fn draw(&mut self, bound: u64) -> u64 {
         let v = match &mut self.source {
@@ -486,6 +510,29 @@ fn shrink(
     }
 }
 
+/// Deterministically minimises a failing choice stream without going
+/// through a panicking property: `fails` replays a candidate stream
+/// (via [`Ctx::replaying`]) and reports whether the failure is still
+/// present. Returns the minimal still-failing stream.
+///
+/// This is the shrinker the campaign engine's triage step uses: the
+/// same chunk-trimming and choice-halving passes as [`check`], but
+/// driven by a plain predicate so disagreements (not just panics) can
+/// be minimised.
+#[must_use]
+pub fn shrink_choices(
+    mut fails: impl FnMut(&mut Ctx) -> bool,
+    start: Vec<u64>,
+    budget: u32,
+) -> Vec<u64> {
+    install_quiet_hook();
+    let mut prop = |ctx: &mut Ctx| {
+        assert!(!fails(ctx), "still failing");
+    };
+    let (best, _msg, _evals) = shrink(&mut prop, start, "still failing".into(), budget);
+    best
+}
+
 // ---------------------------------------------------------------------------
 // Regression persistence
 // ---------------------------------------------------------------------------
@@ -785,6 +832,39 @@ mod tests {
             outputs.push(v);
         }
         assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn shrink_choices_minimises_predicate_failures() {
+        // Record a real generation so the stream is plausible.
+        let mut rng = TestRng::seed_from_u64(1234);
+        let (start, v) = loop {
+            let mut ctx = Ctx::recording(&mut rng);
+            let v = ctx.gen_range(0u32..10_000);
+            if v >= 700 {
+                break (ctx.recorded_choices().to_vec(), v);
+            }
+        };
+        assert!(v >= 700);
+        let min = shrink_choices(
+            |ctx| ctx.gen_range(0u32..10_000) >= 700,
+            start,
+            2_000,
+        );
+        let mut ctx = Ctx::replaying(&min);
+        assert_eq!(ctx.gen_range(0u32..10_000), 700, "minimal failing value");
+    }
+
+    #[test]
+    fn recording_and_replaying_round_trip_publicly() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut ctx = Ctx::recording(&mut rng);
+        let a = ctx.gen_range(0u64..=u64::MAX);
+        let b = ctx.choose(17);
+        let rec = ctx.recorded_choices().to_vec();
+        let mut rctx = Ctx::replaying(&rec);
+        assert_eq!(rctx.gen_range(0u64..=u64::MAX), a);
+        assert_eq!(rctx.choose(17), b);
     }
 
     #[test]

@@ -130,12 +130,17 @@ pub trait Rng {
 /// Uniform draw of `span + 1` values (i.e. `0..=span`) without modulo
 /// bias, by rejection against a power-of-two mask.
 pub(crate) fn draw_below_inclusive<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        // A single-value span draws nothing: `1u64.next_power_of_two()`
+        // is 1, whose mask of 0 the loop below would mistake for "all
+        // 64 bits", waiting for a full-width draw to land on 0.
+        return 0;
+    }
     if span == u64::MAX {
         return rng.next_u64();
     }
     let n = span + 1;
     let mask = n.next_power_of_two().wrapping_sub(1);
-    let mask = if mask == 0 { u64::MAX } else { mask };
     loop {
         let v = rng.next_u64() & mask;
         if v < n {
@@ -232,6 +237,18 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn degenerate_spans_terminate() {
+        // `span == 0` must return immediately (a mask of 0 bits), not
+        // reject full-width draws until one lands on 0.
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..64 {
+            assert_eq!(draw_below_inclusive(&mut rng, 0), 0);
+        }
+        assert_eq!(rng.gen_range(9u64..=9), 9);
+        assert_eq!(rng.gen_range(-5i32..=-5), -5);
     }
 
     #[test]

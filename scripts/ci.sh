@@ -39,4 +39,29 @@ cargo test -q
 echo "== benches compile =="
 cargo build --benches -p bench --offline 2>/dev/null || cargo build --benches -p bench
 
+echo "== campaign smoke (offline, bounded) =="
+# A short wall-clock campaign over every registered target, seeded for
+# reproducibility. The committed corpus is copied to a scratch dir so
+# fuzzing never mutates the checkout; a nonzero exit (any differential
+# failure) fails CI.
+scratch=$(mktemp -d)
+cp corpus/*.seed "$scratch"/ 2>/dev/null || true
+./target/release/silver-fuzz --target all --shards 2 --budget 30s --seed 1 \
+    --corpus "$scratch" --report "$scratch/BENCH_campaign.json" --no-triage
+rm -rf "$scratch"
+
+echo "== corpus hygiene =="
+# Committed seed files must stay in the two-line format with at most
+# 512 choices (the corpus entry cap in crates/campaign/src/corpus.rs).
+for f in corpus/*.seed; do
+    [ -e "$f" ] || continue
+    lines=$(wc -l < "$f")
+    choices=$(tail -n 1 "$f" | wc -w)
+    if [ "$lines" -gt 2 ] || [ "$choices" -gt 512 ]; then
+        echo "corpus seed $f exceeds caps (lines=$lines choices=$choices)" >&2
+        exit 1
+    fi
+done
+echo "ok: corpus seeds within format caps"
+
 echo "CI green (TESTKIT_SEED=${TESTKIT_SEED:-default})"
