@@ -263,6 +263,35 @@ impl Assembler {
         self.instr(Instr::Jump { func: Func::Add, w: link_clobber, a: Ri::Imm(0) });
     }
 
+    /// Pass 1 of assembly: the address of every item, plus the end
+    /// address.
+    fn item_addresses(&self) -> (Vec<u32>, u32) {
+        let mut addrs = Vec::with_capacity(self.items.len());
+        let mut addr = self.base;
+        for item in &self.items {
+            addrs.push(addr);
+            addr += item.size(addr);
+        }
+        (addrs, addr)
+    }
+
+    /// Every defined label with its resolved absolute address, sorted by
+    /// address (ties by name). This is the raw material for symbol
+    /// tables: profilers attribute PCs to the enclosing label.
+    #[must_use]
+    pub fn label_addresses(&self) -> Vec<(String, u32)> {
+        let (addrs, end) = self.item_addresses();
+        let mut out: Vec<(String, u32)> = self
+            .labels
+            .iter()
+            .map(|(name, &idx)| {
+                (name.clone(), if idx == self.items.len() { end } else { addrs[idx] })
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
     /// Resolves labels and produces the byte image.
     ///
     /// # Errors
@@ -273,13 +302,7 @@ impl Assembler {
             return Err(AsmError::DuplicateLabel(l.clone()));
         }
         // Pass 1: addresses of every item, then label addresses.
-        let mut addrs = Vec::with_capacity(self.items.len());
-        let mut addr = self.base;
-        for item in &self.items {
-            addrs.push(addr);
-            addr += item.size(addr);
-        }
-        let end = addr;
+        let (addrs, end) = self.item_addresses();
         let lookup = |label: &str| -> Result<u32, AsmError> {
             match self.labels.get(label) {
                 Some(&idx) => Ok(if idx == self.items.len() { end } else { addrs[idx] }),

@@ -51,6 +51,7 @@ mod exec;
 mod insn;
 mod mem;
 mod state;
+pub mod trace;
 
 pub use coverage::{Coverage, EdgeSet, ExecStats, NoCoverage, Opcode};
 pub use disasm::{disassemble, dump};
@@ -58,6 +59,7 @@ pub use encode::{decode, encode};
 pub use insn::{Func, Instr, Reg, Ri, Shift};
 pub use mem::Memory;
 pub use state::{IoEvent, State, StepOutcome};
+pub use trace::{MemOp, NoTrace, RetireEvent, RetireRing, Tracer};
 
 /// Machine word size in bytes; every instruction is one word long.
 pub const WORD_BYTES: u32 = 4;

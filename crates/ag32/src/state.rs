@@ -9,6 +9,7 @@ use crate::coverage::{Coverage, ExecStats, NoCoverage, Opcode};
 use crate::exec;
 use crate::insn::{Func, Instr, Ri};
 use crate::mem::Memory;
+use crate::trace::{MemOp, NoTrace, RetireEvent, Tracer};
 use crate::NUM_REGS;
 
 /// One entry in the machine's I/O-event trace.
@@ -134,16 +135,87 @@ impl State {
     /// fetch–decode–execute step; campaigns pass an
     /// [`EdgeSet`](crate::EdgeSet) to collect PC-edge coverage.
     pub fn next_with<C: Coverage>(&mut self, cov: &mut C) -> StepOutcome {
+        self.next_traced(cov, &mut NoTrace)
+    }
+
+    /// The destination register and (for stores) the complete memory
+    /// operation of `instr` against the pre-execution state. Loads get a
+    /// placeholder value patched after execution, when the loaded word is
+    /// sitting in the destination register.
+    fn trace_capture(&self, instr: &Instr) -> (Option<u8>, Option<MemOp>) {
+        match *instr {
+            Instr::Normal { w, .. }
+            | Instr::Shift { w, .. }
+            | Instr::In { w }
+            | Instr::Out { w, .. }
+            | Instr::Accelerator { w, .. }
+            | Instr::Jump { w, .. }
+            | Instr::LoadConstant { w, .. }
+            | Instr::LoadUpperConstant { w, .. } => (Some(w.index() as u8), None),
+            Instr::LoadMem { w, a } => (
+                Some(w.index() as u8),
+                Some(MemOp { write: false, byte: false, addr: self.ri(a) & !3, value: 0 }),
+            ),
+            Instr::LoadMemByte { w, a } => (
+                Some(w.index() as u8),
+                Some(MemOp { write: false, byte: true, addr: self.ri(a), value: 0 }),
+            ),
+            Instr::StoreMem { a, b } => (
+                None,
+                Some(MemOp { write: true, byte: false, addr: self.ri(b) & !3, value: self.ri(a) }),
+            ),
+            Instr::StoreMemByte { a, b } => (
+                None,
+                Some(MemOp {
+                    write: true,
+                    byte: true,
+                    addr: self.ri(b),
+                    value: u32::from(self.ri(a) as u8),
+                }),
+            ),
+            Instr::JumpIfZero { .. }
+            | Instr::JumpIfNotZero { .. }
+            | Instr::Interrupt
+            | Instr::Reserved => (None, None),
+        }
+    }
+
+    /// [`State::next_with`] plus a [`Tracer`] observing the decoded
+    /// retire event.
+    ///
+    /// All event capture is guarded by [`Tracer::ACTIVE`], so with
+    /// [`NoTrace`] this compiles to exactly [`State::next_with`] — the
+    /// untraced hot path pays nothing (see the `trace_overhead` bench).
+    pub fn next_traced<C: Coverage, T: Tracer>(&mut self, cov: &mut C, tracer: &mut T) -> StepOutcome {
         let instr = self.current_instr();
         if instr == Instr::Reserved {
             return StepOutcome::Wedged;
         }
         let pc_before = self.pc;
+        let (dst, mem_pre) = if T::ACTIVE { self.trace_capture(&instr) } else { (None, None) };
         exec::execute(self, instr);
         self.instructions_retired += 1;
         let op = Opcode::of(&instr);
         self.stats.opcode_retired[op as usize] += 1;
         cov.retire(op, pc_before, self.pc);
+        if T::ACTIVE {
+            let reg_write = dst.map(|r| (r, self.regs[usize::from(r)]));
+            let mem = mem_pre.map(|mut m| {
+                if !m.write {
+                    // The loaded value is now in the destination register.
+                    m.value = reg_write.map_or(0, |(_, v)| v);
+                }
+                m
+            });
+            tracer.retire(&RetireEvent {
+                seq: self.instructions_retired - 1,
+                pc: pc_before,
+                next_pc: self.pc,
+                instr,
+                reg_write,
+                mem,
+            });
+        }
         StepOutcome::Retired(instr)
     }
 
@@ -155,12 +227,22 @@ impl State {
 
     /// [`State::run`] with a [`Coverage`] sink observing every retire.
     pub fn run_with<C: Coverage>(&mut self, fuel: u64, cov: &mut C) -> u64 {
+        self.run_traced(fuel, cov, &mut NoTrace)
+    }
+
+    /// [`State::run_with`] plus a [`Tracer`] observing every retire.
+    pub fn run_traced<C: Coverage, T: Tracer>(
+        &mut self,
+        fuel: u64,
+        cov: &mut C,
+        tracer: &mut T,
+    ) -> u64 {
         let mut n = 0;
         while n < fuel {
             if self.is_halted() {
                 break;
             }
-            match self.next_with(cov) {
+            match self.next_traced(cov, tracer) {
                 StepOutcome::Retired(_) => n += 1,
                 StepOutcome::Wedged => break,
             }

@@ -22,6 +22,7 @@ use cakeml::TargetLayout;
 use crate::fs::FsState;
 use crate::image::EXIT_UNSET;
 use crate::oracle::{call_ffi, FfiOutcome};
+use crate::trace::SyscallTrace;
 
 /// How a machine-level run ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -123,16 +124,128 @@ pub fn run_to_halt_with<C: ag32::Coverage>(
     MachineResult { exit, stdout, stderr, instructions, state }
 }
 
+/// [`run_to_halt_with`] plus an [`ag32::Tracer`] observing every retired
+/// instruction — `silverc --trace`/`--profile` pass a retire ring or a
+/// cycle profiler here. With [`ag32::NoTrace`] this compiles down to
+/// [`run_to_halt_with`].
+#[must_use]
+pub fn run_to_halt_observed<C: ag32::Coverage, T: ag32::Tracer>(
+    mut state: State,
+    layout: &TargetLayout,
+    fuel: u64,
+    cov: &mut C,
+    tracer: &mut T,
+) -> MachineResult {
+    let instructions = state.run_traced(fuel, cov, tracer);
+    let exit = classify(&state, layout, instructions < fuel);
+    let (stdout, stderr) = extract_streams(&state.io_events);
+    MachineResult { exit, stdout, stderr, instructions, state }
+}
+
+/// The in-memory device state, summarised the way
+/// [`fd_summary`](crate::trace::fd_summary) summarises an [`FsState`]:
+/// machine-level runs realise only the standard streams, whose cursor
+/// lives in the stdin region (`length | cursor | contents`).
+fn device_summary(state: &State, layout: &TargetLayout) -> String {
+    let len = state.mem.read_word(layout.stdin_base);
+    let pos = state.mem.read_word(layout.stdin_base + 4);
+    format!("stdin@{}/{len}", pos.min(len))
+}
+
+/// [`run_to_halt`] with system-call tracing: execution still goes
+/// through the *real* system-call machine code (pure `Next` steps), but
+/// whenever the PC reaches an FFI entry point the call's name and
+/// arguments are captured from the machine state, and when control
+/// returns to the saved link address the protocol status byte and the
+/// device state are recorded. The `exit` call never returns; its event
+/// is finalised when the machine halts.
+#[must_use]
+pub fn run_to_halt_traced(
+    mut state: State,
+    layout: &TargetLayout,
+    ffi_names: &[String],
+    fuel: u64,
+    trace: &mut SyscallTrace,
+) -> MachineResult {
+    let entries: Vec<(u32, String)> = ffi_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (state.mem.read_word(layout.ffi_entry_addr(i as u32)), n.clone()))
+        .collect();
+    let mut instructions = 0u64;
+    // An FFI call in flight: (return address, bytes pointer, event index).
+    let mut pending: Option<(u32, u32, usize)> = None;
+    while instructions < fuel && !state.is_halted() {
+        if let Some((ret, bytes_ptr, idx)) = pending {
+            if state.pc == ret {
+                let status = state.mem.read_bytes(bytes_ptr, 1).first().copied();
+                let ev = &mut trace.events[idx];
+                if ev.bytes_len > 0 {
+                    ev.status = status;
+                }
+                ev.fds = device_summary(&state, layout);
+                pending = None;
+            }
+        }
+        if pending.is_none() {
+            if let Some((_, name)) = entries.iter().find(|(a, _)| *a == state.pc) {
+                let conf = state.mem.read_bytes(state.regs[1], state.regs[2]);
+                trace.events.push(crate::trace::SyscallEvent {
+                    seq: trace.events.len() as u64,
+                    pc: state.pc,
+                    name: name.clone(),
+                    conf: String::from_utf8_lossy(&conf).into_owned(),
+                    bytes_len: state.regs[4] as usize,
+                    status: None,
+                    outcome: "machine".to_string(),
+                    fds: String::new(),
+                });
+                pending = Some((state.regs[62], state.regs[3], trace.events.len() - 1));
+            }
+        }
+        state.next();
+        instructions += 1;
+    }
+    if let Some((_, bytes_ptr, idx)) = pending {
+        // `exit` (or a wedge) never came back; finalise from the final state.
+        let status = state.mem.read_bytes(bytes_ptr, 1).first().copied();
+        let ev = &mut trace.events[idx];
+        if ev.bytes_len > 0 {
+            ev.status = status;
+        }
+        ev.fds = device_summary(&state, layout);
+    }
+    let exit = classify(&state, layout, instructions < fuel);
+    let (stdout, stderr) = extract_streams(&state.io_events);
+    MachineResult { exit, stdout, stderr, instructions, state }
+}
+
 /// Runs a loaded image under `machine_sem`: FFI entry points are serviced
 /// by the `basis_ffi` oracle over `fs` instead of executing the
 /// system-call machine code.
 #[must_use]
 pub fn run_with_oracle(
+    state: State,
+    layout: &TargetLayout,
+    ffi_names: &[String],
+    fs: FsState,
+    fuel: u64,
+) -> MachineResult {
+    run_with_oracle_traced(state, layout, ffi_names, fs, fuel, None)
+}
+
+/// [`run_with_oracle`] with optional system-call tracing: when `trace`
+/// is `Some`, every serviced FFI call appends a
+/// [`SyscallEvent`](crate::trace::SyscallEvent). With `None` no event is
+/// ever constructed — the untraced path stays allocation-free.
+#[must_use]
+pub fn run_with_oracle_traced(
     mut state: State,
     layout: &TargetLayout,
     ffi_names: &[String],
     mut fs: FsState,
     fuel: u64,
+    mut trace: Option<&mut SyscallTrace>,
 ) -> MachineResult {
     // Entry addresses from the jump table (the image builder wrote them).
     let entries: Vec<(u32, String)> = ffi_names
@@ -154,7 +267,13 @@ pub fn run_with_oracle(
             // apply the oracle, write back, return to the caller.
             let conf = state.mem.read_bytes(state.regs[1], state.regs[2]);
             let mut bytes = state.mem.read_bytes(state.regs[3], state.regs[4]);
-            match call_ffi(&mut fs, name, &conf, &mut bytes) {
+            let outcome = match trace.as_deref_mut() {
+                Some(t) => {
+                    crate::trace::call_ffi_traced(&mut fs, name, &conf, &mut bytes, state.pc, t)
+                }
+                None => call_ffi(&mut fs, name, &conf, &mut bytes),
+            };
+            match outcome {
                 FfiOutcome::Return => {
                     state.mem.write_bytes(state.regs[3], &bytes);
                     state.pc = state.regs[62];
@@ -183,6 +302,35 @@ pub fn run_with_oracle(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traced_machine_run_matches_untraced_and_records_calls() {
+        use cakeml::{compile_source, CompilerConfig, TargetLayout};
+        let compiled = compile_source(
+            "val _ = print \"traced\\n\";",
+            TargetLayout::default(),
+            &CompilerConfig::default(),
+        )
+        .expect("compiles");
+        let image = crate::build_image(&compiled, &["prog"], b"").expect("image");
+        let plain = run_to_halt(image.clone(), &compiled.layout, 50_000_000);
+        let mut trace = SyscallTrace::new();
+        let traced = run_to_halt_traced(
+            image,
+            &compiled.layout,
+            &compiled.ffi_names,
+            50_000_000,
+            &mut trace,
+        );
+        assert_eq!(traced.exit, plain.exit);
+        assert_eq!(traced.stdout, plain.stdout);
+        assert_eq!(traced.instructions, plain.instructions, "tracing must not perturb the run");
+        assert!(!trace.is_empty(), "print goes through the FFI");
+        let text = trace.render();
+        assert!(text.contains("write"), "{text}");
+        assert!(text.contains("status 0"), "{text}");
+        assert!(text.contains("stdin@0/0"), "{text}");
+    }
 
     #[test]
     fn stream_extraction_parses_windows() {

@@ -1,0 +1,180 @@
+//! System-call tracing — the `silverc --trace-syscalls` backend.
+//!
+//! A [`SyscallTrace`] records one [`SyscallEvent`] per FFI call: the
+//! call name, its configuration string, the byte-array size, the
+//! post-call status byte, a short result summary, and the descriptor
+//! state after the call. Tracing is opt-in at every call site (the
+//! untraced entry points never construct events), so the differential
+//! harnesses pay nothing for it.
+
+use std::fmt::Write as _;
+
+use crate::fs::FsState;
+use crate::oracle::FfiOutcome;
+
+/// One traced FFI call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyscallEvent {
+    /// Zero-based call index.
+    pub seq: u64,
+    /// PC of the FFI entry point (0 for interpreter/oracle-level runs
+    /// that never touch machine code).
+    pub pc: u32,
+    /// Call name (e.g. `write`, `read`, `exit`).
+    pub name: String,
+    /// Configuration string (lossy UTF-8).
+    pub conf: String,
+    /// Shared byte-array size handed to the call.
+    pub bytes_len: usize,
+    /// `bytes[0]` after the call, when the array is non-empty — the
+    /// protocol's status byte (0 = ok, 1 = fail for most calls).
+    pub status: Option<u8>,
+    /// How the call ended: `return`, `exit(c)`, or `failed`.
+    pub outcome: String,
+    /// Descriptor state after the call (see [`fd_summary`]).
+    pub fds: String,
+}
+
+impl SyscallEvent {
+    /// One-line rendition:
+    /// `#3 write(conf="1", bytes=21) -> return status 0 | stdin@5/11`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "#{} {}(conf={:?}, bytes={})",
+            self.seq, self.name, self.conf, self.bytes_len
+        );
+        let _ = write!(out, " -> {}", self.outcome);
+        if let Some(s) = self.status {
+            let _ = write!(out, " status {s}");
+        }
+        if !self.fds.is_empty() {
+            let _ = write!(out, " | {}", self.fds);
+        }
+        out
+    }
+}
+
+/// An in-order record of every FFI call a run made.
+#[derive(Clone, Debug, Default)]
+pub struct SyscallTrace {
+    /// The events, in call order.
+    pub events: Vec<SyscallEvent>,
+}
+
+impl SyscallTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        SyscallTrace::default()
+    }
+
+    /// Number of recorded calls.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no calls were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the whole trace, one line per call.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A compact descriptor-table summary: stdin cursor plus one
+/// `fd:mode name[@pos][(closed)]` entry per open file descriptor.
+#[must_use]
+pub fn fd_summary(fs: &FsState) -> String {
+    let mut out = format!("stdin@{}/{}", fs.stdin_pos.min(fs.stdin.len()), fs.stdin.len());
+    for (i, d) in fs.descriptors.iter().enumerate() {
+        let _ = write!(
+            out,
+            ", {}:{} {}{}{}",
+            i + 3,
+            if d.writable { 'w' } else { 'r' },
+            d.name,
+            if d.writable { String::new() } else { format!("@{}", d.pos) },
+            if d.closed { " (closed)" } else { "" },
+        );
+    }
+    out
+}
+
+fn outcome_str(o: &FfiOutcome) -> String {
+    match o {
+        FfiOutcome::Return => "return".to_string(),
+        FfiOutcome::Exit(c) => format!("exit({c})"),
+        FfiOutcome::Failed => "failed".to_string(),
+    }
+}
+
+/// [`call_ffi`](crate::oracle::call_ffi) with tracing: services the
+/// call, then appends a [`SyscallEvent`] describing it to `trace`.
+pub fn call_ffi_traced(
+    fs: &mut FsState,
+    name: &str,
+    conf: &[u8],
+    bytes: &mut [u8],
+    pc: u32,
+    trace: &mut SyscallTrace,
+) -> FfiOutcome {
+    let outcome = crate::oracle::call_ffi(fs, name, conf, bytes);
+    trace.events.push(SyscallEvent {
+        seq: trace.events.len() as u64,
+        pc,
+        name: name.to_string(),
+        conf: String::from_utf8_lossy(conf).into_owned(),
+        bytes_len: bytes.len(),
+        status: bytes.first().copied(),
+        outcome: outcome_str(&outcome),
+        fds: fd_summary(fs),
+    });
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_calls_record_protocol_and_fd_state() {
+        let mut fs = FsState::stdin_only(&["prog"], b"hello");
+        let mut trace = SyscallTrace::new();
+        let mut bytes = vec![9, 0, 3, b'a', b'b', b'c'];
+        let out = call_ffi_traced(&mut fs, "write", b"1", &mut bytes, 0x100, &mut trace);
+        assert_eq!(out, FfiOutcome::Return);
+        let mut rd = vec![0, 2, 0, 0, 0];
+        call_ffi_traced(&mut fs, "read", b"0", &mut rd, 0x104, &mut trace);
+        assert_eq!(trace.len(), 2);
+        let text = trace.render();
+        assert!(text.contains("#0 write(conf=\"1\", bytes=6) -> return status 0"), "{text}");
+        assert!(text.contains("#1 read"), "{text}");
+        assert!(text.contains("stdin@2/5"), "read moved the cursor: {text}");
+        assert_eq!(fs.stdout_utf8(), "abc");
+    }
+
+    #[test]
+    fn fd_summary_lists_descriptors() {
+        let mut fs = FsState::default();
+        fs.files.insert("in.txt".into(), b"xyz".to_vec());
+        let r = fs.open_in("in.txt").unwrap();
+        fs.read(r, 2);
+        let w = fs.open_out("out.txt").unwrap();
+        fs.close(w);
+        let s = fd_summary(&fs);
+        assert!(s.contains("3:r in.txt@2"), "{s}");
+        assert!(s.contains("4:w out.txt (closed)"), "{s}");
+    }
+}

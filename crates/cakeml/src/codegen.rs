@@ -43,7 +43,7 @@ use ag32::{Func, Instr, Reg, Ri, Shift};
 use crate::anf::{Atom, VarId};
 use crate::ast::{Prim, EXIT_DIV, EXIT_OOM, EXIT_SUBSCRIPT};
 use crate::clos::{FExpr, FRhs, FlatProgram, FunId};
-use crate::layout::{header, tag, TargetLayout};
+use crate::layout::{header, tag, Symbol, SymbolTable, TargetLayout};
 
 const R1: Reg = Reg::new(1);
 const R2: Reg = Reg::new(2);
@@ -139,6 +139,10 @@ pub struct CompiledProgram {
     pub layout: TargetLayout,
     /// Number of compiled functions (including curry wrappers and main).
     pub fun_count: usize,
+    /// PC→name map over the image: source function names for `f{N}`
+    /// labels, runtime routines (`rt_*`), and the `_start` stub. Feeds
+    /// the `silverc --profile` cycle profiler.
+    pub symbols: SymbolTable,
 }
 
 struct Gen {
@@ -174,7 +178,35 @@ pub fn generate(p: &FlatProgram, layout: TargetLayout, cfg: CompilerConfig) -> R
     g.emit_runtime();
     g.emit_strings(&p.strings);
     let code = g.asm.assemble()?;
-    Ok(CompiledProgram { code, ffi_names: p.ffi_names.clone(), layout, fun_count: p.funs.len() })
+    let symbols = symbol_table(&g.asm, p);
+    Ok(CompiledProgram {
+        code,
+        ffi_names: p.ffi_names.clone(),
+        layout,
+        fun_count: p.funs.len(),
+        symbols,
+    })
+}
+
+/// Builds the PC→name map from the assembler's resolved labels:
+/// `f{N}` labels are renamed to their source function's debug name
+/// (disambiguated with the id when names repeat), runtime routines
+/// (`rt_*`), `_start` and string-pool entries keep their labels, and
+/// internal control-flow labels (`else_*`, `sub_*`, ...) are dropped.
+fn symbol_table(asm: &Assembler, p: &FlatProgram) -> SymbolTable {
+    let mut syms = Vec::new();
+    for (label, addr) in asm.label_addresses() {
+        if label == "_start" || label.starts_with("rt_") {
+            syms.push(Symbol { addr, name: label });
+        } else if let Some(n) = label.strip_prefix('f').and_then(|n| n.parse::<usize>().ok()) {
+            if let Some(f) = p.funs.get(n) {
+                let name =
+                    if f.name.is_empty() { format!("f{n}") } else { format!("{}#{n}", f.name) };
+                syms.push(Symbol { addr, name });
+            }
+        }
+    }
+    SymbolTable::new(syms)
 }
 
 fn fun_label(f: FunId) -> String {

@@ -120,6 +120,59 @@ impl TargetLayout {
     }
 }
 
+/// One named code address — a compiled function, runtime routine, or
+/// the startup stub.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Absolute address of the first instruction.
+    pub addr: u32,
+    /// Human-readable name (source function name where known, otherwise
+    /// the assembler label, e.g. `rt_alloc` or `_start`).
+    pub name: String,
+}
+
+/// A sorted PC→name map over the compiled image, for profilers and
+/// trace renderers: [`SymbolTable::resolve`] attributes any PC to the
+/// enclosing symbol by binary search.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    syms: Vec<Symbol>,
+}
+
+impl SymbolTable {
+    /// Builds a table from `(name, addr)` pairs (any order); entries are
+    /// sorted by address, ties broken by name.
+    #[must_use]
+    pub fn new(mut entries: Vec<Symbol>) -> Self {
+        entries.sort_by(|a, b| a.addr.cmp(&b.addr).then_with(|| a.name.cmp(&b.name)));
+        SymbolTable { syms: entries }
+    }
+
+    /// The symbols, sorted by address.
+    #[must_use]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.syms
+    }
+
+    /// `(addr, name)` pairs in address order — the shape
+    /// `obs::CycleProfiler::new` takes.
+    #[must_use]
+    pub fn to_ranges(&self) -> Vec<(u32, String)> {
+        self.syms.iter().map(|s| (s.addr, s.name.clone())).collect()
+    }
+
+    /// The symbol covering `pc`: the last symbol at or below it.
+    /// PCs below the first symbol resolve to `None`.
+    #[must_use]
+    pub fn resolve(&self, pc: u32) -> Option<&Symbol> {
+        match self.syms.binary_search_by(|s| s.addr.cmp(&pc)) {
+            Ok(i) => Some(&self.syms[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.syms[i - 1]),
+        }
+    }
+}
+
 /// Heap block tags (6 bits in the header word).
 pub mod tag {
     /// Tuples (and constructor environments).

@@ -60,6 +60,6 @@ pub use codegen::{CompiledProgram, CompilerConfig};
 pub use compile::{compile_source, frontend, full_source, CompileError};
 pub use features::{program_features, Feature, FeatureSet};
 pub use interp::{run_program, FfiHost, NoFfi, RunOutcome, Stop, Value};
-pub use layout::TargetLayout;
+pub use layout::{Symbol, SymbolTable, TargetLayout};
 pub use parser::parse_program;
 pub use types::{check_program, DataEnv, TypeError};

@@ -14,8 +14,10 @@
 //! throughput lives in the stderr summary, not the JSON).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use obs::{Histogram, Registry};
 use testkit::prop::Ctx;
 use testkit::rng::{Rng as _, SplitMix64, TestRng};
 
@@ -57,6 +59,10 @@ pub struct CampaignConfig {
     pub max_triaged: usize,
     /// File to append triaged repro lines to.
     pub regressions_path: Option<PathBuf>,
+    /// Print a one-line progress report to stderr after every round.
+    /// Progress is stderr-only and never touches the JSON report, so
+    /// `--progress` runs stay byte-identical to silent ones.
+    pub progress: bool,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +77,7 @@ impl Default for CampaignConfig {
             triage_budget: 300,
             max_triaged: 4,
             regressions_path: None,
+            progress: false,
         }
     }
 }
@@ -103,6 +110,11 @@ fn pick_target(weights: &[u32], total: u32, roll: u64) -> usize {
 }
 
 /// Runs one shard's slice of a round against a corpus snapshot.
+///
+/// `latency[target_idx]` receives each case's wall-clock in
+/// microseconds; the returned [`Duration`] is the shard's total busy
+/// time for the slice. Both are observability-only — they never feed
+/// back into case generation, so the campaign stays deterministic.
 fn run_shard(
     targets: &[Box<dyn Target>],
     weights: &[u32],
@@ -112,7 +124,9 @@ fn run_shard(
     round: u64,
     shard: u64,
     cases: u64,
-) -> Vec<CaseRecord> {
+    latency: &[Arc<Histogram>],
+) -> (Vec<CaseRecord>, Duration) {
+    let busy_start = Instant::now();
     let mut out = Vec::with_capacity(cases as usize);
     for i in 0..cases {
         let case_seed = mix4(seed, round, shard, i);
@@ -121,6 +135,7 @@ fn run_shard(
         let target = &targets[target_idx];
         let bases: Vec<&CorpusEntry> = corpus.for_target(target.name()).collect();
         let mutate = !bases.is_empty() && rng.gen_bool(0.5);
+        let case_start = Instant::now();
         let (choices, outcome) = if mutate {
             let base = bases[(rng.next_u64() % bases.len() as u64) as usize];
             let mutated = gen::mutate(&mut rng, &base.choices);
@@ -132,9 +147,10 @@ fn run_shard(
             let outcome = target.run_case(&mut ctx);
             (ctx.recorded_choices().to_vec(), outcome)
         };
+        latency[target_idx].record(case_start.elapsed().as_micros() as u64);
         out.push(CaseRecord { target_idx, choices, cov: outcome.cov, verdict: outcome.verdict });
     }
-    out
+    (out, busy_start.elapsed())
 }
 
 /// Runs a campaign over `targets`.
@@ -144,12 +160,45 @@ fn run_shard(
 /// Panics if `targets` is empty or `shards == 0`.
 #[must_use]
 pub fn run_campaign(targets: &[Box<dyn Target>], cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_metered(targets, cfg, &Registry::new())
+}
+
+/// [`run_campaign`] with an [`obs::Registry`](Registry) receiving the
+/// campaign's operational metrics: per-target case-latency histograms
+/// (`campaign.case_us.<target>`), case/failure counters, per-shard busy
+/// time and utilization, and end-of-run throughput. The metrics are
+/// wall-clock-derived and therefore nondeterministic — they belong in a
+/// separate `BENCH_metrics.json`, never in the deterministic campaign
+/// report.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or `shards == 0`.
+#[must_use]
+pub fn run_campaign_metered(
+    targets: &[Box<dyn Target>],
+    cfg: &CampaignConfig,
+    metrics: &Registry,
+) -> CampaignReport {
     assert!(!targets.is_empty(), "campaign needs at least one target");
     assert!(cfg.shards > 0, "campaign needs at least one shard");
     let start = Instant::now();
 
     let weights: Vec<u32> = targets.iter().map(|t| t.weight().max(1)).collect();
     let total_weight: u32 = weights.iter().sum();
+
+    // Pre-register the metric handles once; shards then touch only
+    // atomics (no registry lock on the hot path).
+    let latency: Vec<Arc<Histogram>> = targets
+        .iter()
+        .map(|t| metrics.histogram(&format!("campaign.case_us.{}", t.name())))
+        .collect();
+    let cases_ctr = metrics.counter("campaign.cases");
+    let failures_ctr = metrics.counter("campaign.failures");
+    let rounds_ctr = metrics.counter("campaign.rounds");
+    let shard_busy: Vec<Arc<obs::Counter>> = (0..cfg.shards)
+        .map(|s| metrics.counter(&format!("campaign.shard_busy_us.{s}")))
+        .collect();
 
     let mut corpus = match &cfg.corpus_dir {
         Some(dir) => Corpus::load(dir).unwrap_or_default(),
@@ -188,13 +237,25 @@ pub fn run_campaign(targets: &[Box<dyn Target>], cfg: &CampaignConfig) -> Campai
             .collect();
 
         let corpus_ref = &corpus;
-        let results = testkit::par::par_map(shard_inputs, |(shard, n)| {
-            run_shard(targets, &weights, total_weight, corpus_ref, cfg.seed, rounds, shard, n)
+        let latency_ref = &latency;
+        let results = testkit::par::par_map(shard_inputs.clone(), |(shard, n)| {
+            run_shard(
+                targets,
+                &weights,
+                total_weight,
+                corpus_ref,
+                cfg.seed,
+                rounds,
+                shard,
+                n,
+                latency_ref,
+            )
         });
 
         // Merge in (shard, case) order: deterministic regardless of the
         // thread schedule above.
-        for shard_records in results {
+        for ((shard, _), (shard_records, busy)) in shard_inputs.iter().zip(results) {
+            shard_busy[*shard as usize].add(busy.as_micros() as u64);
             for rec in shard_records {
                 total_cases += 1;
                 cases_per_target[rec.target_idx] += 1;
@@ -216,6 +277,30 @@ pub fn run_campaign(targets: &[Box<dyn Target>], cfg: &CampaignConfig) -> Campai
             }
         }
         rounds += 1;
+        rounds_ctr.inc();
+        cases_ctr.add(total_cases - cases_ctr.get());
+        failures_ctr.add(failures.len() as u64 - failures_ctr.get());
+        if cfg.progress {
+            let secs = start.elapsed().as_secs_f64();
+            let rate = if secs > 0.0 { total_cases as f64 / secs } else { 0.0 };
+            eprintln!(
+                "silver-fuzz: round {rounds}: {total_cases} cases ({rate:.0}/s), corpus {}, {} failure(s)",
+                corpus.len(),
+                failures.len(),
+            );
+        }
+    }
+
+    // End-of-run derived metrics: throughput and shard utilization.
+    let wall_us = start.elapsed().as_micros() as u64;
+    let secs = start.elapsed().as_secs_f64();
+    metrics
+        .gauge("campaign.cases_per_sec")
+        .set(if secs > 0.0 { total_cases as f64 / secs } else { 0.0 });
+    metrics.gauge("campaign.corpus_len").set(corpus.len() as f64);
+    for (s, busy) in shard_busy.iter().enumerate() {
+        let util = if wall_us > 0 { busy.get() as f64 / wall_us as f64 } else { 0.0 };
+        metrics.gauge(&format!("campaign.shard_util.{s}")).set(util.min(1.0));
     }
 
     if cfg.triage {
@@ -287,6 +372,46 @@ mod tests {
         }
         assert_eq!(seen, [40, 20, 10]);
         assert_eq!(pick_target(&weights, 7, 6), 2);
+    }
+
+    #[test]
+    fn metered_campaign_records_latency_and_utilization() {
+        use crate::coverage::CovSnap;
+        use crate::targets::{CaseOutcome, Target, Verdict};
+
+        struct Tiny;
+        impl Target for Tiny {
+            fn name(&self) -> &'static str {
+                "tiny"
+            }
+            fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+                let _ = ctx.gen_range(0u64..8);
+                CaseOutcome { cov: CovSnap::new(), verdict: Verdict::Pass }
+            }
+        }
+
+        let targets: Vec<Box<dyn Target>> = vec![Box::new(Tiny)];
+        let cfg = CampaignConfig {
+            seed: 7,
+            shards: 2,
+            budget: Budget::Cases(12),
+            cases_per_shard_round: 3,
+            ..CampaignConfig::default()
+        };
+        let metrics = Registry::new();
+        let report = run_campaign_metered(&targets, &cfg, &metrics);
+        assert_eq!(report.cases, 12);
+        assert_eq!(metrics.counter("campaign.cases").get(), 12);
+        assert_eq!(metrics.histogram("campaign.case_us.tiny").count(), 12);
+        // Both shards booked busy time and a utilization gauge in [0, 1].
+        for s in 0..2 {
+            let util = metrics.gauge(&format!("campaign.shard_util.{s}")).get();
+            assert!((0.0..=1.0).contains(&util), "shard {s} utilization {util}");
+        }
+        // The metered run produces the same deterministic report as the
+        // unmetered one: metrics are observation-only.
+        let again = run_campaign(&targets, &cfg);
+        assert_eq!(report.json_lines(), again.json_lines());
     }
 
     #[test]

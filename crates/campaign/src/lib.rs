@@ -54,7 +54,7 @@ pub mod triage;
 
 pub use corpus::{Corpus, CorpusEntry};
 pub use coverage::{CovSnap, GlobalCoverage};
-pub use engine::{replay_case, run_campaign, Budget, CampaignConfig};
+pub use engine::{replay_case, run_campaign, run_campaign_metered, Budget, CampaignConfig};
 pub use report::{CampaignReport, FailureRecord, TargetReport};
 pub use targets::{registry, CaseOutcome, Target, Verdict};
 pub use triage::{minimise, parse_replay, repro_line, triage_failure};

@@ -214,9 +214,29 @@ impl Target for LockstepTarget {
         isa.run_with(max_instructions, &mut cov.edges);
         cov.stats = isa.stats.clone();
 
-        match silver::lockstep::run_lockstep(&state, max_instructions, cfg, max_instructions * 64 + 10_000) {
+        let max_cycles = max_instructions * 64 + 10_000;
+        match silver::lockstep::run_lockstep(&state, max_instructions, cfg.clone(), max_cycles) {
             Ok(_) => CaseOutcome::pass(cov),
-            Err(e) => CaseOutcome::fail(cov, "rtl vs isa", e.to_string()),
+            Err(e) => {
+                // Re-run the failing case under the forensic harness so
+                // the failure record (and, after triage shrinks it, the
+                // minimal counterexample) carries the divergence report:
+                // divergent cycle, retire tails on both sides, register
+                // deltas, and a VCD window.
+                let mut message = e.to_string();
+                if let Err(fx) = silver::trace::run_lockstep_forensic(
+                    &silver::silver_cpu(),
+                    &state,
+                    max_instructions,
+                    cfg,
+                    max_cycles,
+                    &silver::trace::ForensicConfig::default(),
+                ) {
+                    message.push('\n');
+                    message.push_str(&fx.render());
+                }
+                CaseOutcome::fail(cov, "rtl vs isa", message)
+            }
         }
     }
 }
@@ -254,9 +274,23 @@ impl Target for VerilogTarget {
         isa.run_with(cycles, &mut cov.edges);
         cov.stats = isa.stats.clone();
 
-        match silver::verilog_level::check_cpu_verilog_equiv(&state, cfg, cycles) {
+        match silver::verilog_level::check_cpu_verilog_equiv(&state, cfg.clone(), cycles) {
             Ok(()) => CaseOutcome::pass(cov),
-            Err(e) => CaseOutcome::fail(cov, "verilog vs rtl", e.to_string()),
+            Err(e) => {
+                // Forensic re-run: name the divergent cycle and signal,
+                // attach both sides' signal tails and a VCD window.
+                let mut message = e.to_string();
+                if let Err(fx) = silver::trace::check_cpu_verilog_equiv_forensic(
+                    &state,
+                    cfg,
+                    cycles,
+                    &silver::trace::ForensicConfig::default(),
+                ) {
+                    message.push('\n');
+                    message.push_str(&fx.render());
+                }
+                CaseOutcome::fail(cov, "verilog vs rtl", message)
+            }
         }
     }
 }

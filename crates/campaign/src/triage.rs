@@ -63,6 +63,12 @@ pub fn parse_replay(spec: &str) -> Result<(String, Vec<u64>), String> {
 
 /// Runs the full triage pipeline on a failure record: minimise, re-run
 /// for layer attribution, attach the repro line.
+///
+/// Because the re-run goes through the target's own `run_case`, any
+/// forensics the target attaches to failure messages (the t9/t10
+/// targets append a full divergence report — divergent cycle, retire
+/// tails, register deltas, VCD window) are regenerated *for the shrunk
+/// case*: the minimal counterexample carries its own forensics.
 pub fn triage_failure(target: &dyn Target, rec: &mut FailureRecord, budget: u32) {
     let min = minimise(target, &rec.choices, budget);
     let out = target.run_case(&mut Ctx::replaying(&min));

@@ -4,7 +4,8 @@
 //! ```sh
 //! silver-fuzz [--target NAME] [--shards N] [--budget N|Ns] [--seed N]
 //!             [--replay SPEC] [--triage|--no-triage] [--corpus DIR]
-//!             [--report FILE] [--regressions FILE]
+//!             [--report FILE] [--regressions FILE] [--progress]
+//!             [--metrics FILE] [--no-metrics]
 //! ```
 //!
 //! Targets are the repo's theorem-analog relations (see
@@ -18,6 +19,14 @@
 //! accepts either `<target>:<hex,hex,...>` (as printed in repro lines)
 //! or the path of a corpus seed file, and re-runs that single case.
 //!
+//! `--progress` prints one line per round to stderr (cases, rate,
+//! corpus size, failures); it does not change `BENCH_campaign.json`,
+//! which stays deterministic for a case-count budget. Campaign metrics
+//! — per-target case-latency histograms, cases/sec, per-shard
+//! utilization — are appended to `BENCH_metrics.json` (override with
+//! `--metrics FILE`, disable with `--no-metrics`); these are wall-clock
+//! observations, deliberately kept out of the deterministic report.
+//!
 //! Exit code: 0 when every case passed, 1 when any failed, 2 on usage
 //! or I/O errors.
 
@@ -25,13 +34,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use campaign::{parse_replay, replay_case, run_campaign, Budget, CampaignConfig, Verdict};
+use campaign::{parse_replay, replay_case, run_campaign_metered, Budget, CampaignConfig, Verdict};
+use obs::Registry;
 use silver_stack::full_registry;
 
 struct Options {
     target: String,
     replay: Option<String>,
     report: PathBuf,
+    metrics: Option<PathBuf>,
     cfg: CampaignConfig,
 }
 
@@ -40,7 +51,8 @@ fn usage() -> ! {
         "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|e2e|all]\n\
          \x20                 [--shards N] [--budget N|Ns] [--seed N]\n\
          \x20                 [--replay TARGET:HEX,HEX,...|SEEDFILE] [--triage|--no-triage]\n\
-         \x20                 [--corpus DIR] [--report FILE] [--regressions FILE]"
+         \x20                 [--corpus DIR] [--report FILE] [--regressions FILE]\n\
+         \x20                 [--progress] [--metrics FILE] [--no-metrics]"
     );
     std::process::exit(2)
 }
@@ -59,6 +71,7 @@ fn parse_args() -> Options {
         target: "all".to_string(),
         replay: None,
         report: PathBuf::from("BENCH_campaign.json"),
+        metrics: Some(PathBuf::from("BENCH_metrics.json")),
         cfg: CampaignConfig::default(),
     };
     let need = |v: Option<String>| v.unwrap_or_else(|| usage());
@@ -83,6 +96,9 @@ fn parse_args() -> Options {
             "--regressions" => {
                 opts.cfg.regressions_path = Some(PathBuf::from(need(args.next())));
             }
+            "--progress" => opts.cfg.progress = true,
+            "--metrics" => opts.metrics = Some(PathBuf::from(need(args.next()))),
+            "--no-metrics" => opts.metrics = None,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -133,13 +149,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = run_campaign(&targets, &opts.cfg);
+    let registry = Registry::new();
+    let report = run_campaign_metered(&targets, &opts.cfg, &registry);
     if let Err(e) = report.write_json(&opts.report) {
         eprintln!("silver-fuzz: cannot write {}: {e}", opts.report.display());
         return ExitCode::from(2);
     }
     eprint!("{}", report.summary());
     eprintln!("silver-fuzz: report written to {}", opts.report.display());
+    if let Some(path) = &opts.metrics {
+        if let Err(e) = registry.append_to(path) {
+            eprintln!("silver-fuzz: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("silver-fuzz: metrics appended to {}", path.display());
+    }
     if report.failures.is_empty() {
         ExitCode::SUCCESS
     } else {

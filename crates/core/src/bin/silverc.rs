@@ -4,7 +4,8 @@
 //! ```sh
 //! silverc prog.cml [--backend isa|rtl|verilog] [--arg ARG]...
 //!         [--stdin FILE] [--gc] [--no-tail-calls] [--no-direct-calls]
-//!         [--stats]
+//!         [--stats] [--trace] [--trace-syscalls] [--vcd FILE]
+//!         [--profile FILE]
 //! ```
 //!
 //! The program's standard output/error are forwarded; the process exits
@@ -15,11 +16,28 @@
 //! `--stats` prints the retired-instruction count, the clock-cycle
 //! count (circuit backends), and — on the ISA backend — a per-opcode
 //! retire histogram, most-frequent class first.
+//!
+//! Observability (everything off by default; see `EXPERIMENTS.md`):
+//!
+//! * `--trace` keeps the last N retired instructions (ISA backend) and
+//!   prints them to stderr after the run; N comes from `SILVER_TRACE_CAP`
+//!   (default 32). Setting `SILVER_TRACE=1` in the environment enables
+//!   this without the flag.
+//! * `--trace-syscalls` records every system call — name, configuration,
+//!   byte-array size, status byte, descriptor state — and prints the
+//!   trace to stderr (ISA backend).
+//! * `--vcd FILE` dumps a GTKWave-viewable waveform of every CPU signal
+//!   (hardware backends only).
+//! * `--profile FILE` attributes execution to source functions — retired
+//!   instructions on the ISA backend, true clock cycles on the hardware
+//!   backends — and writes flamegraph folded stacks to FILE (`-` for
+//!   stderr).
 
 use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use silver_stack::{Backend, ExitStatus, RunConfig, Stack};
+use silver_stack::{Backend, ExitStatus, Observe, RunConfig, Stack};
 
 struct Options {
     file: String,
@@ -27,13 +45,18 @@ struct Options {
     args: Vec<String>,
     stdin: Vec<u8>,
     stats: bool,
+    trace: bool,
+    trace_syscalls: bool,
+    vcd: Option<PathBuf>,
+    profile: Option<String>,
     stack: Stack,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: silverc FILE [--backend isa|rtl|verilog] [--arg ARG]... \
-         [--stdin FILE|-] [--gc] [--no-tail-calls] [--no-direct-calls] [--no-const-fold] [--stats]"
+         [--stdin FILE|-] [--gc] [--no-tail-calls] [--no-direct-calls] [--no-const-fold] \
+         [--stats] [--trace] [--trace-syscalls] [--vcd FILE] [--profile FILE|-]"
     );
     std::process::exit(2)
 }
@@ -46,6 +69,10 @@ fn parse_args() -> Options {
         args: Vec::new(),
         stdin: Vec::new(),
         stats: false,
+        trace: std::env::var("SILVER_TRACE").is_ok_and(|v| v == "1"),
+        trace_syscalls: false,
+        vcd: None,
+        profile: None,
         stack: Stack::new(),
     };
     while let Some(a) = args.next() {
@@ -79,6 +106,16 @@ fn parse_args() -> Options {
             "--no-direct-calls" => opts.stack.compiler.direct_calls = false,
             "--no-const-fold" => opts.stack.compiler.const_fold = false,
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
+            "--trace-syscalls" => opts.trace_syscalls = true,
+            "--vcd" => match args.next() {
+                Some(v) => opts.vcd = Some(PathBuf::from(v)),
+                None => usage(),
+            },
+            "--profile" => match args.next() {
+                Some(v) => opts.profile = Some(v),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
             _ => usage(),
@@ -87,7 +124,23 @@ fn parse_args() -> Options {
     if opts.file.is_empty() {
         usage();
     }
+    if opts.vcd.is_some() && opts.backend == Backend::Isa {
+        eprintln!("silverc: --vcd requires --backend rtl or --backend verilog");
+        std::process::exit(2);
+    }
+    if opts.trace && opts.backend != Backend::Isa {
+        eprintln!("silverc: --trace requires --backend isa");
+        std::process::exit(2);
+    }
+    if opts.trace_syscalls && opts.backend != Backend::Isa {
+        eprintln!("silverc: --trace-syscalls requires --backend isa");
+        std::process::exit(2);
+    }
     opts
+}
+
+fn trace_cap() -> usize {
+    std::env::var("SILVER_TRACE_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
 }
 
 fn main() -> ExitCode {
@@ -102,12 +155,19 @@ fn main() -> ExitCode {
     let mut argv: Vec<&str> = vec![opts.file.as_str()];
     argv.extend(opts.args.iter().map(String::as_str));
 
-    let result = match opts.stack.run_source(
+    let ocfg = Observe {
+        retire_log: if opts.trace { trace_cap() } else { 0 },
+        profile: opts.profile.is_some(),
+        syscalls: opts.trace_syscalls,
+        vcd: opts.vcd.clone(),
+    };
+    let (result, obs) = match opts.stack.run_source_observed(
         &src,
         &argv,
         &opts.stdin,
         opts.backend,
         &RunConfig::default(),
+        &ocfg,
     ) {
         Ok(r) => r,
         Err(e) => {
@@ -117,6 +177,40 @@ fn main() -> ExitCode {
     };
     std::io::stdout().write_all(&result.stdout).expect("stdout");
     std::io::stderr().write_all(&result.stderr).expect("stderr");
+    if let Some(trace) = &obs.syscalls {
+        eprintln!("silverc: syscall trace ({} calls):", trace.len());
+        for line in trace.render().lines() {
+            eprintln!("silverc:   {line}");
+        }
+    }
+    if let Some(ring) = &obs.retire_log {
+        let lines = ring.render();
+        eprintln!(
+            "silverc: retire log (last {} of {} retired):",
+            lines.len(),
+            ring.total()
+        );
+        for line in &lines {
+            eprintln!("silverc:   {line}");
+        }
+    }
+    if let Some(prof) = &obs.profile {
+        let folded = prof.folded();
+        match opts.profile.as_deref() {
+            Some("-") => eprint!("{folded}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &folded) {
+                    eprintln!("silverc: cannot write profile `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("silverc: profile written to {path}");
+            }
+            None => {}
+        }
+    }
+    if let Some(path) = &obs.vcd {
+        eprintln!("silverc: vcd written to {}", path.display());
+    }
     if opts.stats {
         eprintln!("silverc: instructions = {}", result.instructions);
         if let Some(c) = result.cycles {

@@ -1,12 +1,17 @@
 //! The verified stack, assembled: compile → load → run at any level.
 
 use std::fmt;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
 
 use ag32::State;
 use basis::{build_image, extract_streams, run_to_halt, ExitStatus, ImageError};
 use cakeml::{CompileError, CompiledProgram, CompilerConfig, TargetLayout};
+use obs::CycleProfiler;
 use silver::env::{Latency, MemEnvConfig};
 use silver::lockstep::LockstepError;
+use silver::trace::{PcSampler, RtlVcd, VerilogVcd};
 
 /// Which layer of Figure 1 executes the program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +96,8 @@ pub enum StackError {
     Image(ImageError),
     /// A hardware backend failed or timed out.
     Hardware(LockstepError),
+    /// An observability sink (VCD/profile file) failed.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for StackError {
@@ -99,6 +106,7 @@ impl fmt::Display for StackError {
             StackError::Compile(e) => write!(f, "compile: {e}"),
             StackError::Image(e) => write!(f, "image: {e}"),
             StackError::Hardware(e) => write!(f, "hardware: {e}"),
+            StackError::Io(e) => write!(f, "io: {e}"),
         }
     }
 }
@@ -121,6 +129,52 @@ impl From<LockstepError> for StackError {
     fn from(e: LockstepError) -> Self {
         StackError::Hardware(e)
     }
+}
+
+impl From<std::io::Error> for StackError {
+    fn from(e: std::io::Error) -> Self {
+        StackError::Io(e)
+    }
+}
+
+/// What to observe during a run. Everything is off by default, and the
+/// observed entry points degrade to the plain ones when nothing is
+/// requested — observability costs nothing unless asked for.
+#[derive(Debug, Default)]
+pub struct Observe {
+    /// Keep the last N retired instructions in a ring (ISA backend).
+    /// `0` disables the retire log.
+    pub retire_log: usize,
+    /// Attribute execution to source functions (retires on the ISA
+    /// backend, true clock cycles on the hardware backends) and report
+    /// flamegraph folded stacks.
+    pub profile: bool,
+    /// Record every system call: name, arguments, result, descriptor
+    /// state (ISA backend).
+    pub syscalls: bool,
+    /// Dump a GTKWave-viewable VCD waveform of every CPU signal to this
+    /// file (hardware backends).
+    pub vcd: Option<PathBuf>,
+}
+
+impl Observe {
+    fn is_off(&self) -> bool {
+        self.retire_log == 0 && !self.profile && !self.syscalls && self.vcd.is_none()
+    }
+}
+
+/// What a run observed (fields mirror [`Observe`]).
+#[derive(Debug, Default)]
+pub struct Observations {
+    /// The retire log, oldest first.
+    pub retire_log: Option<ag32::RetireRing>,
+    /// The cycle/retire profiler, ready for
+    /// [`folded`](obs::CycleProfiler::folded) output.
+    pub profile: Option<CycleProfiler>,
+    /// The system-call trace.
+    pub syscalls: Option<basis::SyscallTrace>,
+    /// Where the VCD waveform was written.
+    pub vcd: Option<PathBuf>,
 }
 
 /// The stack: a compiler configuration plus a memory layout.
@@ -194,53 +248,285 @@ impl Stack {
         match backend {
             Backend::Isa => {
                 let r = run_to_halt(image, &self.layout, rc.fuel);
-                Ok(StackResult {
-                    exit: r.exit,
-                    stdout: r.stdout,
-                    stderr: r.stderr,
-                    instructions: r.instructions,
-                    cycles: None,
-                    stats: Some(r.state.stats.clone()),
-                })
+                Ok(isa_result(r))
             }
             Backend::Rtl => {
                 let (rtl_state, env, cycles) =
                     silver::run_rtl_program(&image, rc.env.clone(), rc.max_cycles)?;
-                let (stdout, stderr) = extract_streams(&env.io_events);
-                let instructions = rtl_state.get_scalar("retired").map_err(|e| {
-                    StackError::Hardware(LockstepError::Rtl(e))
-                })?;
-                let exit = classify_hw(&env.mem, &self.layout, &rtl_state)?;
-                Ok(StackResult {
-                    exit,
-                    stdout,
-                    stderr,
-                    instructions,
-                    cycles: Some(cycles),
-                    stats: None,
-                })
+                self.rtl_result(&rtl_state, &env, cycles)
             }
             Backend::Verilog => {
                 let (fin, env, cycles) =
                     silver::run_verilog_program(&image, rc.env.clone(), rc.max_cycles)?;
-                let (stdout, stderr) = extract_streams(&env.io_events);
-                let code = env.mem.read_word(self.layout.exit_code_addr);
-                let pc = fin.get("pc").map(|v| v.as_u64() as u32).unwrap_or(0);
-                let exit = if pc == self.layout.halt_addr && code != basis::image::EXIT_UNSET {
-                    ExitStatus::Exited(code as u8)
-                } else {
-                    ExitStatus::Wedged
-                };
-                Ok(StackResult {
-                    exit,
-                    stdout,
-                    stderr,
-                    instructions: 0,
-                    cycles: Some(cycles),
-                    stats: None,
-                })
+                Ok(self.verilog_result(&fin, &env, cycles))
             }
         }
+    }
+
+    /// [`run_source`](Stack::run_source) with observability: compiles,
+    /// loads, runs, and returns whatever `ocfg` asked to observe. With
+    /// the default (all-off) [`Observe`] this is exactly `run_source` —
+    /// the observed entry points construct nothing unless asked.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StackError`]; I/O failures writing a requested VCD file
+    /// surface as [`StackError::Io`].
+    pub fn run_source_observed(
+        &self,
+        src: &str,
+        args: &[&str],
+        stdin: &[u8],
+        backend: Backend,
+        rc: &RunConfig,
+        ocfg: &Observe,
+    ) -> Result<(StackResult, Observations), StackError> {
+        let compiled = self.compile(src)?;
+        let image = self.load(&compiled, args, stdin)?;
+        self.run_image_observed(&compiled, image, backend, rc, ocfg)
+    }
+
+    /// [`run_image`](Stack::run_image) with observability. The compiled
+    /// program is needed for its symbol table (profiling) and FFI names
+    /// (syscall tracing). Fields of `ocfg` that do not apply to the
+    /// chosen backend are ignored (e.g. `vcd` on the ISA backend).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StackError`].
+    pub fn run_image_observed(
+        &self,
+        compiled: &CompiledProgram,
+        image: State,
+        backend: Backend,
+        rc: &RunConfig,
+        ocfg: &Observe,
+    ) -> Result<(StackResult, Observations), StackError> {
+        if ocfg.is_off() {
+            return Ok((self.run_image(image, backend, rc)?, Observations::default()));
+        }
+        let mut obs = Observations::default();
+        let result = match backend {
+            Backend::Isa => {
+                // The syscall trace needs its own pure-`Next` pass (it
+                // watches FFI entry PCs); execution is deterministic, so
+                // a clone of the image observes the same run.
+                if ocfg.syscalls {
+                    let mut trace = basis::SyscallTrace::new();
+                    let _ = basis::run_to_halt_traced(
+                        image.clone(),
+                        &self.layout,
+                        &compiled.ffi_names,
+                        rc.fuel,
+                        &mut trace,
+                    );
+                    obs.syscalls = Some(trace);
+                }
+                let r = match (ocfg.retire_log > 0, ocfg.profile) {
+                    (true, true) => {
+                        let mut ring = ag32::RetireRing::new(ocfg.retire_log);
+                        let mut prof = CycleProfiler::new(compiled.symbols.to_ranges());
+                        let r = basis::run_to_halt_observed(
+                            image,
+                            &self.layout,
+                            rc.fuel,
+                            &mut ag32::NoCoverage,
+                            &mut (&mut ring, &mut prof),
+                        );
+                        obs.retire_log = Some(ring);
+                        obs.profile = Some(prof);
+                        r
+                    }
+                    (true, false) => {
+                        let mut ring = ag32::RetireRing::new(ocfg.retire_log);
+                        let r = basis::run_to_halt_observed(
+                            image,
+                            &self.layout,
+                            rc.fuel,
+                            &mut ag32::NoCoverage,
+                            &mut ring,
+                        );
+                        obs.retire_log = Some(ring);
+                        r
+                    }
+                    (false, true) => {
+                        let mut prof = CycleProfiler::new(compiled.symbols.to_ranges());
+                        let r = basis::run_to_halt_observed(
+                            image,
+                            &self.layout,
+                            rc.fuel,
+                            &mut ag32::NoCoverage,
+                            &mut prof,
+                        );
+                        obs.profile = Some(prof);
+                        r
+                    }
+                    (false, false) => run_to_halt(image, &self.layout, rc.fuel),
+                };
+                isa_result(r)
+            }
+            Backend::Rtl => {
+                let circuit = silver::silver_cpu();
+                let (rtl_state, env, cycles) = match (&ocfg.vcd, ocfg.profile) {
+                    (Some(path), true) => {
+                        let vcd = RtlVcd::new(
+                            BufWriter::new(File::create(path)?),
+                            &circuit,
+                            "silver_cpu",
+                        )?;
+                        let sampler = PcSampler::new(CycleProfiler::new(
+                            compiled.symbols.to_ranges(),
+                        ));
+                        let mut pair = (vcd, sampler);
+                        let out = silver::run_rtl_program_observed(
+                            &image,
+                            rc.env.clone(),
+                            rc.max_cycles,
+                            &mut pair,
+                        )?;
+                        pair.0.finish()?;
+                        obs.vcd = Some(path.clone());
+                        obs.profile = Some(pair.1.profiler);
+                        out
+                    }
+                    (Some(path), false) => {
+                        let mut vcd = RtlVcd::new(
+                            BufWriter::new(File::create(path)?),
+                            &circuit,
+                            "silver_cpu",
+                        )?;
+                        let out = silver::run_rtl_program_observed(
+                            &image,
+                            rc.env.clone(),
+                            rc.max_cycles,
+                            &mut vcd,
+                        )?;
+                        vcd.finish()?;
+                        obs.vcd = Some(path.clone());
+                        out
+                    }
+                    (None, true) => {
+                        let mut sampler = PcSampler::new(CycleProfiler::new(
+                            compiled.symbols.to_ranges(),
+                        ));
+                        let out = silver::run_rtl_program_observed(
+                            &image,
+                            rc.env.clone(),
+                            rc.max_cycles,
+                            &mut sampler,
+                        )?;
+                        obs.profile = Some(sampler.profiler);
+                        out
+                    }
+                    (None, false) => {
+                        silver::run_rtl_program(&image, rc.env.clone(), rc.max_cycles)?
+                    }
+                };
+                self.rtl_result(&rtl_state, &env, cycles)?
+            }
+            Backend::Verilog => {
+                let circuit = silver::silver_cpu();
+                let (fin, env, cycles) = match (&ocfg.vcd, ocfg.profile) {
+                    (Some(path), true) => {
+                        let vcd = VerilogVcd::new(
+                            BufWriter::new(File::create(path)?),
+                            &circuit,
+                            "silver_cpu",
+                        )?;
+                        let sampler = PcSampler::new(CycleProfiler::new(
+                            compiled.symbols.to_ranges(),
+                        ));
+                        let mut pair = (vcd, sampler);
+                        let out = silver::run_verilog_program_observed(
+                            &image,
+                            rc.env.clone(),
+                            rc.max_cycles,
+                            &mut pair,
+                        )?;
+                        pair.0.finish()?;
+                        obs.vcd = Some(path.clone());
+                        obs.profile = Some(pair.1.profiler);
+                        out
+                    }
+                    (Some(path), false) => {
+                        let mut vcd = VerilogVcd::new(
+                            BufWriter::new(File::create(path)?),
+                            &circuit,
+                            "silver_cpu",
+                        )?;
+                        let out = silver::run_verilog_program_observed(
+                            &image,
+                            rc.env.clone(),
+                            rc.max_cycles,
+                            &mut vcd,
+                        )?;
+                        vcd.finish()?;
+                        obs.vcd = Some(path.clone());
+                        out
+                    }
+                    (None, true) => {
+                        let mut sampler = PcSampler::new(CycleProfiler::new(
+                            compiled.symbols.to_ranges(),
+                        ));
+                        let out = silver::run_verilog_program_observed(
+                            &image,
+                            rc.env.clone(),
+                            rc.max_cycles,
+                            &mut sampler,
+                        )?;
+                        obs.profile = Some(sampler.profiler);
+                        out
+                    }
+                    (None, false) => {
+                        silver::run_verilog_program(&image, rc.env.clone(), rc.max_cycles)?
+                    }
+                };
+                self.verilog_result(&fin, &env, cycles)
+            }
+        };
+        Ok((result, obs))
+    }
+
+    fn rtl_result(
+        &self,
+        rtl_state: &rtl::RtlState,
+        env: &silver::env::MemEnv,
+        cycles: u64,
+    ) -> Result<StackResult, StackError> {
+        let (stdout, stderr) = extract_streams(&env.io_events);
+        let instructions = rtl_state
+            .get_scalar("retired")
+            .map_err(|e| StackError::Hardware(LockstepError::Rtl(e)))?;
+        let exit = classify_hw(&env.mem, &self.layout, rtl_state)?;
+        Ok(StackResult { exit, stdout, stderr, instructions, cycles: Some(cycles), stats: None })
+    }
+
+    fn verilog_result(
+        &self,
+        fin: &verilog::eval::VarState,
+        env: &silver::env::MemEnv,
+        cycles: u64,
+    ) -> StackResult {
+        let (stdout, stderr) = extract_streams(&env.io_events);
+        let code = env.mem.read_word(self.layout.exit_code_addr);
+        let pc = fin.get("pc").map(|v| v.as_u64() as u32).unwrap_or(0);
+        let exit = if pc == self.layout.halt_addr && code != basis::image::EXIT_UNSET {
+            ExitStatus::Exited(code as u8)
+        } else {
+            ExitStatus::Wedged
+        };
+        StackResult { exit, stdout, stderr, instructions: 0, cycles: Some(cycles), stats: None }
+    }
+}
+
+fn isa_result(r: basis::MachineResult) -> StackResult {
+    StackResult {
+        exit: r.exit,
+        stdout: r.stdout,
+        stderr: r.stderr,
+        instructions: r.instructions,
+        cycles: None,
+        stats: Some(r.state.stats.clone()),
     }
 }
 

@@ -1,0 +1,401 @@
+//! A lock-free-enough metrics registry.
+//!
+//! Hot-path operations ([`Counter::add`], [`Gauge::set`],
+//! [`Histogram::record`]) are single relaxed atomic RMWs on
+//! pre-registered `Arc` handles — no locks, no allocation, safe to call
+//! from every campaign shard concurrently. The registry's mutex guards
+//! *registration only* (name → handle lookup), which happens once per
+//! metric on the cold path.
+//!
+//! Export is deterministic: [`Registry::json_lines`] emits one JSON
+//! object per line, sorted by metric kind then name, in the same
+//! append-friendly JSONL convention as `testkit::bench`'s
+//! `BENCH_<suite>.json` files. Values themselves (latencies, rates) are
+//! machine-dependent, which is why campaign metrics land in a *separate*
+//! `BENCH_metrics.json` — `BENCH_campaign.json` stays a pure function of
+//! the seed and the case budget.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values `v` with `2^(i-1) ≤ v < 2^i`; bucket 64 holds the top.
+const BUCKETS: usize = 65;
+
+/// A power-of-two-bucket histogram of `u64` samples (latencies in
+/// nanoseconds, sizes, …).
+///
+/// Recording is one relaxed `fetch_add` plus two `fetch_min`/`max`;
+/// quantiles are estimated from bucket upper bounds at export time
+/// (within 2× of the true value, plenty for trending).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (v.ilog2() + 1) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th sample. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_hi(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Nonzero buckets as `(inclusive upper bound, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_hi(i), c))
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of metrics.
+///
+/// `counter`/`gauge`/`histogram` get-or-create a handle; clones of the
+/// `Arc` can be stashed per shard so the hot path never takes the
+/// registration lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it at zero if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration lock is poisoned.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, creating it at zero if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration lock is poisoned.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, creating it empty if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration lock is poisoned.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// One JSON object per line: counters, then gauges, then histograms,
+    /// each sorted by name. The `"metric"` discriminator keeps the lines
+    /// distinguishable from `testkit::bench` lines when files are merged
+    /// or concatenated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration lock is poisoned.
+    #[must_use]
+    pub fn json_lines(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            out.push_str(&format!(
+                "{{\"metric\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+                escape(name),
+                c.get()
+            ));
+        }
+        for (name, g) in &inner.gauges {
+            out.push_str(&format!(
+                "{{\"metric\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                escape(name),
+                fmt_f64(g.get())
+            ));
+        }
+        for (name, h) in &inner.histograms {
+            let buckets: Vec<String> =
+                h.nonzero_buckets().iter().map(|(hi, c)| format!("[{hi},{c}]")).collect();
+            out.push_str(&format!(
+                "{{\"metric\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}\n",
+                escape(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                buckets.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Appends [`json_lines`](Registry::json_lines) to `path`
+    /// (`BENCH_metrics.json` by convention). `-` skips the write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening or writing the file.
+    pub fn append_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if path.as_os_str() == "-" {
+            return Ok(());
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(self.json_lines().as_bytes())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest lossless-enough form that is still valid JSON.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("cases");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("cases").get(), 5, "same handle by name");
+        let g = reg.gauge("util");
+        g.set(0.75);
+        assert!((reg.gauge("util").get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1105);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        // p50: rank 3 → the two 1s end at rank 3 → bucket [1,1].
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 1000, "top quantile clamps to max");
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets[0], (0, 1), "zero bucket");
+        assert_eq!(buckets[1], (1, 2));
+        assert_eq!(buckets[2], (3, 1));
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn json_lines_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("b.cases").add(2);
+        reg.counter("a.cases").add(1);
+        reg.gauge("z.util").set(0.5);
+        reg.histogram("lat").record(7);
+        let out = reg.json_lines();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"a.cases\""), "{out}");
+        assert!(lines[1].contains("\"b.cases\""));
+        assert!(lines[2].contains("\"metric\":\"gauge\""));
+        assert!(lines[3].contains("\"metric\":\"histogram\""));
+        assert!(lines[3].contains("\"count\":1"));
+        assert!(lines[3].contains("\"buckets\":[[7,1]]"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_for_counts() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        let c = reg.counter("n");
+        let results = testkit::par::par_map(vec![0u64; 8], |_| {
+            for i in 0..1000u64 {
+                h.record(i);
+                c.inc();
+            }
+            0u64
+        });
+        assert_eq!(results.len(), 8);
+        assert_eq!(h.count(), 8000);
+        assert_eq!(c.get(), 8000);
+    }
+}

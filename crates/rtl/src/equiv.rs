@@ -95,8 +95,24 @@ fn values_agree(rv: &RValue, vv: &ValueOrArray) -> bool {
 /// Returns the first divergence or simulator error.
 pub fn check_equiv(
     circuit: &Circuit,
+    inputs: impl FnMut(u64, &RtlState) -> Vec<(String, RValue)>,
+    cycles: u64,
+) -> Result<(), EquivError> {
+    check_equiv_observed(circuit, inputs, cycles, |_, _, _| {})
+}
+
+/// [`check_equiv`] with an observer seeing both post-edge states after
+/// every cycle — including the divergent cycle itself, so waveform
+/// capture and forensics ride along without re-simulation.
+///
+/// # Errors
+///
+/// Returns the first divergence or simulator error.
+pub fn check_equiv_observed(
+    circuit: &Circuit,
     mut inputs: impl FnMut(u64, &RtlState) -> Vec<(String, RValue)>,
     cycles: u64,
+    mut observe: impl FnMut(u64, &RtlState, &verilog::eval::VarState),
 ) -> Result<(), EquivError> {
     let module = codegen::generate(circuit)?;
     let mut rtl_state = RtlState::zeroed(circuit);
@@ -114,6 +130,7 @@ pub fn check_equiv(
         }
         interp::cycle(circuit, &mut rtl_state)?;
         verilog::eval::cycle(&module, &mut v_state)?;
+        observe(cycle, &rtl_state, &v_state);
         for (name, _ty) in circuit.inputs.iter().chain(&circuit.regs) {
             let rv = rtl_state.get(name)?.clone();
             let vv = lookup_verilog(&v_state, name, &rv)?;

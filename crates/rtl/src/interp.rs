@@ -424,6 +424,80 @@ pub fn step(
     cycle(c, state)
 }
 
+/// Observes the post-edge state after every clock cycle — the hook the
+/// observability layer (waveform dumping, cycle profiling, divergence
+/// forensics) attaches to.
+///
+/// Like `ag32::Coverage`, the default [`NoCycleObserver`] is a
+/// zero-sized no-op that monomorphises away, so
+/// [`run_observed`]/[`step_observed`] with it cost exactly what
+/// [`run`]/[`step`] do.
+pub trait CycleObserver {
+    /// Called after the clock edge of cycle `n`, with the settled state.
+    fn on_cycle(&mut self, n: u64, state: &RtlState);
+}
+
+/// The no-op observer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCycleObserver;
+
+impl CycleObserver for NoCycleObserver {
+    #[inline(always)]
+    fn on_cycle(&mut self, _n: u64, _state: &RtlState) {}
+}
+
+impl<T: CycleObserver> CycleObserver for &mut T {
+    #[inline]
+    fn on_cycle(&mut self, n: u64, state: &RtlState) {
+        (**self).on_cycle(n, state);
+    }
+}
+
+/// Fan-out: drive two observers from one run (e.g. a VCD dumper plus a
+/// cycle profiler).
+impl<A: CycleObserver, B: CycleObserver> CycleObserver for (A, B) {
+    #[inline]
+    fn on_cycle(&mut self, n: u64, state: &RtlState) {
+        self.0.on_cycle(n, state);
+        self.1.on_cycle(n, state);
+    }
+}
+
+/// [`step`] plus a [`CycleObserver`] seeing the post-edge state.
+///
+/// # Errors
+///
+/// Propagates any dynamic error.
+pub fn step_observed(
+    c: &Circuit,
+    env: &mut impl RtlEnv,
+    state: &mut RtlState,
+    n: u64,
+    obs: &mut impl CycleObserver,
+) -> Result<(), RtlError> {
+    step(c, env, state, n)?;
+    obs.on_cycle(n, state);
+    Ok(())
+}
+
+/// [`run`] plus a [`CycleObserver`] seeing every post-edge state.
+///
+/// # Errors
+///
+/// Propagates any dynamic error.
+pub fn run_observed(
+    c: &Circuit,
+    env: &mut impl RtlEnv,
+    state: &mut RtlState,
+    cycles: u64,
+    obs: &mut impl CycleObserver,
+) -> Result<(), RtlError> {
+    for n in 0..cycles {
+        step_observed(c, env, state, n, obs)?;
+    }
+    Ok(())
+}
+
 impl fmt::Display for RValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -44,9 +44,19 @@
 pub mod cpu;
 pub mod env;
 pub mod lockstep;
+pub mod trace;
 pub mod verilog_level;
 
 pub use cpu::silver_cpu;
 pub use env::{Latency, MemEnv, MemEnvConfig};
-pub use lockstep::{run_lockstep, run_rtl_program, LockstepError, LockstepReport};
-pub use verilog_level::{check_cpu_verilog_equiv, run_verilog_program};
+pub use lockstep::{
+    run_lockstep, run_lockstep_in, run_rtl_program, run_rtl_program_observed, LockstepError,
+    LockstepReport,
+};
+pub use trace::{
+    check_cpu_verilog_equiv_forensic, run_lockstep_forensic, ForensicConfig, PcSampler, RtlVcd,
+    VcdWindow, VerilogVcd,
+};
+pub use verilog_level::{
+    check_cpu_verilog_equiv, run_verilog_program, run_verilog_program_observed,
+};

@@ -178,13 +178,29 @@ pub fn run_lockstep(
     cfg: MemEnvConfig,
     max_cycles: u64,
 ) -> Result<LockstepReport, LockstepError> {
-    let circuit = silver_cpu();
+    run_lockstep_in(&silver_cpu(), initial, max_instructions, cfg, max_cycles)
+}
+
+/// [`run_lockstep`] against an explicit circuit — the hook fault-
+/// injection tests use to check that a sabotaged CPU *fails* lockstep
+/// (and that the forensics in [`crate::trace`] localise the fault).
+///
+/// # Errors
+///
+/// Simulator failure, cycle-budget exhaustion, or state divergence.
+pub fn run_lockstep_in(
+    circuit: &Circuit,
+    initial: &State,
+    max_instructions: u64,
+    cfg: MemEnvConfig,
+    max_cycles: u64,
+) -> Result<LockstepReport, LockstepError> {
     let mut isa = initial.clone();
     isa.accel = |x| x;
     let instructions = isa.run(max_instructions);
 
     let mut env = env_from_isa(initial, cfg);
-    let mut rtl_state = init_rtl_from_isa(&circuit, initial);
+    let mut rtl_state = init_rtl_from_isa(circuit, initial);
     let mut cycles = 0u64;
     while rtl_state.get_scalar("retired")? < instructions {
         if cycles >= max_cycles {
@@ -194,7 +210,7 @@ pub fn run_lockstep(
                 max_cycles,
             });
         }
-        interp::step(&circuit, &mut env, &mut rtl_state, cycles)?;
+        interp::step(circuit, &mut env, &mut rtl_state, cycles)?;
         cycles += 1;
     }
     check_eq_isa_rtl(&isa, &rtl_state, &env)?;
@@ -244,6 +260,22 @@ pub fn run_rtl_program(
     cfg: MemEnvConfig,
     max_cycles: u64,
 ) -> Result<(RtlState, MemEnv, u64), LockstepError> {
+    run_rtl_program_observed(initial, cfg, max_cycles, &mut interp::NoCycleObserver)
+}
+
+/// [`run_rtl_program`] with a [`CycleObserver`](interp::CycleObserver)
+/// seeing every post-edge state — the hook `silverc --vcd`/`--profile`
+/// use on the RTL backend.
+///
+/// # Errors
+///
+/// Simulator failure or cycle-budget exhaustion.
+pub fn run_rtl_program_observed(
+    initial: &State,
+    cfg: MemEnvConfig,
+    max_cycles: u64,
+    obs: &mut impl interp::CycleObserver,
+) -> Result<(RtlState, MemEnv, u64), LockstepError> {
     let circuit = silver_cpu();
     let mut env = env_from_isa(initial, cfg);
     let mut rtl_state = init_rtl_from_isa(&circuit, initial);
@@ -257,7 +289,7 @@ pub fn run_rtl_program(
                 max_cycles,
             });
         }
-        interp::step(&circuit, &mut env, &mut rtl_state, cycles)?;
+        interp::step_observed(&circuit, &mut env, &mut rtl_state, cycles, obs)?;
         cycles += 1;
         let retired = rtl_state.get_scalar("retired")?;
         if retired != last_retired {

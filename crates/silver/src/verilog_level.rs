@@ -55,6 +55,23 @@ pub fn run_verilog_program(
     cfg: MemEnvConfig,
     max_cycles: u64,
 ) -> Result<(VarState, MemEnv, u64), LockstepError> {
+    run_verilog_program_observed(initial, cfg, max_cycles, &mut verilog::eval::NoCycleObserver)
+}
+
+/// [`run_verilog_program`] with a
+/// [`CycleObserver`](verilog::eval::CycleObserver) seeing every
+/// post-edge Verilog variable state — the hook `silverc --vcd`/
+/// `--profile` use on the Verilog backend.
+///
+/// # Errors
+///
+/// Divergence, simulator failure, or cycle-budget exhaustion.
+pub fn run_verilog_program_observed(
+    initial: &State,
+    cfg: MemEnvConfig,
+    max_cycles: u64,
+    obs: &mut impl verilog::eval::CycleObserver,
+) -> Result<(VarState, MemEnv, u64), LockstepError> {
     let circuit = silver_cpu();
     let module = rtl::generate(&circuit).map_err(LockstepError::Rtl)?;
     let mut env = env_from_isa(initial, cfg);
@@ -96,6 +113,7 @@ pub fn run_verilog_program(
         }
         rtl::interp::cycle(&circuit, &mut rtl_state)?;
         verilog::eval::cycle(&module, &mut v_state).map_err(verr)?;
+        obs.on_cycle(cycles, &v_state);
         cycles += 1;
         // Spot-check agreement on the architectural interface each cycle.
         for name in ["pc", "state", "mem_addr", "mem_valid", "data_out", "retired"] {

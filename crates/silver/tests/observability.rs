@@ -1,0 +1,214 @@
+//! Observability is trustworthy: VCD dumps of a fixed RTL run are
+//! byte-stable (golden file), and an injected implementation bug is
+//! caught by the forensic lockstep runner with a report naming the
+//! divergent retire, the differing register, and both retire tails.
+
+use ag32::asm::Assembler;
+use ag32::{Func, Reg, Ri, State};
+use rtl::ast::{word, Circuit, RExpr, RStmt};
+use silver::env::{Latency, MemEnvConfig};
+use silver::trace::{run_lockstep_forensic, ForensicConfig, RtlVcd};
+use silver::{run_rtl_program_observed, silver_cpu};
+
+fn state_with_code(base: u32, code: &[u8]) -> State {
+    let mut s = State::new();
+    s.pc = base;
+    s.mem.write_bytes(base, code);
+    s
+}
+
+fn cfg_fixed(lat: u32) -> MemEnvConfig {
+    MemEnvConfig { mem_latency: Latency::Fixed(lat), ..MemEnvConfig::default() }
+}
+
+/// A small fixed program: three ALU ops and a halt.
+fn fixed_program() -> State {
+    let mut a = Assembler::new(0);
+    let r = Reg::new;
+    a.li(r(1), 0x1234);
+    a.li(r(2), 0x0FF0);
+    a.normal(Func::Add, r(3), Ri::Reg(r(1)), Ri::Reg(r(2)));
+    a.normal(Func::Xor, r(4), Ri::Reg(r(3)), Ri::Reg(r(1)));
+    a.halt(r(5));
+    state_with_code(0, &a.assemble().unwrap())
+}
+
+/// The VCD dump of a fixed RTL run is byte-for-byte reproducible and
+/// matches the checked-in golden file. The writer emits no timestamps
+/// or tool versions, so the waveform is a function of the circuit and
+/// the program alone. Regenerate with `SILVER_BLESS=1 cargo test -p
+/// silver --test observability`.
+#[test]
+fn vcd_golden_fixed_rtl_run() {
+    let s = fixed_program();
+    let mut vcd =
+        RtlVcd::new(Vec::new(), &silver_cpu(), "silver_cpu").expect("vcd header writes");
+    run_rtl_program_observed(&s, cfg_fixed(0), 10_000, &mut vcd).expect("fixed run completes");
+    let bytes = vcd.finish().expect("vcd flushes");
+    let text = String::from_utf8(bytes).expect("vcd is ascii");
+
+    // Structural sanity regardless of the golden file.
+    for marker in ["$timescale", "$scope module silver_cpu $end", "$var wire 32", "$dumpvars"] {
+        assert!(text.contains(marker), "missing {marker:?} in VCD output");
+    }
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/rtl_fixed.vcd");
+    if std::env::var("SILVER_BLESS").as_deref() == Ok("1") {
+        std::fs::write(golden_path, &text).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; run with SILVER_BLESS=1 to create it");
+    assert_eq!(text, golden, "VCD dump of the fixed run changed; re-bless if intentional");
+}
+
+/// A second run of the same program produces the identical dump —
+/// the writer holds no hidden state.
+#[test]
+fn vcd_dump_is_deterministic() {
+    let s = fixed_program();
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        let mut vcd =
+            RtlVcd::new(Vec::new(), &silver_cpu(), "silver_cpu").expect("vcd header writes");
+        run_rtl_program_observed(&s, cfg_fixed(0), 10_000, &mut vcd).expect("run completes");
+        out.push(vcd.finish().expect("vcd flushes"));
+    }
+    assert_eq!(out[0], out[1]);
+}
+
+/// Rewrites every register-file write in the circuit to store
+/// `value ^ 1` — a single-bit implementation bug of exactly the kind
+/// theorem (9) rules out.
+fn sabotage_reg_writes(stmts: &mut Vec<RStmt>, flipped: &mut usize) {
+    for s in stmts {
+        match s {
+            RStmt::SetMem(name, _idx, val) if name == "regs" => {
+                let old = val.clone();
+                *val = old.xor_(word(32, 1));
+                *flipped += 1;
+            }
+            RStmt::If(_, t, e) => {
+                sabotage_reg_writes(t, flipped);
+                sabotage_reg_writes(e, flipped);
+            }
+            RStmt::Case(_, arms, default) => {
+                for (_, body) in arms {
+                    sabotage_reg_writes(body, flipped);
+                }
+                if let Some(d) = default {
+                    sabotage_reg_writes(d, flipped);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn sabotaged_cpu() -> Circuit {
+    let mut c = silver_cpu();
+    let mut flipped = 0;
+    for p in &mut c.processes {
+        sabotage_reg_writes(&mut p.body, &mut flipped);
+    }
+    assert!(flipped > 0, "expected at least one register-file write to sabotage");
+    c
+}
+
+/// The healthy circuit passes the forensic lockstep runner (forensics
+/// never fire on agreement), so the report below is caused by the
+/// injected bug alone.
+#[test]
+fn forensic_lockstep_passes_on_healthy_cpu() {
+    let s = fixed_program();
+    let rep = run_lockstep_forensic(
+        &silver_cpu(),
+        &s,
+        100,
+        cfg_fixed(0),
+        100_000,
+        &ForensicConfig::default(),
+    )
+    .expect("healthy CPU stays in lockstep");
+    assert_eq!(rep.instructions, 4, "two li, add, xor (the halt self-jump does not retire)");
+}
+
+/// An injected t9 bug — one flipped bit in every RTL register write —
+/// produces a forensics report naming the divergent retire and cycle,
+/// the differing register with both values, the last retired
+/// instructions on both sides (≤ the configured tail), and a VCD window
+/// around the divergence.
+#[test]
+fn injected_t9_bug_yields_forensics() {
+    let s = fixed_program();
+    let fx = run_lockstep_forensic(
+        &sabotaged_cpu(),
+        &s,
+        100,
+        cfg_fixed(0),
+        100_000,
+        &ForensicConfig::default(),
+    )
+    .expect_err("sabotaged CPU must diverge");
+
+    // The report names where it happened...
+    assert_eq!(fx.kind, "t9 ISA\u{2194}RTL lockstep");
+    assert_eq!(
+        fx.divergent_step,
+        Some(0),
+        "the first retire (zero-based) writes a register: {}",
+        fx.render()
+    );
+    assert!(fx.divergent_cycle.is_some(), "divergent cycle recorded: {}", fx.render());
+
+    // ...which register differs, with both values: the first `li`
+    // writes r1 = 0x1234, the sabotage stores 0x1235.
+    let r1 = fx
+        .deltas
+        .iter()
+        .find(|d| d.field == "r1")
+        .unwrap_or_else(|| panic!("r1 delta present: {}", fx.render()));
+    assert_eq!(r1.spec, "0x00001234");
+    assert_eq!(r1.impl_, "0x00001235");
+
+    // ...the last retired instructions on both sides, bounded by the
+    // configured tail...
+    assert!(!fx.spec_tail.is_empty() && fx.spec_tail.len() <= 32, "{}", fx.render());
+    assert!(!fx.impl_tail.is_empty() && fx.impl_tail.len() <= 32, "{}", fx.render());
+    assert!(
+        fx.spec_tail.iter().any(|l| l.contains("LoadConstant")),
+        "spec tail shows the li: {}",
+        fx.render()
+    );
+
+    // ...and a waveform window around the divergent cycle.
+    assert!(fx.vcd_window.contains("$dumpvars"), "VCD window rendered: {}", fx.render());
+
+    // The human rendition carries all of the above.
+    let text = fx.render();
+    for needle in ["t9", "r1", "0x00001234", "0x00001235"] {
+        assert!(text.contains(needle), "render mentions {needle:?}:\n{text}");
+    }
+}
+
+/// The tail bound is honoured for longer programs: a loop retiring far
+/// more than `tail` instructions keeps only the last `tail` on the spec
+/// side.
+#[test]
+fn forensic_tails_are_bounded() {
+    let mut a = Assembler::new(0);
+    let r = Reg::new;
+    a.li(r(1), 0);
+    a.li(r(2), 30);
+    a.label("loop");
+    a.normal(Func::Add, r(1), Ri::Reg(r(1)), Ri::Imm(1));
+    a.normal(Func::Dec, r(2), Ri::Imm(0), Ri::Reg(r(2)));
+    a.branch_nonzero_sub(Ri::Reg(r(2)), Ri::Imm(0), "loop", r(60));
+    a.halt(r(61));
+    let s = state_with_code(0, &a.assemble().unwrap());
+    let fcfg = ForensicConfig { tail: 8, vcd_window: 4 };
+    let fx = run_lockstep_forensic(&sabotaged_cpu(), &s, 1000, cfg_fixed(0), 1_000_000, &fcfg)
+        .expect_err("sabotaged CPU must diverge");
+    assert!(fx.spec_tail.len() <= 8, "spec tail capped: {}", fx.spec_tail.len());
+    assert!(fx.impl_tail.len() <= 8, "impl tail capped: {}", fx.impl_tail.len());
+}

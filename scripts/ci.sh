@@ -47,8 +47,70 @@ echo "== campaign smoke (offline, bounded) =="
 scratch=$(mktemp -d)
 cp corpus/*.seed "$scratch"/ 2>/dev/null || true
 ./target/release/silver-fuzz --target all --shards 2 --budget 30s --seed 1 \
-    --corpus "$scratch" --report "$scratch/BENCH_campaign.json" --no-triage
+    --corpus "$scratch" --report "$scratch/BENCH_campaign.json" \
+    --metrics "$scratch/BENCH_metrics.json" --no-triage
 rm -rf "$scratch"
+
+echo "== observability smoke =="
+# The tracing/profiling/VCD paths work end-to-end on a real program,
+# and the campaign metrics registry emits per-target histograms. All
+# artifacts go to a scratch dir; markers are grepped, not eyeballed.
+obs_scratch=$(mktemp -d)
+# The paper's sort application (the same source examples/sort.rs runs).
+cat > "$obs_scratch/sort.cml" <<'SRC'
+val input = read_all ();
+val lines = split_lines input;
+val sorted = merge_sort string_lt lines;
+val _ = print (join_lines sorted);
+SRC
+printf 'pear\napple\nmango\n' > "$obs_scratch/in.txt"
+# Traced + syscall-traced + profiled ISA run.
+./target/release/silverc "$obs_scratch/sort.cml" \
+    --stdin "$obs_scratch/in.txt" \
+    --trace --trace-syscalls --profile "$obs_scratch/isa.folded" \
+    > "$obs_scratch/out.txt" 2> "$obs_scratch/err.txt"
+grep -q 'apple' "$obs_scratch/out.txt"
+grep -q 'retire log' "$obs_scratch/err.txt"
+grep -q 'syscall trace' "$obs_scratch/err.txt"
+grep -Eq 'write\(conf=' "$obs_scratch/err.txt"
+grep -Eq 'rt_|main' "$obs_scratch/isa.folded"
+# Traced lockstep: RTL backend with a VCD dump and a cycle profile.
+./target/release/silverc "$obs_scratch/sort.cml" \
+    --stdin "$obs_scratch/in.txt" --backend rtl \
+    --vcd "$obs_scratch/run.vcd" --profile "$obs_scratch/rtl.folded" \
+    > "$obs_scratch/out_rtl.txt" 2> "$obs_scratch/err_rtl.txt"
+cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_rtl.txt"
+grep -q '$scope module silver_cpu $end' "$obs_scratch/run.vcd"
+grep -q '$dumpvars' "$obs_scratch/run.vcd"
+grep -Eq 'rt_|main' "$obs_scratch/rtl.folded"
+# Campaign metrics: a tiny seeded campaign must emit latency histograms.
+./target/release/silver-fuzz --target t2 --budget 30 --seed 1 --no-triage \
+    --report "$obs_scratch/BENCH_campaign.json" \
+    --metrics "$obs_scratch/BENCH_metrics.json" --progress \
+    2> "$obs_scratch/fuzz_err.txt"
+grep -q 'round 1' "$obs_scratch/fuzz_err.txt"
+grep -q '"metric":"histogram","name":"campaign.case_us.t2"' \
+    "$obs_scratch/BENCH_metrics.json"
+rm -rf "$obs_scratch"
+echo "ok: trace/syscalls/profile/vcd/metrics all produce their markers"
+
+echo "== observability hygiene guard =="
+# Tracing must stay off by default: every plain entry point must
+# delegate to its observed sibling with the no-op sink, the observed
+# stack runner must degrade to the plain one when nothing is asked
+# for, and campaign progress must default off.
+grep -q 'run_rtl_program_observed(initial, cfg, max_cycles, &mut interp::NoCycleObserver)' \
+    crates/silver/src/lockstep.rs
+grep -q 'run_verilog_program_observed(initial, cfg, max_cycles, &mut verilog::eval::NoCycleObserver)' \
+    crates/silver/src/verilog_level.rs
+grep -q 'self.run_traced(fuel, cov, &mut NoTrace)' crates/ag32/src/state.rs
+grep -q 'run_with_oracle_traced(state, layout, ffi_names, fs, fuel, None)' \
+    crates/basis/src/machine.rs
+grep -q 'if ocfg.is_off()' crates/core/src/stack.rs
+grep -q 'progress: false' crates/campaign/src/engine.rs
+# And the no-op sinks must really be no-ops (const ACTIVE = false).
+grep -A1 'impl Tracer for NoTrace' crates/ag32/src/trace.rs | grep -q 'ACTIVE: bool = false'
+echo "ok: tracing is off by default (plain paths use the no-op sinks)"
 
 echo "== corpus hygiene =="
 # Committed seed files must stay in the two-line format with at most
