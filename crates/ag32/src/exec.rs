@@ -6,14 +6,23 @@ use crate::WORD_BYTES;
 
 /// Result of an ALU evaluation: the value plus the flag outputs, when the
 /// function drives them. Only `Add`, `AddWithCarry` and `Sub` update flags.
-pub(crate) struct AluOut {
+pub struct AluOut {
+    /// The computed word.
     pub value: u32,
+    /// New carry flag, when this function drives it.
     pub carry: Option<bool>,
+    /// New overflow flag, when this function drives it.
     pub overflow: Option<bool>,
 }
 
 /// The ALU. Pure: takes the current flags, returns new ones when driven.
-pub(crate) fn alu(func: Func, a: u32, b: u32, carry_in: bool, overflow_in: bool) -> AluOut {
+///
+/// Public so alternative execution engines (the `jet` translation-cache
+/// engine) share the *same* arithmetic as `Next` by construction rather
+/// than by re-implementation.
+#[must_use]
+#[inline]
+pub fn alu(func: Func, a: u32, b: u32, carry_in: bool, overflow_in: bool) -> AluOut {
     let mut carry = None;
     let mut overflow = None;
     let value = match func {
@@ -57,7 +66,10 @@ pub(crate) fn alu(func: Func, a: u32, b: u32, carry_in: bool, overflow_in: bool)
 }
 
 /// Shifter. The shift amount is taken modulo 32, for every kind.
-pub(crate) fn shifter(kind: Shift, a: u32, b: u32) -> u32 {
+/// Public for the same reason as [`alu`].
+#[must_use]
+#[inline]
+pub fn shifter(kind: Shift, a: u32, b: u32) -> u32 {
     let amount = b & 31;
     match kind {
         Shift::Ll => a << amount,

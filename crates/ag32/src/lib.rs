@@ -56,6 +56,7 @@ pub mod trace;
 pub use coverage::{Coverage, EdgeSet, ExecStats, NoCoverage, Opcode};
 pub use disasm::{disassemble, dump};
 pub use encode::{decode, encode};
+pub use exec::{alu, shifter, AluOut};
 pub use insn::{Func, Instr, Reg, Ri, Shift};
 pub use mem::Memory;
 pub use state::{IoEvent, State, StepOutcome};

@@ -7,8 +7,8 @@
 
 use std::collections::HashMap;
 
-const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SHIFT: u32 = 12;
+pub(crate) const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
 /// Sparse 4 GiB memory. Words are little-endian.
 #[derive(Clone, Default)]
@@ -17,6 +17,12 @@ pub struct Memory {
 }
 
 impl Memory {
+    /// Allocation granularity in bytes (4 KiB pages).
+    pub const PAGE_SIZE: usize = PAGE_SIZE;
+
+    /// `log2` of [`Memory::PAGE_SIZE`].
+    pub const PAGE_SHIFT: u32 = PAGE_SHIFT;
+
     /// An empty (all-zero) memory.
     #[must_use]
     pub fn new() -> Self {
@@ -43,8 +49,23 @@ impl Memory {
 
     /// Reads a little-endian word. `addr` is used as given (callers align).
     /// Wraps around the 4 GiB boundary like the hardware bus does.
+    ///
+    /// Fast path: when all four bytes land in the same page (offset
+    /// ≤ `PAGE_SIZE - 4`, which every word-aligned access satisfies)
+    /// this is a single page lookup instead of four.
     #[must_use]
     pub fn read_word(&self, addr: u32) -> u32 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes in page"))
+                }
+                None => 0,
+            };
+        }
+        // Page-crossing (necessarily misaligned) access: byte-wise, with
+        // 4 GiB wraparound.
         u32::from_le_bytes([
             self.read_byte(addr),
             self.read_byte(addr.wrapping_add(1)),
@@ -53,8 +74,18 @@ impl Memory {
         ])
     }
 
-    /// Writes a little-endian word.
+    /// Writes a little-endian word. Same single-page fast path as
+    /// [`Memory::read_word`]: one page lookup for non-crossing accesses.
     pub fn write_word(&mut self, addr: u32, value: u32) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.write_byte(addr.wrapping_add(i as u32), b);
         }
@@ -77,6 +108,17 @@ impl Memory {
     #[must_use]
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// The page indices (address `>> PAGE_SHIFT`) of every resident
+    /// page, sorted ascending. Alternative execution engines (the `jet`
+    /// translation-cache engine) use this to plan a flat resident
+    /// mirror of the image region.
+    #[must_use]
+    pub fn resident_page_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.pages.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 }
 

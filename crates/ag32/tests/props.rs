@@ -175,3 +175,78 @@ testkit::props! {
         }
     }
 }
+
+/// Reference byte-wise word read: what `read_word` must agree with.
+fn read_word_bytewise(m: &Memory, addr: u32) -> u32 {
+    u32::from_le_bytes([
+        m.read_byte(addr),
+        m.read_byte(addr.wrapping_add(1)),
+        m.read_byte(addr.wrapping_add(2)),
+        m.read_byte(addr.wrapping_add(3)),
+    ])
+}
+
+/// Addresses biased toward the interesting cases of the single-page
+/// fast path: word-aligned interior, page boundaries (crossing and
+/// not), and the 4 GiB wrap.
+fn arb_word_addr(c: &mut Ctx) -> u32 {
+    let page = (c.gen_range(0u32..1 << 20)) << Memory::PAGE_SHIFT as u32;
+    match c.choose(4) {
+        // Aligned interior: always the fast path.
+        0 => page | (c.gen_range(0u32..1024) << 2),
+        // Within 4 bytes of a page end: straddles iff misaligned.
+        1 => page
+            .wrapping_add(Memory::PAGE_SIZE as u32)
+            .wrapping_sub(c.gen_range(1u32..=7)),
+        // Within 4 bytes of the 4 GiB boundary: wraps.
+        2 => u32::MAX - c.gen_range(0u32..=6),
+        // Anywhere, any alignment.
+        _ => c.any::<u32>(),
+    }
+}
+
+testkit::props! {
+    /// The single-page fast path of `read_word` agrees with the
+    /// byte-wise path at every address class, including page-crossing
+    /// and 4 GiB-wrap addresses.
+    fn read_word_fast_path_equiv(ctx) {
+        let mut m = Memory::new();
+        for _ in 0..ctx.gen_range(1usize..8) {
+            m.write_byte(arb_word_addr(ctx), ctx.any::<u8>());
+        }
+        let addr = arb_word_addr(ctx);
+        assert_eq!(m.read_word(addr), read_word_bytewise(&m, addr), "addr {addr:#x}");
+    }
+
+    /// The single-page fast path of `write_word` leaves memory in
+    /// exactly the state four byte writes would, at every address class.
+    fn write_word_fast_path_equiv(ctx) {
+        let mut seed = Memory::new();
+        for _ in 0..ctx.gen_range(0usize..4) {
+            seed.write_byte(arb_word_addr(ctx), ctx.any::<u8>());
+        }
+        let addr = arb_word_addr(ctx);
+        let v = ctx.any::<u32>();
+
+        let mut fast = seed.clone();
+        fast.write_word(addr, v);
+
+        let mut slow = seed;
+        for (i, b) in v.to_le_bytes().into_iter().enumerate() {
+            slow.write_byte(addr.wrapping_add(i as u32), b);
+        }
+        assert_eq!(fast, slow, "addr {addr:#x} value {v:#x}");
+        assert_eq!(fast.read_word(addr), read_word_bytewise(&slow, addr));
+    }
+
+    /// Word round-trip through the fast path at aligned addresses
+    /// (the only class the executing machine ever issues).
+    fn write_then_read_word_aligned(ctx) {
+        let addr = arb_word_addr(ctx) & !3;
+        let v = ctx.any::<u32>();
+        let mut m = Memory::new();
+        m.write_word(addr, v);
+        assert_eq!(m.read_word(addr), v);
+        assert_eq!(read_word_bytewise(&m, addr), v);
+    }
+}

@@ -1,0 +1,91 @@
+//! Execution engines: the reference interpreter vs the jet
+//! translation-cache engine on the paper's two heaviest ISA workloads
+//! (§7's R2 sort and R3 compile-gap shapes).
+//!
+//! Both engines implement the same `Next` semantics (theorem J, checked
+//! continuously by `crates/jet`'s shadow mode and the `t-jet` campaign
+//! target); this bench regenerates the *performance* claim: the jet
+//! engine must retire at least 10× the reference interpreter's
+//! instructions per second with byte-identical observable behaviour.
+//! Shadow mode stays OFF on the timed path — it is a checking tool, not
+//! a production configuration (`rc_jet` below carries `shadow: None`
+//! via `RunConfig::default`).
+//!
+//! Emits `BENCH_engines.json` (suite `engines`, one JSON line per
+//! timed entry — see `EXPERIMENTS.md` for the line schema).
+
+use bench::random_lines;
+use silver_stack::{apps, Backend, Engine, RunConfig, Stack, StackResult};
+use testkit::bench::Bench;
+
+/// A sizeable arithmetic program for the mini compiler (the same shape
+/// `compile_gap.rs` uses) so the workload dominates constant overheads.
+fn big_expression() -> Vec<u8> {
+    let mut e = String::from("1");
+    for i in 2..400 {
+        e.push_str(&format!(" + {} * ({} - 2)", i % 97, i % 13));
+    }
+    e.push('\n');
+    e.into_bytes()
+}
+
+/// Asserts the two engines' runs are observationally identical.
+fn assert_identical(name: &str, reference: &StackResult, jet: &StackResult) {
+    assert_eq!(jet.exit_code(), reference.exit_code(), "{name}: exit status");
+    assert_eq!(jet.stdout, reference.stdout, "{name}: stdout bytes");
+    assert_eq!(jet.stderr, reference.stderr, "{name}: stderr bytes");
+    assert_eq!(jet.instructions, reference.instructions, "{name}: retire count");
+    assert_eq!(jet.stats, reference.stats, "{name}: per-opcode retire counters");
+}
+
+fn main() {
+    let stack = Stack::new();
+    let rc_ref = RunConfig::default();
+    let rc_jet = RunConfig { engine: Engine::Jet, ..RunConfig::default() };
+
+    let sort_input = random_lines(1000, 42);
+    let gap_input = big_expression();
+    let workloads: [(&str, &str, Vec<&str>, &[u8]); 2] = [
+        ("sort_1000", apps::SORT, vec!["sort"], &sort_input),
+        ("compile_gap", apps::MINI_COMPILER, vec!["minicc"], &gap_input),
+    ];
+
+    let mut b = Bench::new("engines").sample_size(5).warmup(1);
+    eprintln!("--- execution engines: reference Next vs jet translation cache ---");
+    for (name, src, args, stdin) in workloads {
+        let compiled = stack.compile(src).expect("compiles");
+        let image = stack.load(&compiled, &args, stdin).expect("image");
+
+        // Correctness gate first: byte-identical observable behaviour.
+        let r_ref = stack.run_image(image.clone(), Backend::Isa, &rc_ref).expect("ref runs");
+        let r_jet = stack.run_image(image.clone(), Backend::Isa, &rc_jet).expect("jet runs");
+        assert!(r_ref.exit_code().is_some(), "{name} must exit cleanly: {:?}", r_ref.exit);
+        assert_identical(name, &r_ref, &r_jet);
+        let instructions = r_ref.instructions;
+
+        // Timed: full image-in, result-out runs on each engine.
+        let ref_ns = b
+            .bench(&format!("{name}_ref"), || {
+                stack.run_image(image.clone(), Backend::Isa, &rc_ref).expect("ref").instructions
+            })
+            .median_ns;
+        let jet_ns = b
+            .bench(&format!("{name}_jet"), || {
+                stack.run_image(image.clone(), Backend::Isa, &rc_jet).expect("jet").instructions
+            })
+            .median_ns;
+
+        let ref_ips = instructions as f64 / (ref_ns / 1e9);
+        let jet_ips = instructions as f64 / (jet_ns / 1e9);
+        let speedup = ref_ns / jet_ns;
+        eprintln!("{name}: {instructions} instructions");
+        eprintln!("  ref engine : {ref_ips:>12.0} instructions/s");
+        eprintln!("  jet engine : {jet_ips:>12.0} instructions/s");
+        eprintln!("  speedup    : {speedup:.1}x");
+        assert!(
+            speedup >= 10.0,
+            "{name}: jet must be >=10x the reference engine, got {speedup:.1}x"
+        );
+    }
+    b.finish();
+}

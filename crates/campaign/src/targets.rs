@@ -13,6 +13,7 @@
 //! | `t9` | ISA ↔ circuit lockstep | theorem (9) |
 //! | `t10` | circuit ↔ generated Verilog | theorem (10) |
 //! | `syscall` | oracle ↔ system-call machine code | theorems (11)–(13) |
+//! | `t-jet` | reference `Next` ↔ jet translation-cache engine | theorem J |
 //!
 //! The full end-to-end target (theorem (8)) lives in the `silver-stack`
 //! crate — it needs the stack composition, which sits above this crate.
@@ -295,6 +296,44 @@ impl Target for VerilogTarget {
     }
 }
 
+// ---- theorem J: reference `Next` vs the jet translation-cache engine ----
+
+/// Full-shadow differential run of the [`jet`] engine against the
+/// reference interpreter over random structured machine programs — the
+/// engine-level analogue of `t9`, one layer up: instead of ISA↔circuit,
+/// it relates the two *implementations* of the ISA layer. Every
+/// retire's PC and the whole architectural state are compared; a
+/// divergence fails with the rendered forensics report (divergent
+/// retire index, field deltas, retire tails), which triage then shrinks
+/// like any other failure.
+pub struct JetTarget;
+
+impl Target for JetTarget {
+    fn name(&self) -> &'static str {
+        "t-jet"
+    }
+
+    fn weight(&self) -> u32 {
+        4 // cheap: two software engines, no circuit simulation
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        let state = gen::isa_state(ctx);
+        let fuel: u64 = ctx.gen_range(50u64..=2000);
+
+        // ISA-side coverage run (the spec side of the relation).
+        let mut cov = CovSnap::new();
+        let mut isa = state.clone();
+        isa.run_with(fuel, &mut cov.edges);
+        cov.stats = isa.stats.clone();
+
+        match jet::run_shadow(&state, fuel, 1, 0) {
+            Ok(_) => CaseOutcome::pass(cov),
+            Err(fx) => CaseOutcome::fail(cov, "jet vs isa", fx.render()),
+        }
+    }
+}
+
 // ---- theorems (11)–(13): oracle vs system-call machine code ----
 
 /// Three-way agreement on I/O-performing programs: interpreter with the
@@ -408,14 +447,16 @@ pub fn registry(selection: &str) -> Result<Vec<Box<dyn Target>>, String> {
             out.push(Box::new(LockstepTarget));
             out.push(Box::new(VerilogTarget));
             out.push(Box::new(SyscallTarget));
+            out.push(Box::new(JetTarget));
         }
         "t2" => out.extend(CompilerTarget::matrix().into_iter().map(|t| Box::new(t) as _)),
         "t9" | "lockstep" => out.push(Box::new(LockstepTarget)),
         "t10" | "verilog" => out.push(Box::new(VerilogTarget)),
         "syscall" | "ffi" => out.push(Box::new(SyscallTarget)),
+        "t-jet" | "jet" => out.push(Box::new(JetTarget)),
         other => {
             return Err(format!(
-                "unknown target {other:?}; expected one of: all, t2, t9, t10, syscall"
+                "unknown target {other:?}; expected one of: all, t2, t9, t10, syscall, t-jet"
             ))
         }
     }
@@ -429,9 +470,10 @@ mod tests {
 
     #[test]
     fn registry_resolves_and_rejects() {
-        assert_eq!(registry("all").expect("all").len(), 6);
+        assert_eq!(registry("all").expect("all").len(), 7);
         assert_eq!(registry("t2").expect("t2").len(), 3);
         assert_eq!(registry("t9").expect("t9").len(), 1);
+        assert_eq!(registry("t-jet").expect("t-jet").len(), 1);
         assert!(registry("bogus").is_err());
     }
 
@@ -462,6 +504,20 @@ mod tests {
         let out = LockstepTarget.run_case(&mut ctx);
         assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
         assert!(out.cov.stats.total() > 0);
+    }
+
+    #[test]
+    fn jet_target_passes_and_replays_deterministically() {
+        let mut rng = TestRng::seed_from_u64(0x1E7);
+        let mut ctx = Ctx::recording(&mut rng);
+        let out = JetTarget.run_case(&mut ctx);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.cov.stats.total() > 0);
+
+        let choices = ctx.recorded_choices().to_vec();
+        let again = JetTarget.run_case(&mut Ctx::replaying(&choices));
+        assert_eq!(again.verdict, out.verdict);
+        assert_eq!(again.cov.stats, out.cov.stats);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Failure triage: layer bisection, minimisation, one-line repros.
 //!
 //! The bisection itself happens inside the targets: each compares
-//! adjacent layers top-down (source → ISA → RTL → Verilog), so the
+//! adjacent layers top-down (source → ISA → RTL → Verilog) — plus the
+//! engine axis within the ISA layer (`jet vs isa`, the `t-jet` target's
+//! reference-interpreter ↔ translation-cache comparison) — so the
 //! layer named by a [`Verdict::Fail`](crate::targets::Verdict) is
-//! already the first diverging pair. Triage's job is (a) shrinking the
+//! already the first diverging pair. A `jet vs isa` failure therefore
+//! means the jet *engine* is wrong, never the compiler or circuit: both
+//! sides execute the same ISA semantics. Triage's job is (a) shrinking the
 //! failing choice stream with the testkit minimiser, (b) re-running the
 //! minimal case to refresh the layer attribution (shrinking can move a
 //! failure to an earlier layer — that's the point), and (c) emitting a

@@ -48,7 +48,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|e2e|all]\n\
+        "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|t-jet|e2e|all]\n\
          \x20                 [--shards N] [--budget N|Ns] [--seed N]\n\
          \x20                 [--replay TARGET:HEX,HEX,...|SEEDFILE] [--triage|--no-triage]\n\
          \x20                 [--corpus DIR] [--report FILE] [--regressions FILE]\n\

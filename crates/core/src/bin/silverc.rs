@@ -2,7 +2,8 @@
 //! command line.
 //!
 //! ```sh
-//! silverc prog.cml [--backend isa|rtl|verilog] [--arg ARG]...
+//! silverc prog.cml [--backend isa|rtl|verilog] [--engine ref|jet]
+//!         [--shadow] [--shadow-every N] [--arg ARG]...
 //!         [--stdin FILE] [--gc] [--no-tail-calls] [--no-direct-calls]
 //!         [--stats] [--trace] [--trace-syscalls] [--vcd FILE]
 //!         [--profile FILE]
@@ -12,6 +13,15 @@
 //! with the program's exit code. `--backend rtl` runs on the circuit-
 //! level Silver CPU, `verilog` under the Verilog semantics (slow; small
 //! programs only).
+//!
+//! `--engine jet` (ISA backend only) executes on the translation-cache
+//! engine instead of the step-at-a-time reference interpreter — same
+//! `Next` semantics, roughly an order of magnitude faster. `--shadow`
+//! additionally runs the reference interpreter in lockstep and aborts
+//! with a forensics report on the first divergence (theorem J as a
+//! runtime check); `--shadow-every N` compares the full register file
+//! only every N retires (the PC still every retire) for a cheaper
+//! check.
 //!
 //! `--stats` prints the retired-instruction count, the clock-cycle
 //! count (circuit backends), and — on the ISA backend — a per-opcode
@@ -37,11 +47,13 @@ use std::io::{Read as _, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use silver_stack::{Backend, ExitStatus, Observe, RunConfig, Stack};
+use silver_stack::{Backend, Engine, ExitStatus, Observe, RunConfig, Stack};
 
 struct Options {
     file: String,
     backend: Backend,
+    engine: Engine,
+    shadow: Option<u64>,
     args: Vec<String>,
     stdin: Vec<u8>,
     stats: bool,
@@ -54,7 +66,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: silverc FILE [--backend isa|rtl|verilog] [--arg ARG]... \
+        "usage: silverc FILE [--backend isa|rtl|verilog] [--engine ref|jet] \
+         [--shadow] [--shadow-every N] [--arg ARG]... \
          [--stdin FILE|-] [--gc] [--no-tail-calls] [--no-direct-calls] [--no-const-fold] \
          [--stats] [--trace] [--trace-syscalls] [--vcd FILE] [--profile FILE|-]"
     );
@@ -66,6 +79,8 @@ fn parse_args() -> Options {
     let mut opts = Options {
         file: String::new(),
         backend: Backend::Isa,
+        engine: Engine::Ref,
+        shadow: None,
         args: Vec::new(),
         stdin: Vec::new(),
         stats: false,
@@ -85,6 +100,18 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--engine" => {
+                opts.engine = match args.next().as_deref() {
+                    Some("ref") => Engine::Ref,
+                    Some("jet") => Engine::Jet,
+                    _ => usage(),
+                }
+            }
+            "--shadow" => opts.shadow = Some(1),
+            "--shadow-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => opts.shadow = Some(n),
+                _ => usage(),
+            },
             "--arg" => match args.next() {
                 Some(v) => opts.args.push(v),
                 None => usage(),
@@ -136,6 +163,14 @@ fn parse_args() -> Options {
         eprintln!("silverc: --trace-syscalls requires --backend isa");
         std::process::exit(2);
     }
+    if opts.engine == Engine::Jet && opts.backend != Backend::Isa {
+        eprintln!("silverc: --engine jet requires --backend isa");
+        std::process::exit(2);
+    }
+    if opts.shadow.is_some() && opts.engine != Engine::Jet {
+        eprintln!("silverc: --shadow/--shadow-every require --engine jet");
+        std::process::exit(2);
+    }
     opts
 }
 
@@ -161,12 +196,13 @@ fn main() -> ExitCode {
         syscalls: opts.trace_syscalls,
         vcd: opts.vcd.clone(),
     };
+    let rc = RunConfig { engine: opts.engine, shadow: opts.shadow, ..RunConfig::default() };
     let (result, obs) = match opts.stack.run_source_observed(
         &src,
         &argv,
         &opts.stdin,
         opts.backend,
-        &RunConfig::default(),
+        &rc,
         &ocfg,
     ) {
         Ok(r) => r,

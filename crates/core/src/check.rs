@@ -17,7 +17,7 @@ use basis::{BasisHost, ExitStatus, FsState};
 use cakeml::frontend;
 use silver::lockstep::run_lockstep;
 
-use crate::stack::{Backend, RunConfig, Stack, StackError, StackResult};
+use crate::stack::{Backend, Engine, RunConfig, Stack, StackError, StackResult};
 
 /// One layer of the paper's Figure-1 stack, as exercised by the checker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -26,6 +26,9 @@ pub enum Layer {
     Source,
     /// The Silver ISA `Next` function.
     Isa,
+    /// The [`jet`] translation-cache implementation of the ISA layer —
+    /// same `Next` semantics, different engine (theorem J).
+    Jet,
     /// The circuit-level CPU implementation.
     Rtl,
     /// The generated deep-embedded Verilog.
@@ -41,6 +44,7 @@ impl Layer {
         match self {
             Layer::Source => "source",
             Layer::Isa => "isa",
+            Layer::Jet => "jet",
             Layer::Rtl => "rtl",
             Layer::Verilog => "verilog",
             Layer::Lockstep => "lockstep",
@@ -129,11 +133,22 @@ pub struct CheckOptions {
     pub lockstep_instructions: u64,
     /// Interpreter fuel.
     pub interp_fuel: u64,
+    /// Which implementation executes the ISA layer. With
+    /// [`Engine::Jet`] the translation-cache engine runs the image and
+    /// ISA-level failures are attributed to [`Layer::Jet`], so triage
+    /// distinguishes "jet engine diverged" from "ISA semantics
+    /// diverged".
+    pub engine: Engine,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { verilog: false, lockstep_instructions: 0, interp_fuel: 2_000_000_000 }
+        CheckOptions {
+            verilog: false,
+            lockstep_instructions: 0,
+            interp_fuel: 2_000_000_000,
+            engine: Engine::Ref,
+        }
     }
 }
 
@@ -214,7 +229,13 @@ pub fn check_end_to_end(
     stdin: &[u8],
     opts: &CheckOptions,
 ) -> Result<EndToEndReport, CheckFailure> {
-    let rc = RunConfig::default();
+    let rc = RunConfig { engine: opts.engine, ..RunConfig::default() };
+    // Failures of the ISA-level run are attributed to the engine that
+    // actually executed it.
+    let isa_layer = match opts.engine {
+        Engine::Ref => Layer::Isa,
+        Engine::Jet => Layer::Jet,
+    };
 
     // Source semantics (the specification side of theorem (1)).
     let (prog, _) = frontend(src, &stack.compiler).map_err(|e| err(Layer::Source, e.to_string()))?;
@@ -229,17 +250,17 @@ pub fn check_end_to_end(
         .load(&compiled, args, stdin)
         .map_err(|e| err(Layer::Source, e.to_string()))?;
 
-    // ISA level (theorem (6)).
+    // ISA level (theorem (6)); under `Engine::Jet`, also theorem J.
     let isa = stack
         .run_image(image.clone(), Backend::Isa, &rc)
-        .map_err(|e| err(Layer::Isa, e.to_string()))?;
-    let isa_code = expect_exit(Layer::Isa, &isa)?;
+        .map_err(|e| err(isa_layer, e.to_string()))?;
+    let isa_code = expect_exit(isa_layer, &isa)?;
     compare_behaviour(
         Layer::Source,
         interp.exit_code,
         &spec_out,
         &spec_err,
-        Layer::Isa,
+        isa_layer,
         isa_code,
         &isa.stdout_utf8(),
         &isa.stderr_utf8(),
@@ -251,7 +272,7 @@ pub fn check_end_to_end(
         .map_err(|e| err(Layer::Rtl, e.to_string()))?;
     let rtl_code = expect_exit(Layer::Rtl, &rtl)?;
     compare_behaviour(
-        Layer::Isa,
+        isa_layer,
         isa_code,
         &isa.stdout_utf8(),
         &isa.stderr_utf8(),
@@ -268,7 +289,7 @@ pub fn check_end_to_end(
             .map_err(|e| err(Layer::Verilog, e.to_string()))?;
         let v_code = expect_exit(Layer::Verilog, &v)?;
         compare_behaviour(
-            Layer::Isa,
+            isa_layer,
             isa_code,
             &isa.stdout_utf8(),
             &isa.stderr_utf8(),

@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn full_registry_adds_the_stack_target() {
-        assert_eq!(full_registry("all").expect("all").len(), 7);
+        assert_eq!(full_registry("all").expect("all").len(), 8);
         assert_eq!(full_registry("e2e").expect("e2e").len(), 1);
         assert_eq!(full_registry("t2").expect("t2").len(), 3);
         let err = match full_registry("bogus") {

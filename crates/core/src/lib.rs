@@ -49,4 +49,4 @@ pub use check::{
     EndToEndReport, Layer, Workload,
 };
 pub use fuzz::{full_registry, EndToEndTarget};
-pub use stack::{Backend, Observations, Observe, RunConfig, Stack, StackError, StackResult};
+pub use stack::{Backend, Engine, Observations, Observe, RunConfig, Stack, StackError, StackResult};

@@ -24,6 +24,34 @@ pub enum Backend {
     Verilog,
 }
 
+/// Which *implementation* of the ISA layer executes the program when
+/// [`Backend::Isa`] is selected. Both implement the same `Next`
+/// semantics; [`Engine::Jet`] trades the step-at-a-time reference
+/// interpreter for a predecoded translation cache (theorem J: jet ≡
+/// Next, checkable at runtime via [`RunConfig::shadow`]). The hardware
+/// backends ignore this field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The reference interpreter (`ag32::State::next`), one decoded
+    /// instruction at a time. The specification-side engine.
+    #[default]
+    Ref,
+    /// The [`jet`] translation-cache engine: decode once per basic
+    /// block, execute lowered ops, invalidate on self-modifying stores.
+    Jet,
+}
+
+impl Engine {
+    /// Stable lower-case name used by `silverc --engine` and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Ref => "ref",
+            Engine::Jet => "jet",
+        }
+    }
+}
+
 /// Execution limits and environment behaviour.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -33,6 +61,16 @@ pub struct RunConfig {
     pub max_cycles: u64,
     /// Lab-environment behaviour for the hardware backends.
     pub env: MemEnvConfig,
+    /// ISA-layer implementation ([`Backend::Isa`] only).
+    pub engine: Engine,
+    /// Shadow-mode differential checking for [`Engine::Jet`]:
+    /// `Some(1)` runs the reference interpreter in lockstep and
+    /// compares the full architectural state after every retire,
+    /// `Some(n)` compares every `n` retires (the PC still every
+    /// retire), `None` (default) runs the jet engine alone. A
+    /// divergence surfaces as [`StackError::Divergence`] carrying the
+    /// forensics report. Ignored for [`Engine::Ref`].
+    pub shadow: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -41,6 +79,8 @@ impl Default for RunConfig {
             fuel: 4_000_000_000,
             max_cycles: 4_000_000_000,
             env: MemEnvConfig { mem_latency: Latency::Fixed(0), ..MemEnvConfig::default() },
+            engine: Engine::Ref,
+            shadow: None,
         }
     }
 }
@@ -98,6 +138,10 @@ pub enum StackError {
     Hardware(LockstepError),
     /// An observability sink (VCD/profile file) failed.
     Io(std::io::Error),
+    /// Shadow mode caught the jet engine diverging from the reference
+    /// interpreter — theorem J violated. Carries the full forensics
+    /// report (divergent retire index, differing fields, retire tails).
+    Divergence(Box<obs::Forensics>),
 }
 
 impl fmt::Display for StackError {
@@ -107,6 +151,7 @@ impl fmt::Display for StackError {
             StackError::Image(e) => write!(f, "image: {e}"),
             StackError::Hardware(e) => write!(f, "hardware: {e}"),
             StackError::Io(e) => write!(f, "io: {e}"),
+            StackError::Divergence(fx) => write!(f, "shadow divergence:\n{}", fx.render()),
         }
     }
 }
@@ -246,10 +291,13 @@ impl Stack {
         rc: &RunConfig,
     ) -> Result<StackResult, StackError> {
         match backend {
-            Backend::Isa => {
-                let r = run_to_halt(image, &self.layout, rc.fuel);
-                Ok(isa_result(r))
-            }
+            Backend::Isa => match rc.engine {
+                Engine::Ref => {
+                    let r = run_to_halt(image, &self.layout, rc.fuel);
+                    Ok(isa_result(r))
+                }
+                Engine::Jet => self.jet_result(image, rc),
+            },
             Backend::Rtl => {
                 let (rtl_state, env, cycles) =
                     silver::run_rtl_program(&image, rc.env.clone(), rc.max_cycles)?;
@@ -308,6 +356,12 @@ impl Stack {
         let mut obs = Observations::default();
         let result = match backend {
             Backend::Isa => {
+                // The observers below hook the reference interpreter.
+                // Under the jet engine the observations still come from
+                // a reference pass (execution is deterministic and
+                // theorem-J-equivalent) but the *result* comes from the
+                // selected engine, so `--stats` etc. reflect it.
+                let jet_image = (rc.engine == Engine::Jet).then(|| image.clone());
                 // The syscall trace needs its own pure-`Next` pass (it
                 // watches FFI entry PCs); execution is deterministic, so
                 // a clone of the image observes the same run.
@@ -363,7 +417,10 @@ impl Stack {
                     }
                     (false, false) => run_to_halt(image, &self.layout, rc.fuel),
                 };
-                isa_result(r)
+                match jet_image {
+                    Some(img) => self.jet_result(img, rc)?,
+                    None => isa_result(r),
+                }
             }
             Backend::Rtl => {
                 let circuit = silver::silver_cpu();
@@ -485,6 +542,43 @@ impl Stack {
             }
         };
         Ok((result, obs))
+    }
+
+    /// Runs a loaded image on the [`jet`] translation-cache engine,
+    /// classifying the end state exactly like the reference machine
+    /// runner does. When [`RunConfig::shadow`] is set, a lockstep
+    /// shadow run against `ag32::State::next` happens first and any
+    /// divergence aborts with the forensics report — the plain run only
+    /// proceeds once theorem J held over the whole execution.
+    fn jet_result(&self, image: State, rc: &RunConfig) -> Result<StackResult, StackError> {
+        if let Some(sample) = rc.shadow {
+            jet::run_shadow(&image, rc.fuel, sample, 0).map_err(StackError::Divergence)?;
+        }
+        let mut j = jet::Jet::from_state(&image);
+        let retired = j.run(rc.fuel);
+        // Classify straight off the engine: everything the verdict needs
+        // (halt probe, exit-code word, PC, streams, stats) is readable
+        // without the full `into_state` memory write-back, which would
+        // cost more than the run itself on short workloads.
+        let (stdout, stderr) = extract_streams(&j.io_events);
+        let exit = if retired == rc.fuel && !j.is_halted() {
+            ExitStatus::OutOfFuel
+        } else {
+            let code = j.mem().read_word(self.layout.exit_code_addr);
+            if j.pc == self.layout.halt_addr && code != basis::image::EXIT_UNSET {
+                ExitStatus::Exited(code as u8)
+            } else {
+                ExitStatus::Wedged
+            }
+        };
+        Ok(StackResult {
+            exit,
+            stdout,
+            stderr,
+            instructions: retired,
+            cycles: None,
+            stats: Some(j.stats),
+        })
     }
 
     fn rtl_result(

@@ -1,0 +1,208 @@
+//! Lowered instructions and basic blocks for the translation cache.
+//!
+//! [`lower`] turns one decoded [`ag32::Instr`] into an [`Op`]: the same
+//! semantics with all decode-time work — operand extraction, immediate
+//! sign-extension, `LoadConstant` negation, `LoadUpperConstant` shifting
+//! — hoisted out of the execution loop. A [`Block`] is a maximal run of
+//! lowered ops ending at the first control-flow instruction (or at the
+//! [`BLOCK_CAP`] / mirror boundary), plus the self-modifying-code
+//! metadata needed to validate it cheaply on entry: the mirrored pages
+//! it decodes from with their generation snapshots, and a monomorphic
+//! inline cache of the successor block for chaining.
+
+use ag32::{Func, Instr, Opcode, Ri, Shift};
+
+/// Longest block, in instructions. 64 instructions is 256 bytes, so a
+/// block spans at most two 4 KiB pages.
+pub const BLOCK_CAP: usize = 64;
+
+/// A pre-extracted register-or-immediate operand. Immediates are
+/// sign-extended to a full word at decode time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// Read the operand from register `.0`.
+    R(u8),
+    /// A pre-extended immediate.
+    I(u32),
+}
+
+impl From<Ri> for Src {
+    fn from(ri: Ri) -> Src {
+        match ri {
+            Ri::Reg(r) => Src::R(r.index() as u8),
+            Ri::Imm(v) => Src::I(v as i32 as u32),
+        }
+    }
+}
+
+/// One lowered instruction. Field meanings mirror [`ag32::Instr`];
+/// everything an operand fetch would compute is precomputed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `R[w] := alu(func, a, b)`.
+    Normal { func: Func, w: u8, a: Src, b: Src },
+    /// `R[w] := shift(kind, a, b mod 32)`.
+    Shift { kind: Shift, w: u8, a: Src, b: Src },
+    /// `mem[align4(b)] := a`.
+    StoreMem { a: Src, b: Src },
+    /// `mem[b] := low byte of a`.
+    StoreMemByte { a: Src, b: Src },
+    /// `R[w] := mem[align4(a)]`.
+    LoadMem { w: u8, a: Src },
+    /// `R[w] := zero-extended mem[a]`.
+    LoadMemByte { w: u8, a: Src },
+    /// `R[w] := data_in`.
+    In { w: u8 },
+    /// `v := alu(func, a, b); R[w] := v; data_out := v`.
+    Out { func: Func, w: u8, a: Src, b: Src },
+    /// `R[w] := accel(a)`.
+    Accel { w: u8, a: Src },
+    /// `R[w] := PC + 4; PC := alu(func, PC, a)`. Block terminator; the
+    /// executor checks the halt conditions (`Snd` self-jump, `Add`
+    /// zero offset) *before* executing, like the reference run loop.
+    Jump { func: Func, w: u8, a: Src },
+    /// `if alu(func, a, b) == 0 { PC += off } else { PC += 4 }`.
+    JumpIfZero { func: Func, off: Src, a: Src, b: Src },
+    /// `if alu(func, a, b) != 0 { PC += off } else { PC += 4 }`.
+    JumpIfNotZero { func: Func, off: Src, a: Src, b: Src },
+    /// `R[w] := value` (negation already applied).
+    LoadConst { w: u8, value: u32 },
+    /// `R[w] := mask | (R[w] & 0x7F_FFFF)` (immediate already shifted).
+    LoadUpper { w: u8, mask: u32 },
+    /// Push an I/O-window snapshot onto the event trace.
+    Interrupt,
+    /// Illegal instruction: wedges the machine. Block terminator.
+    Reserved,
+}
+
+impl Op {
+    /// The instruction class, for the engine's [`ag32::ExecStats`].
+    #[must_use]
+    pub fn opcode(self) -> Opcode {
+        match self {
+            Op::Normal { .. } => Opcode::Normal,
+            Op::Shift { .. } => Opcode::Shift,
+            Op::StoreMem { .. } => Opcode::StoreMem,
+            Op::StoreMemByte { .. } => Opcode::StoreMemByte,
+            Op::LoadMem { .. } => Opcode::LoadMem,
+            Op::LoadMemByte { .. } => Opcode::LoadMemByte,
+            Op::In { .. } => Opcode::In,
+            Op::Out { .. } => Opcode::Out,
+            Op::Accel { .. } => Opcode::Accelerator,
+            Op::Jump { .. } => Opcode::Jump,
+            Op::JumpIfZero { .. } => Opcode::JumpIfZero,
+            Op::JumpIfNotZero { .. } => Opcode::JumpIfNotZero,
+            Op::LoadConst { .. } => Opcode::LoadConstant,
+            Op::LoadUpper { .. } => Opcode::LoadUpperConstant,
+            Op::Interrupt => Opcode::Interrupt,
+            Op::Reserved => Opcode::Reserved,
+        }
+    }
+
+    /// Whether this op ends a block (transfers or wedges control).
+    #[must_use]
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Op::Jump { .. } | Op::JumpIfZero { .. } | Op::JumpIfNotZero { .. } | Op::Reserved
+        )
+    }
+}
+
+/// Lowers one decoded instruction.
+#[must_use]
+pub fn lower(i: Instr) -> Op {
+    let w8 = |w: ag32::Reg| w.index() as u8;
+    match i {
+        Instr::Normal { func, w, a, b } => Op::Normal { func, w: w8(w), a: a.into(), b: b.into() },
+        Instr::Shift { kind, w, a, b } => Op::Shift { kind, w: w8(w), a: a.into(), b: b.into() },
+        Instr::StoreMem { a, b } => Op::StoreMem { a: a.into(), b: b.into() },
+        Instr::StoreMemByte { a, b } => Op::StoreMemByte { a: a.into(), b: b.into() },
+        Instr::LoadMem { w, a } => Op::LoadMem { w: w8(w), a: a.into() },
+        Instr::LoadMemByte { w, a } => Op::LoadMemByte { w: w8(w), a: a.into() },
+        Instr::In { w } => Op::In { w: w8(w) },
+        Instr::Out { func, w, a, b } => Op::Out { func, w: w8(w), a: a.into(), b: b.into() },
+        Instr::Accelerator { w, a } => Op::Accel { w: w8(w), a: a.into() },
+        Instr::Jump { func, w, a } => Op::Jump { func, w: w8(w), a: a.into() },
+        Instr::JumpIfZero { func, w, a, b } => {
+            Op::JumpIfZero { func, off: w.into(), a: a.into(), b: b.into() }
+        }
+        Instr::JumpIfNotZero { func, w, a, b } => {
+            Op::JumpIfNotZero { func, off: w.into(), a: a.into(), b: b.into() }
+        }
+        Instr::LoadConstant { w, negate, imm } => Op::LoadConst {
+            w: w8(w),
+            value: if negate { imm.wrapping_neg() } else { imm },
+        },
+        Instr::LoadUpperConstant { w, imm } => {
+            Op::LoadUpper { w: w8(w), mask: u32::from(imm) << 23 }
+        }
+        Instr::Interrupt => Op::Interrupt,
+        Instr::Reserved => Op::Reserved,
+    }
+}
+
+/// A decoded, validated-on-entry basic block of the translation cache.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Fetch address of `ops[0]` (word-aligned, inside the mirror).
+    pub start: u32,
+    /// The lowered instructions; at most [`BLOCK_CAP`], ending at the
+    /// first terminator (or the cap / mirror boundary).
+    pub ops: Vec<Op>,
+    /// The mirrored pages this block decodes from (`first ≤ last`,
+    /// at most two pages) with their generation snapshots.
+    pub pages: [(u32, u32); 2],
+    /// Monomorphic successor cache: `(expected next PC, arena index)`.
+    pub succ: Option<(u32, u32)>,
+}
+
+impl Block {
+    /// Whether the generation snapshots still match `gen_of` — i.e. no
+    /// store has hit the block's pages since it was decoded.
+    #[inline]
+    #[must_use]
+    pub fn valid(&self, gen_of: impl Fn(usize) -> u32) -> bool {
+        self.pages.iter().all(|&(p, g)| gen_of(p as usize) == g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag32::Reg;
+
+    #[test]
+    fn lowering_precomputes_operands() {
+        // Immediate sign extension happens at decode time.
+        let op = lower(Instr::Normal {
+            func: Func::Add,
+            w: Reg::new(3),
+            a: Ri::Imm(-1),
+            b: Ri::Reg(Reg::new(7)),
+        });
+        assert_eq!(op, Op::Normal { func: Func::Add, w: 3, a: Src::I(u32::MAX), b: Src::R(7) });
+        // Negated constants are folded.
+        let op = lower(Instr::LoadConstant { w: Reg::new(1), negate: true, imm: 5 });
+        assert_eq!(op, Op::LoadConst { w: 1, value: 5u32.wrapping_neg() });
+        // Upper-constant shifting is folded.
+        let op = lower(Instr::LoadUpperConstant { w: Reg::new(1), imm: 0x1FF });
+        assert_eq!(op, Op::LoadUpper { w: 1, mask: 0x1FFu32 << 23 });
+    }
+
+    #[test]
+    fn terminators_and_opcodes() {
+        let jump = lower(Instr::Jump { func: Func::Snd, w: Reg::new(0), a: Ri::Imm(0) });
+        assert!(jump.is_terminator());
+        assert_eq!(jump.opcode(), Opcode::Jump);
+        assert!(lower(Instr::Reserved).is_terminator());
+        let add = lower(Instr::Normal {
+            func: Func::Add,
+            w: Reg::new(0),
+            a: Ri::Imm(0),
+            b: Ri::Imm(0),
+        });
+        assert!(!add.is_terminator());
+        assert_eq!(lower(Instr::Interrupt).opcode(), Opcode::Interrupt);
+    }
+}

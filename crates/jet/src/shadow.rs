@@ -1,0 +1,274 @@
+//! Shadow mode: theorem J as an executable obligation.
+//!
+//! [`run_shadow`] runs the reference interpreter (`ag32::State::next`)
+//! and the [`Jet`] engine in lockstep over the same image. The PC is
+//! compared after *every* retired instruction; the full architectural
+//! register file, flags and port state every `sample` retires
+//! (`sample == 1` is full shadow); and at the end of the run — halt,
+//! wedge or fuel exhaustion — the complete states including memory and
+//! the I/O-event traces must agree.
+//!
+//! On the first divergence the checker stops and renders an
+//! [`obs::Forensics`] report naming the divergent retire index, every
+//! differing field with both values, and the last retires on each side
+//! — the same report shape the ISA↔RTL lockstep (t9) emits, so triage
+//! tooling reads both uniformly.
+
+use std::collections::VecDeque;
+
+use ag32::{Instr, State};
+use obs::{Forensics, RegDelta};
+
+use crate::engine::Jet;
+
+/// How many retires each side keeps for the forensics tail.
+const TAIL: usize = 8;
+
+/// Statistics from a clean shadow run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShadowReport {
+    /// Instructions retired (identically on both sides).
+    pub retired: u64,
+    /// How many full register-file comparisons were performed.
+    pub full_compares: u64,
+}
+
+fn hex(v: u32) -> String {
+    format!("{v:#010x}")
+}
+
+fn tail_line(seq: u64, pc: u32, instr: &Instr) -> String {
+    format!("#{seq} {} {instr}", hex(pc))
+}
+
+fn push_tail(tail: &mut VecDeque<String>, line: String) {
+    if tail.len() == TAIL {
+        tail.pop_front();
+    }
+    tail.push_back(line);
+}
+
+/// Compares registers, flags and ports (not memory); returns deltas.
+fn arch_deltas(spec: &State, jet: &Jet) -> Vec<RegDelta> {
+    let mut deltas = Vec::new();
+    let mut push = |field: &str, s: String, i: String| {
+        deltas.push(RegDelta { field: field.to_string(), spec: s, impl_: i });
+    };
+    if spec.pc != jet.pc {
+        push("pc", hex(spec.pc), hex(jet.pc));
+    }
+    for r in 0..ag32::NUM_REGS {
+        if spec.regs[r] != jet.regs[r] {
+            push(&format!("r{r}"), hex(spec.regs[r]), hex(jet.regs[r]));
+        }
+    }
+    if spec.carry != jet.carry {
+        push("carry", spec.carry.to_string(), jet.carry.to_string());
+    }
+    if spec.overflow != jet.overflow {
+        push("overflow", spec.overflow.to_string(), jet.overflow.to_string());
+    }
+    if spec.data_out != jet.data_out {
+        push("data_out", hex(spec.data_out), hex(jet.data_out));
+    }
+    if spec.io_events.len() != jet.io_events.len() {
+        push(
+            "io_events.len",
+            spec.io_events.len().to_string(),
+            jet.io_events.len().to_string(),
+        );
+    }
+    deltas
+}
+
+/// First differing memory byte between two reference memories, if any.
+fn first_mem_delta(spec: &ag32::Memory, jet: &ag32::Memory) -> Option<RegDelta> {
+    let mut ids: Vec<u32> = spec.resident_page_ids();
+    for id in jet.resident_page_ids() {
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    let page = ag32::Memory::PAGE_SIZE as u32;
+    for id in ids {
+        let base = id << ag32::Memory::PAGE_SHIFT;
+        for off in 0..page {
+            let addr = base.wrapping_add(off);
+            let (s, j) = (spec.read_byte(addr), jet.read_byte(addr));
+            if s != j {
+                return Some(RegDelta {
+                    field: format!("mem[{:#010x}]", addr),
+                    spec: format!("{s:#04x}"),
+                    impl_: format!("{j:#04x}"),
+                });
+            }
+        }
+    }
+    None
+}
+
+struct Shadow {
+    spec: State,
+    jet: Jet,
+    spec_tail: VecDeque<String>,
+    jet_tail: VecDeque<String>,
+    retired: u64,
+    full_compares: u64,
+}
+
+impl Shadow {
+    fn forensics(&self, deltas: Vec<RegDelta>, note: Option<String>) -> Box<Forensics> {
+        let mut fx = Forensics::new("theorem J: jet \u{2261} Next", "isa", "jet");
+        fx.divergent_step = Some(self.retired);
+        fx.deltas = deltas;
+        fx.spec_tail = self.spec_tail.iter().cloned().collect();
+        fx.impl_tail = self.jet_tail.iter().cloned().collect();
+        if let Some(n) = note {
+            fx.notes.push(n);
+        }
+        Box::new(fx)
+    }
+}
+
+/// Runs theorem J over `image` for up to `fuel` instructions.
+///
+/// `sample` controls full architectural comparison frequency: `1`
+/// compares the whole register file after every retire (full shadow);
+/// `N > 1` compares every N retires (the PC is still compared on every
+/// retire); `0` compares only at the end. Memory and I/O traces are
+/// always compared at the end of the run.
+///
+/// `alu_fault_xor` is forwarded to [`Jet::alu_fault_xor`] — pass `0`
+/// for a real check; tests pass a single bit to prove the oracle
+/// catches injected executor bugs.
+///
+/// # Errors
+///
+/// The first divergence, as a rendered-ready [`Forensics`] report.
+pub fn run_shadow(
+    image: &State,
+    fuel: u64,
+    sample: u64,
+    alu_fault_xor: u32,
+) -> Result<ShadowReport, Box<Forensics>> {
+    let mut sh = Shadow {
+        spec: image.clone(),
+        jet: Jet::from_state(image),
+        spec_tail: VecDeque::new(),
+        jet_tail: VecDeque::new(),
+        retired: 0,
+        full_compares: 0,
+    };
+    sh.jet.alu_fault_xor = alu_fault_xor;
+
+    while sh.retired < fuel {
+        let spec_stops =
+            sh.spec.is_halted() || sh.spec.current_instr() == ag32::Instr::Reserved;
+        if spec_stops {
+            let jet_retired = sh.jet.run(1);
+            if jet_retired != 0 {
+                return Err(sh.forensics(
+                    arch_deltas(&sh.spec, &sh.jet),
+                    Some(format!(
+                        "isa halted at pc {} but jet retired an instruction",
+                        hex(sh.spec.pc)
+                    )),
+                ));
+            }
+            break;
+        }
+        push_tail(
+            &mut sh.spec_tail,
+            tail_line(sh.retired, sh.spec.pc, &sh.spec.current_instr()),
+        );
+        push_tail(&mut sh.jet_tail, tail_line(sh.retired, sh.jet.pc, &sh.jet.fetch_instr()));
+        sh.spec.next();
+        let jet_retired = sh.jet.run(1);
+        if jet_retired == 0 {
+            return Err(sh.forensics(
+                arch_deltas(&sh.spec, &sh.jet),
+                Some(format!("jet halted at pc {} but isa retired", hex(sh.jet.pc))),
+            ));
+        }
+        sh.retired += 1;
+        if sh.jet.pc != sh.spec.pc {
+            return Err(sh.forensics(arch_deltas(&sh.spec, &sh.jet), None));
+        }
+        if sample > 0 && sh.retired % sample == 0 {
+            sh.full_compares += 1;
+            let deltas = arch_deltas(&sh.spec, &sh.jet);
+            if !deltas.is_empty() {
+                return Err(sh.forensics(deltas, None));
+            }
+        }
+    }
+
+    // End of run: full architectural + memory + I/O-trace comparison.
+    sh.full_compares += 1;
+    let jet_state = sh.jet.to_state();
+    let mut deltas = arch_deltas(&sh.spec, &sh.jet);
+    if sh.spec.io_events != jet_state.io_events {
+        deltas.push(RegDelta {
+            field: "io_events".to_string(),
+            spec: format!("{} events", sh.spec.io_events.len()),
+            impl_: format!("{} events", jet_state.io_events.len()),
+        });
+    }
+    if sh.spec.mem != jet_state.mem {
+        deltas.push(first_mem_delta(&sh.spec.mem, &jet_state.mem).unwrap_or(RegDelta {
+            field: "mem".to_string(),
+            spec: "(differs)".to_string(),
+            impl_: "(differs)".to_string(),
+        }));
+    }
+    if !deltas.is_empty() {
+        return Err(sh.forensics(deltas, Some("final-state comparison".to_string())));
+    }
+    Ok(ShadowReport { retired: sh.retired, full_compares: sh.full_compares })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag32::asm::Assembler;
+    use ag32::{Func, Reg, Ri};
+
+    fn looped_image() -> State {
+        let mut a = Assembler::new(0);
+        let r1 = Reg::new(1);
+        a.li(r1, 0);
+        a.label("loop");
+        a.normal(Func::Add, r1, Ri::Reg(r1), Ri::Imm(1));
+        a.li(Reg::new(2), 25);
+        a.branch_nonzero_sub(Ri::Reg(r1), Ri::Reg(Reg::new(2)), "loop", Reg::new(60));
+        a.halt(Reg::new(61));
+        let mut s = State::new();
+        s.mem.write_bytes(0, &a.assemble().expect("assembles"));
+        s
+    }
+
+    #[test]
+    fn clean_program_passes_full_shadow() {
+        let report = run_shadow(&looped_image(), 10_000, 1, 0).expect("theorem J holds");
+        assert!(report.retired > 50);
+        assert_eq!(report.full_compares, report.retired + 1);
+    }
+
+    #[test]
+    fn sampled_shadow_still_checks_every_pc() {
+        let report = run_shadow(&looped_image(), 10_000, 16, 0).expect("theorem J holds");
+        assert!(report.full_compares < report.retired);
+    }
+
+    #[test]
+    fn injected_fault_is_caught_with_divergent_retire_named() {
+        let fx = run_shadow(&looped_image(), 10_000, 1, 1 << 7)
+            .expect_err("a one-bit ALU fault must be caught");
+        assert!(fx.divergent_step.is_some(), "forensics names the divergent retire");
+        assert!(!fx.deltas.is_empty());
+        let text = fx.render();
+        assert!(text.contains("divergent step"), "{text}");
+        assert!(text.contains("jet"), "{text}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Self-modifying-code coverage for the translation cache (ISSUE 5
+//! satellite): stores into the currently-executing block, into the next
+//! block, and into an already-cached distant block must all invalidate
+//! correctly — generation-counter bump observed, re-decode verified by
+//! the executed (patched) semantics, and every final state equal to the
+//! reference interpreter's.
+
+use ag32::{encode, Func, Instr, Reg, Ri, State};
+use ag32::asm::Assembler;
+use jet::Jet;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Runs both engines on `image` and asserts ISA-visible equality.
+fn assert_equiv(image: &State, fuel: u64) -> (State, Jet) {
+    let mut spec = image.clone();
+    let spec_n = spec.run(fuel);
+    let mut j = Jet::from_state(image);
+    let jet_n = j.run(fuel);
+    assert_eq!(jet_n, spec_n, "retire counts");
+    let js = j.to_state();
+    assert!(
+        js.isa_visible_eq(&spec),
+        "jet pc {:#x} vs spec pc {:#x}; regs differ: {:?}",
+        js.pc,
+        spec.pc,
+        (0..8).map(|i| (js.regs[i], spec.regs[i])).collect::<Vec<_>>()
+    );
+    (spec, j)
+}
+
+#[test]
+fn store_into_currently_executing_block() {
+    // The store patches an instruction *later in the same block*, before
+    // it executes: the engine must abort the block at the store and
+    // re-decode from the patched site.
+    let patched = encode(Instr::Normal {
+        func: Func::Add,
+        w: r(3),
+        a: Ri::Imm(1),
+        b: Ri::Imm(2),
+    });
+    let mut a = Assembler::new(0);
+    a.li(r(1), patched);
+    a.la(r(2), "target");
+    a.instr(Instr::StoreMem { a: Ri::Reg(r(1)), b: Ri::Reg(r(2)) });
+    a.label("target");
+    // Placeholder that must NOT execute: r3 := 0.
+    a.normal(Func::Snd, r(3), Ri::Imm(0), Ri::Imm(0));
+    a.halt(r(61));
+    let mut image = State::new();
+    image.mem.write_bytes(0, &a.assemble().expect("assembles"));
+
+    let (spec, j) = assert_equiv(&image, 100);
+    assert_eq!(spec.regs[3], 3, "reference executes the patched instruction");
+    assert_eq!(j.regs[3], 3, "jet executes the patched instruction (re-decode verified)");
+    assert!(j.mem().code_write_tick() >= 1, "code-page store was noticed");
+}
+
+#[test]
+fn store_into_the_next_block() {
+    // Block A patches the first instruction of block B (across a jump),
+    // twice around a loop. First iteration: B decodes already-patched.
+    // Second iteration: B is cached, the store bumps its page
+    // generation, and entry must observe the stale snapshot.
+    let patched = encode(Instr::Normal {
+        func: Func::Add,
+        w: r(4),
+        a: Ri::Imm(3),
+        b: Ri::Reg(r(4)),
+    });
+    let mut a = Assembler::new(0);
+    a.li(r(5), 2); // loop counter
+    a.label("loop");
+    a.li(r(1), patched);
+    a.la(r(2), "nextblk");
+    a.instr(Instr::StoreMem { a: Ri::Reg(r(1)), b: Ri::Reg(r(2)) });
+    a.jmp("nextblk", r(30), r(31)); // terminator: "nextblk" is the next block
+    a.label("nextblk");
+    a.normal(Func::Add, r(4), Ri::Imm(1), Ri::Reg(r(4))); // original: +1; patched: +3
+    a.normal(Func::Dec, r(5), Ri::Imm(0), Ri::Reg(r(5)));
+    a.branch_nonzero_sub(Ri::Reg(r(5)), Ri::Imm(0), "loop", r(60));
+    a.halt(r(61));
+    let mut image = State::new();
+    image.mem.write_bytes(0, &a.assemble().expect("assembles"));
+
+    let (spec, j) = assert_equiv(&image, 1_000);
+    assert_eq!(spec.regs[4], 6, "both iterations run the patched +3");
+    assert_eq!(j.regs[4], 6);
+    let c = j.counters();
+    assert!(
+        c.code_invalidations >= 1 && c.redecodes >= 1,
+        "cached next block must be invalidated and re-decoded: {c:?}"
+    );
+}
+
+#[test]
+fn store_into_already_cached_distant_block() {
+    // A subroutine on a distant page is called (and cached), patched
+    // from the main block, then called again: the second entry must see
+    // a stale generation and re-decode.
+    const SUB: u32 = 0x2000;
+    let patched = encode(Instr::Normal {
+        func: Func::Add,
+        w: r(7),
+        a: Ri::Imm(5),
+        b: Ri::Reg(r(7)),
+    });
+
+    let mut main = Assembler::new(0);
+    main.li(r(20), SUB);
+    main.instr(Instr::Jump { func: Func::Snd, w: r(21), a: Ri::Reg(r(20)) }); // call 1
+    main.li(r(1), patched);
+    main.li(r(2), SUB);
+    main.instr(Instr::StoreMem { a: Ri::Reg(r(1)), b: Ri::Reg(r(2)) }); // patch sub
+    main.instr(Instr::Jump { func: Func::Snd, w: r(21), a: Ri::Reg(r(20)) }); // call 2
+    main.halt(r(61));
+
+    let mut sub = Assembler::new(SUB);
+    sub.normal(Func::Add, r(7), Ri::Imm(1), Ri::Reg(r(7))); // original: +1
+    sub.ret(r(21), r(22));
+
+    // The subroutine does not return to a fixed address (two call
+    // sites), so the reference and jet must agree on the link-register
+    // plumbing too.
+    let mut image = State::new();
+    image.mem.write_bytes(0, &main.assemble().expect("main assembles"));
+    image.mem.write_bytes(SUB, &sub.assemble().expect("sub assembles"));
+
+    let (spec, j) = assert_equiv(&image, 1_000);
+    assert_eq!(spec.regs[7], 6, "call1 runs +1, call2 runs patched +5");
+    assert_eq!(j.regs[7], 6);
+    let c = j.counters();
+    assert!(c.code_invalidations >= 1, "distant cached block invalidated: {c:?}");
+    let sub_page = j.mem().flat_page_of(SUB).expect("sub page is mirrored");
+    assert!(j.mem().page_gen(sub_page) >= 1, "generation-counter bump observed");
+}
+
+#[test]
+fn patching_with_identical_bytes_still_invalidates() {
+    // Generations count *stores*, not content changes: rewriting the
+    // same word must still bump (conservative, always sound).
+    let mut a = Assembler::new(0);
+    a.li(r(5), 2);
+    a.label("loop");
+    a.la(r(2), "site");
+    a.label("site");
+    a.normal(Func::Add, r(4), Ri::Imm(1), Ri::Reg(r(4)));
+    let site_word = encode(Instr::Normal {
+        func: Func::Add,
+        w: r(4),
+        a: Ri::Imm(1),
+        b: Ri::Reg(r(4)),
+    });
+    a.li(r(1), site_word);
+    a.instr(Instr::StoreMem { a: Ri::Reg(r(1)), b: Ri::Reg(r(2)) });
+    a.normal(Func::Dec, r(5), Ri::Imm(0), Ri::Reg(r(5)));
+    a.branch_nonzero_sub(Ri::Reg(r(5)), Ri::Imm(0), "loop", r(60));
+    a.halt(r(61));
+    let mut image = State::new();
+    image.mem.write_bytes(0, &a.assemble().expect("assembles"));
+
+    let (spec, j) = assert_equiv(&image, 1_000);
+    assert_eq!(spec.regs[4], 2);
+    let c = j.counters();
+    assert!(c.code_invalidations >= 1, "same-byte store still invalidates: {c:?}");
+    assert!(j.mem().code_write_tick() >= 2);
+}

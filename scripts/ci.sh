@@ -83,6 +83,13 @@ cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_rtl.txt"
 grep -q '$scope module silver_cpu $end' "$obs_scratch/run.vcd"
 grep -q '$dumpvars' "$obs_scratch/run.vcd"
 grep -Eq 'rt_|main' "$obs_scratch/rtl.folded"
+# Jet engine smoke: the translation-cache engine must produce the same
+# bytes as the reference interpreter, with the lockstep shadow oracle
+# (theorem J) checking every retire along the way.
+./target/release/silverc "$obs_scratch/sort.cml" \
+    --stdin "$obs_scratch/in.txt" --engine jet --shadow \
+    > "$obs_scratch/out_jet.txt" 2> "$obs_scratch/err_jet.txt"
+cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_jet.txt"
 # Campaign metrics: a tiny seeded campaign must emit latency histograms.
 ./target/release/silver-fuzz --target t2 --budget 30 --seed 1 --no-triage \
     --report "$obs_scratch/BENCH_campaign.json" \
@@ -111,6 +118,44 @@ grep -q 'progress: false' crates/campaign/src/engine.rs
 # And the no-op sinks must really be no-ops (const ACTIVE = false).
 grep -A1 'impl Tracer for NoTrace' crates/ag32/src/trace.rs | grep -q 'ACTIVE: bool = false'
 echo "ok: tracing is off by default (plain paths use the no-op sinks)"
+
+echo "== engine hygiene guard =="
+# The reference interpreter must stay the default engine, shadow mode
+# must default off, and the engines bench must never time a shadowed
+# (or fault-injected) configuration — shadow is a checking tool, not a
+# production setting, and the fault hook exists only so tests can prove
+# the shadow oracle catches executor bugs.
+grep -q 'engine: Engine::Ref' crates/core/src/stack.rs
+grep -q 'shadow: None,' crates/core/src/stack.rs
+grep -q 'alu_fault_xor: 0' crates/jet/src/engine.rs
+if grep -q 'shadow: Some' crates/bench/benches/engines.rs; then
+    echo "benches/engines.rs must not time a shadowed run" >&2
+    exit 1
+fi
+# And shadow mode must actually be exercised where checking happens:
+# the engine tests and the t-jet campaign target.
+grep -q 'run_shadow' tests/engines.rs
+grep -q 'run_shadow' crates/campaign/src/targets.rs
+echo "ok: ref engine default, shadow off by default but exercised in checks"
+
+echo "== engines bench artifact check =="
+# `cargo bench --bench engines` (not run here: it times multi-second
+# reference-interpreter workloads) emits BENCH_engines.json. When one
+# exists in the workspace, hold it to the testkit::bench line schema.
+if [ -f BENCH_engines.json ]; then
+    while IFS= read -r line; do
+        [ -n "$line" ] || continue
+        for key in '"suite":"engines"' '"name":' '"median_ns":' '"p95_ns":'; do
+            if ! printf '%s' "$line" | grep -qF "$key"; then
+                echo "BENCH_engines.json line missing $key: $line" >&2
+                exit 1
+            fi
+        done
+    done < BENCH_engines.json
+    echo "ok: BENCH_engines.json lines carry the bench schema"
+else
+    echo "ok: no BENCH_engines.json in workspace (run cargo bench --bench engines to emit one)"
+fi
 
 echo "== corpus hygiene =="
 # Committed seed files must stay in the two-line format with at most
