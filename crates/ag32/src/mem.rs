@@ -120,6 +120,38 @@ impl Memory {
         ids.sort_unstable();
         ids
     }
+
+    /// The page indices of every resident page whose contents are not
+    /// all-zero, sorted ascending. This is the canonical page order for
+    /// serialisation: all-zero pages are semantically identical to
+    /// absent pages (see the [`PartialEq`] impl), so a writer that
+    /// iterates this list produces the same bytes regardless of which
+    /// zero pages allocation history happened to materialise.
+    #[must_use]
+    pub fn nonzero_resident_page_ids(&self) -> Vec<u32> {
+        let zero = [0u8; PAGE_SIZE];
+        let mut ids: Vec<u32> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p[..] != zero[..])
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Borrows one resident page's bytes (`None` when the page was
+    /// never allocated, i.e. reads as all zero).
+    #[must_use]
+    pub fn page(&self, id: u32) -> Option<&[u8; Memory::PAGE_SIZE]> {
+        self.pages.get(&id).map(|p| &**p)
+    }
+
+    /// Installs a whole page at once — the serialisation restore path,
+    /// one allocation per page instead of 4096 byte writes.
+    pub fn write_page(&mut self, id: u32, bytes: &[u8; Memory::PAGE_SIZE]) {
+        self.pages.insert(id, Box::new(*bytes));
+    }
 }
 
 impl std::fmt::Debug for Memory {
@@ -183,6 +215,28 @@ mod tests {
         assert_eq!(a, b);
         a.write_byte(123, 7);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nonzero_page_ids_sorted_and_skip_zero_pages() {
+        let mut m = Memory::new();
+        m.write_byte(0x9000, 1); // page 9
+        m.write_byte(0x1000, 2); // page 1
+        m.write_byte(0x5000, 0); // page 5, allocated but all-zero
+        assert_eq!(m.resident_pages(), 3);
+        assert_eq!(m.nonzero_resident_page_ids(), vec![1, 9]);
+    }
+
+    #[test]
+    fn page_roundtrip_via_write_page() {
+        let mut m = Memory::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        m.write_page(3, &buf);
+        assert_eq!(m.read_byte(3 << PAGE_SHIFT), 0xAB);
+        assert_eq!(m.page(3), Some(&buf));
+        assert_eq!(m.page(4), None);
     }
 
     #[test]

@@ -90,6 +90,17 @@ pub fn extract_streams(events: &[IoEvent]) -> (Vec<u8>, Vec<u8>) {
     (stdout, stderr)
 }
 
+/// Exit classification shared by every ISA-engine runner — the plain
+/// and observed `run_to_halt` variants here, the jet path in
+/// `silver-stack`, and snapshot resume. `fuel_left` says whether the
+/// run stopped with budget remaining; a non-halted state with no fuel
+/// left is [`ExitStatus::OutOfFuel`]. Keeping this in one place is what
+/// makes a resumed run classify exactly like an uninterrupted one.
+#[must_use]
+pub fn classify_exit(state: &State, layout: &TargetLayout, fuel_left: bool) -> ExitStatus {
+    classify(state, layout, fuel_left)
+}
+
 fn classify(state: &State, layout: &TargetLayout, fuel_left: bool) -> ExitStatus {
     if !fuel_left && !state.is_halted() {
         return ExitStatus::OutOfFuel;

@@ -1,0 +1,237 @@
+//! Deterministic byte-level serialisation for [`FsState`] — the
+//! external-world half of a run checkpoint.
+//!
+//! `silver::snapshot` owns the container format (magic, version,
+//! checksum, section table); this module owns only the payload of the
+//! `FS` section, because the field layout of [`FsState`] is this
+//! crate's business. The encoding is canonical: all integers are
+//! little-endian, every variable-length field is length-prefixed, and
+//! the `files` map — the one host-ordered structure in the state — is
+//! written sorted by name, so the same filesystem state always encodes
+//! to the same bytes regardless of `HashMap` iteration order.
+//!
+//! Layout (in order):
+//!
+//! ```text
+//! u32 arg count,    then per arg:  u32 len + UTF-8 bytes
+//! u32 stdin len + bytes, u64 stdin read cursor
+//! u32 stdout len + bytes
+//! u32 stderr len + bytes
+//! u32 file count,   then per file (sorted by name bytes):
+//!                   u32 name len + UTF-8 bytes, u32 data len + bytes
+//! u32 descriptor count, then per descriptor:
+//!                   u32 name len + UTF-8 bytes, u64 pos, u8 flags
+//!                   (bit 0 = writable, bit 1 = closed)
+//! ```
+//!
+//! Errors are returned as human-readable strings; the snapshot layer
+//! wraps them in its typed `Corrupt { section: "FS", .. }` error.
+
+use crate::fs::{Descriptor, FsState};
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, u32::try_from(bytes.len()).expect("blob under 4 GiB"));
+    out.extend_from_slice(bytes);
+}
+
+/// Encodes `fs` to its canonical byte form (see the module docs).
+#[must_use]
+pub fn encode_fs(fs: &FsState) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, fs.args.len() as u32);
+    for arg in &fs.args {
+        put_blob(&mut out, arg.as_bytes());
+    }
+    put_blob(&mut out, &fs.stdin);
+    put_u64(&mut out, fs.stdin_pos as u64);
+    put_blob(&mut out, &fs.stdout);
+    put_blob(&mut out, &fs.stderr);
+
+    let mut names: Vec<&String> = fs.files.keys().collect();
+    names.sort_unstable();
+    put_u32(&mut out, names.len() as u32);
+    for name in names {
+        put_blob(&mut out, name.as_bytes());
+        put_blob(&mut out, &fs.files[name]);
+    }
+
+    put_u32(&mut out, fs.descriptors.len() as u32);
+    for d in &fs.descriptors {
+        put_blob(&mut out, d.name.as_bytes());
+        put_u64(&mut out, d.pos as u64);
+        out.push(u8::from(d.writable) | (u8::from(d.closed) << 1));
+    }
+    out
+}
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated reading {what}"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn blob(&mut self, what: &str) -> Result<&'a [u8], String> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, String> {
+        let bytes = self.blob(what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    fn cursor_usize(&mut self, what: &str) -> Result<usize, String> {
+        usize::try_from(self.u64(what)?).map_err(|_| format!("{what} exceeds usize"))
+    }
+}
+
+/// Decodes the canonical byte form back into an [`FsState`]. Every
+/// malformed input — truncation, non-UTF-8 names, unknown descriptor
+/// flag bits, trailing garbage — is a typed error, never a panic.
+pub fn decode_fs(bytes: &[u8]) -> Result<FsState, String> {
+    let mut r = Rd { buf: bytes, pos: 0 };
+    let mut fs = FsState::default();
+
+    let argc = r.u32("arg count")?;
+    for _ in 0..argc {
+        fs.args.push(r.string("arg")?);
+    }
+    fs.stdin = r.blob("stdin")?.to_vec();
+    fs.stdin_pos = r.cursor_usize("stdin cursor")?;
+    fs.stdout = r.blob("stdout")?.to_vec();
+    fs.stderr = r.blob("stderr")?.to_vec();
+
+    let file_count = r.u32("file count")?;
+    for _ in 0..file_count {
+        let name = r.string("file name")?;
+        let data = r.blob("file data")?.to_vec();
+        if fs.files.insert(name.clone(), data).is_some() {
+            return Err(format!("duplicate file entry {name:?}"));
+        }
+    }
+
+    let desc_count = r.u32("descriptor count")?;
+    for _ in 0..desc_count {
+        let name = r.string("descriptor name")?;
+        let pos = r.cursor_usize("descriptor cursor")?;
+        let flags = r.u8("descriptor flags")?;
+        if flags & !0b11 != 0 {
+            return Err(format!("unknown descriptor flag bits 0x{flags:02x}"));
+        }
+        fs.descriptors.push(Descriptor {
+            name,
+            pos,
+            writable: flags & 1 != 0,
+            closed: flags & 2 != 0,
+        });
+    }
+
+    if r.pos != bytes.len() {
+        return Err(format!("{} trailing bytes after descriptors", bytes.len() - r.pos));
+    }
+    Ok(fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_fs() -> FsState {
+        let mut fs = FsState::stdin_only(&["prog", "arg1"], b"line one\nline two\n");
+        fs.read(0, 9).unwrap();
+        fs.write(1, b"out bytes").unwrap();
+        fs.write(2, b"err bytes").unwrap();
+        let w = fs.open_out("b.txt").unwrap();
+        fs.write(w, b"bbb").unwrap();
+        fs.close(w);
+        let w2 = fs.open_out("a.txt").unwrap();
+        fs.write(w2, b"aaa").unwrap();
+        let r = fs.open_in("a.txt").unwrap();
+        fs.read(r, 2);
+        fs
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let fs = busy_fs();
+        let bytes = encode_fs(&fs);
+        let back = decode_fs(&bytes).expect("decodes");
+        assert_eq!(back, fs);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_insertion_orders() {
+        // Same files inserted in opposite orders — HashMap iteration
+        // order differs, encoded bytes must not.
+        let mut a = FsState::default();
+        a.files.insert("x".into(), b"1".to_vec());
+        a.files.insert("y".into(), b"2".to_vec());
+        let mut b = FsState::default();
+        b.files.insert("y".into(), b"2".to_vec());
+        b.files.insert("x".into(), b"1".to_vec());
+        assert_eq!(encode_fs(&a), encode_fs(&b));
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let bytes = encode_fs(&busy_fs());
+        for cut in 0..bytes.len() {
+            decode_fs(&bytes[..cut]).expect_err("every proper prefix must fail");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_fs(&extra).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn bad_flags_and_non_utf8_rejected() {
+        let mut fs = FsState::default();
+        fs.descriptors.push(Descriptor {
+            name: "f".into(),
+            pos: 0,
+            writable: true,
+            closed: false,
+        });
+        let mut bytes = encode_fs(&fs);
+        let last = bytes.len() - 1;
+        bytes[last] = 0xF0; // unknown flag bits
+        assert!(decode_fs(&bytes).unwrap_err().contains("flag"));
+
+        let mut fs2 = FsState::default();
+        fs2.args.push("a".into());
+        let mut b2 = encode_fs(&fs2);
+        b2[8] = 0xFF; // the arg's single byte (after argc + len) becomes invalid UTF-8
+        assert!(decode_fs(&b2).unwrap_err().contains("UTF-8"));
+    }
+}

@@ -88,6 +88,7 @@ struct CaseRecord {
     choices: Vec<u64>,
     cov: CovSnap,
     verdict: Verdict,
+    fuel_saved: Option<u64>,
 }
 
 fn mix4(a: u64, b: u64, c: u64, d: u64) -> u64 {
@@ -148,7 +149,13 @@ fn run_shard(
             (ctx.recorded_choices().to_vec(), outcome)
         };
         latency[target_idx].record(case_start.elapsed().as_micros() as u64);
-        out.push(CaseRecord { target_idx, choices, cov: outcome.cov, verdict: outcome.verdict });
+        out.push(CaseRecord {
+            target_idx,
+            choices,
+            cov: outcome.cov,
+            verdict: outcome.verdict,
+            fuel_saved: outcome.fuel_saved,
+        });
     }
     (out, busy_start.elapsed())
 }
@@ -198,6 +205,11 @@ pub fn run_campaign_metered(
     let rounds_ctr = metrics.counter("campaign.rounds");
     let shard_busy: Vec<Arc<obs::Counter>> = (0..cfg.shards)
         .map(|s| metrics.counter(&format!("campaign.shard_busy_us.{s}")))
+        .collect();
+    // Boot-replay fuel saved by checkpoint-anchored divergence triage.
+    let fuel_saved_ctr: Vec<Arc<obs::Counter>> = targets
+        .iter()
+        .map(|t| metrics.counter(&format!("campaign.replay_fuel_saved.{}", t.name())))
         .collect();
 
     let mut corpus = match &cfg.corpus_dir {
@@ -262,6 +274,9 @@ pub fn run_campaign_metered(
                 let fresh = coverage[rec.target_idx].merge(&rec.cov);
                 if fresh {
                     corpus.add(CorpusEntry::new(targets[rec.target_idx].name(), rec.choices.clone()));
+                }
+                if let Some(saved) = rec.fuel_saved {
+                    fuel_saved_ctr[rec.target_idx].add(saved);
                 }
                 if let Verdict::Fail { layer, message } = rec.verdict {
                     failures_per_target[rec.target_idx] += 1;
@@ -386,7 +401,7 @@ mod tests {
             }
             fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
                 let _ = ctx.gen_range(0u64..8);
-                CaseOutcome { cov: CovSnap::new(), verdict: Verdict::Pass }
+                CaseOutcome { cov: CovSnap::new(), verdict: Verdict::Pass, fuel_saved: None }
             }
         }
 

@@ -14,6 +14,7 @@
 //! | `t10` | circuit ↔ generated Verilog | theorem (10) |
 //! | `syscall` | oracle ↔ system-call machine code | theorems (11)–(13) |
 //! | `t-jet` | reference `Next` ↔ jet translation-cache engine | theorem J |
+//! | `t-snap` | checkpointed-and-resumed run ↔ uninterrupted run | crash-resume over theorem J |
 //!
 //! The full end-to-end target (theorem (8)) lives in the `silver-stack`
 //! crate — it needs the stack composition, which sits above this crate.
@@ -59,15 +60,28 @@ pub struct CaseOutcome {
     pub cov: CovSnap,
     /// Agreement verdict.
     pub verdict: Verdict,
+    /// Boot-replay fuel a checkpoint-anchored triage replay avoided
+    /// (retires skipped by replaying from the anchor instead of reset).
+    /// `None` when the case passed or no anchor was available.
+    pub fuel_saved: Option<u64>,
 }
 
 impl CaseOutcome {
     fn pass(cov: CovSnap) -> Self {
-        CaseOutcome { cov, verdict: Verdict::Pass }
+        CaseOutcome { cov, verdict: Verdict::Pass, fuel_saved: None }
     }
 
     fn fail(cov: CovSnap, layer: &str, message: String) -> Self {
-        CaseOutcome { cov, verdict: Verdict::Fail { layer: layer.to_string(), message } }
+        CaseOutcome {
+            cov,
+            verdict: Verdict::Fail { layer: layer.to_string(), message },
+            fuel_saved: None,
+        }
+    }
+
+    fn with_fuel_saved(mut self, saved: u64) -> Self {
+        self.fuel_saved = Some(saved);
+        self
     }
 }
 
@@ -225,18 +239,51 @@ impl Target for LockstepTarget {
                 // divergent cycle, retire tails on both sides, register
                 // deltas, and a VCD window.
                 let mut message = e.to_string();
-                if let Err(fx) = silver::trace::run_lockstep_forensic(
+                let mut fuel_saved = None;
+                if let Err(mut fx) = silver::trace::run_lockstep_forensic(
                     &silver::silver_cpu(),
                     &state,
                     max_instructions,
-                    cfg,
+                    cfg.clone(),
                     max_cycles,
                     &silver::trace::ForensicConfig::default(),
                 ) {
+                    // Checkpoint-anchored triage: replay from the last
+                    // 64-retire boundary before the divergence instead
+                    // of from reset. The ISA prefix is deterministic, so
+                    // the anchor state is exactly what a rolling
+                    // checkpoint would have captured there.
+                    if let Some(d) = fx.divergent_step {
+                        let anchor = d.saturating_sub(d % 64);
+                        if anchor > 0 && anchor < max_instructions {
+                            let mut pre = state.clone();
+                            pre.run(anchor);
+                            let replay = silver::lockstep::run_lockstep(
+                                &pre,
+                                max_instructions - anchor,
+                                cfg,
+                                max_cycles,
+                            );
+                            fx.replay_anchor = Some(anchor);
+                            fx.notes.push(format!(
+                                "checkpoint-anchored replay from retire {anchor}: {} (saved {anchor} boot retires)",
+                                if replay.is_err() {
+                                    "reproduced"
+                                } else {
+                                    "not reproduced (environment-schedule dependent; replay from boot)"
+                                }
+                            ));
+                            fuel_saved = Some(anchor);
+                        }
+                    }
                     message.push('\n');
                     message.push_str(&fx.render());
                 }
-                CaseOutcome::fail(cov, "rtl vs isa", message)
+                let out = CaseOutcome::fail(cov, "rtl vs isa", message);
+                match fuel_saved {
+                    Some(n) => out.with_fuel_saved(n),
+                    None => out,
+                }
             }
         }
     }
@@ -327,10 +374,144 @@ impl Target for JetTarget {
         isa.run_with(fuel, &mut cov.edges);
         cov.stats = isa.stats.clone();
 
-        match jet::run_shadow(&state, fuel, 1, 0) {
+        // The anchored shadow keeps a rolling checkpoint of the last
+        // verified-good reference state, so a divergence can be replayed
+        // from the anchor instead of from boot (cf. `jet::run_shadow`).
+        match jet::run_shadow_anchored(&state, fuel, 1, 0, (fuel / 4).max(1)) {
             Ok(_) => CaseOutcome::pass(cov),
-            Err(fx) => CaseOutcome::fail(cov, "jet vs isa", fx.render()),
+            Err(div) => {
+                let mut message = div.forensics.render();
+                if let Some(anchor) = &div.anchor {
+                    let remaining = fuel.saturating_sub(div.anchor_retired);
+                    let replay = jet::run_shadow(anchor, remaining, 1, 0);
+                    message.push_str(&format!(
+                        "\nanchored replay from retire {}: {} (saved {} boot retires)\n",
+                        div.anchor_retired,
+                        if replay.is_err() {
+                            "reproduced"
+                        } else {
+                            "not reproduced (translation-cache history dependent; replay from boot)"
+                        },
+                        div.anchor_retired,
+                    ));
+                    return CaseOutcome::fail(cov, "jet vs isa", message)
+                        .with_fuel_saved(div.anchor_retired);
+                }
+                CaseOutcome::fail(cov, "jet vs isa", message)
+            }
         }
+    }
+}
+
+// ---- snapshot/replay: crash-resume equivalence across engines ----
+
+/// Snapshot/replay equivalence over random structured machine programs:
+/// a run checkpointed at an arbitrary retire count and resumed — on
+/// *either* engine — must be indistinguishable from the uninterrupted
+/// run, and the checkpoint bytes must be identical no matter which
+/// engine captured them. This is the fuzzable form of the crash-resume
+/// obligation (`testkit::crash_resume_equiv`) plus the byte-stability
+/// half of the snapshot format contract.
+pub struct SnapTarget;
+
+impl Target for SnapTarget {
+    fn name(&self) -> &'static str {
+        "t-snap"
+    }
+
+    fn weight(&self) -> u32 {
+        2
+    }
+
+    fn run_case(&self, ctx: &mut Ctx) -> CaseOutcome {
+        use silver::snapshot::{SnapEngine, Snapshot};
+
+        let state = gen::isa_state(ctx);
+        let fuel: u64 = ctx.gen_range(50u64..=2000);
+
+        // ISA-side coverage run.
+        let mut cov = CovSnap::new();
+        let mut isa = state.clone();
+        isa.run_with(fuel, &mut cov.edges);
+        cov.stats = isa.stats.clone();
+
+        // Uninterrupted reference run: the crash-resume baseline.
+        let mut base = state.clone();
+        base.run(fuel);
+        let total = base.instructions_retired;
+
+        // Kill point: an arbitrary retire count within the run.
+        let k: u64 = ctx.gen_range(0..=total);
+
+        // Checkpoint the same prefix on both engines.
+        let mut pre = state.clone();
+        pre.run(k);
+        let snap_ref = Snapshot::capture(&pre);
+        let mut jet_pre = jet::Jet::from_state(&state);
+        jet_pre.run(k);
+        let snap_jet = Snapshot::capture_jet(&jet_pre);
+
+        // Byte stability: once the engine tag is normalised, the two
+        // captures must serialise to identical bytes (no host ordering,
+        // no engine-private state may leak into the format).
+        let bytes = snap_ref.to_bytes();
+        let jet_as_ref =
+            Snapshot { state: snap_jet.state.clone(), engine: SnapEngine::Ref, fs: None };
+        if bytes != jet_as_ref.to_bytes() {
+            return CaseOutcome::fail(
+                cov,
+                "snapshot bytes: jet vs ref",
+                format!("engines captured different checkpoint bytes at retire {k} (fuel {fuel})"),
+            );
+        }
+
+        // Round-trip through the wire format, then resume on each
+        // engine for the remaining fuel and compare with the baseline.
+        let restored = match Snapshot::from_bytes(&bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                return CaseOutcome::fail(
+                    cov,
+                    "snapshot decode",
+                    format!("self-produced snapshot rejected at retire {k}: {e}"),
+                )
+            }
+        };
+        let remaining = fuel - k;
+
+        let mut resumed_ref = restored.restore();
+        resumed_ref.run(remaining);
+        if !resumed_ref.isa_visible_eq(&base)
+            || resumed_ref.instructions_retired != base.instructions_retired
+            || resumed_ref.stats != base.stats
+        {
+            return CaseOutcome::fail(
+                cov,
+                "resume(ref) vs uninterrupted",
+                format!(
+                    "ref resume from retire {k} diverged (pc {:#x} vs {:#x}, retired {} vs {})",
+                    resumed_ref.pc, base.pc, resumed_ref.instructions_retired, base.instructions_retired
+                ),
+            );
+        }
+
+        let mut resumed_jet = restored.restore_jet();
+        resumed_jet.run(remaining);
+        let jet_final = resumed_jet.to_state();
+        if !jet_final.isa_visible_eq(&base)
+            || resumed_jet.instructions_retired != base.instructions_retired
+            || resumed_jet.stats != base.stats
+        {
+            return CaseOutcome::fail(
+                cov,
+                "resume(jet) vs uninterrupted",
+                format!(
+                    "jet resume from retire {k} diverged (pc {:#x} vs {:#x}, retired {} vs {})",
+                    jet_final.pc, base.pc, resumed_jet.instructions_retired, base.instructions_retired
+                ),
+            );
+        }
+        CaseOutcome::pass(cov)
     }
 }
 
@@ -448,15 +629,17 @@ pub fn registry(selection: &str) -> Result<Vec<Box<dyn Target>>, String> {
             out.push(Box::new(VerilogTarget));
             out.push(Box::new(SyscallTarget));
             out.push(Box::new(JetTarget));
+            out.push(Box::new(SnapTarget));
         }
         "t2" => out.extend(CompilerTarget::matrix().into_iter().map(|t| Box::new(t) as _)),
         "t9" | "lockstep" => out.push(Box::new(LockstepTarget)),
         "t10" | "verilog" => out.push(Box::new(VerilogTarget)),
         "syscall" | "ffi" => out.push(Box::new(SyscallTarget)),
         "t-jet" | "jet" => out.push(Box::new(JetTarget)),
+        "t-snap" | "snap" => out.push(Box::new(SnapTarget)),
         other => {
             return Err(format!(
-                "unknown target {other:?}; expected one of: all, t2, t9, t10, syscall, t-jet"
+                "unknown target {other:?}; expected one of: all, t2, t9, t10, syscall, t-jet, t-snap"
             ))
         }
     }
@@ -470,10 +653,11 @@ mod tests {
 
     #[test]
     fn registry_resolves_and_rejects() {
-        assert_eq!(registry("all").expect("all").len(), 7);
+        assert_eq!(registry("all").expect("all").len(), 8);
         assert_eq!(registry("t2").expect("t2").len(), 3);
         assert_eq!(registry("t9").expect("t9").len(), 1);
         assert_eq!(registry("t-jet").expect("t-jet").len(), 1);
+        assert_eq!(registry("t-snap").expect("t-snap").len(), 1);
         assert!(registry("bogus").is_err());
     }
 
@@ -516,6 +700,20 @@ mod tests {
 
         let choices = ctx.recorded_choices().to_vec();
         let again = JetTarget.run_case(&mut Ctx::replaying(&choices));
+        assert_eq!(again.verdict, out.verdict);
+        assert_eq!(again.cov.stats, out.cov.stats);
+    }
+
+    #[test]
+    fn snap_target_passes_and_replays_deterministically() {
+        let mut rng = TestRng::seed_from_u64(0x5A9);
+        let mut ctx = Ctx::recording(&mut rng);
+        let out = SnapTarget.run_case(&mut ctx);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.cov.stats.total() > 0);
+
+        let choices = ctx.recorded_choices().to_vec();
+        let again = SnapTarget.run_case(&mut Ctx::replaying(&choices));
         assert_eq!(again.verdict, out.verdict);
         assert_eq!(again.cov.stats, out.cov.stats);
     }

@@ -147,9 +147,10 @@ mod tests {
                         layer: "isa vs source".into(),
                         message: format!("value {v} over threshold"),
                     },
+                    fuel_saved: None,
                 }
             } else {
-                CaseOutcome { cov: CovSnap::new(), verdict: Verdict::Pass }
+                CaseOutcome { cov: CovSnap::new(), verdict: Verdict::Pass, fuel_saved: None }
             }
         }
     }

@@ -79,7 +79,7 @@ impl Target for BrokenAdder {
         cov.features.insert(cakeml::Feature::ALL[(v % 32) as usize]);
         let _ = noise;
         if spec == impl_ {
-            CaseOutcome { cov, verdict: Verdict::Pass }
+            CaseOutcome { cov, verdict: Verdict::Pass, fuel_saved: None }
         } else {
             CaseOutcome {
                 cov,
@@ -87,6 +87,7 @@ impl Target for BrokenAdder {
                     layer: "isa vs source".into(),
                     message: format!("add({v}) = {impl_}, expected {spec}"),
                 },
+                fuel_saved: None,
             }
         }
     }

@@ -10,7 +10,8 @@
 //!
 //! Targets are the repo's theorem-analog relations (see
 //! `campaign::registry` and `silver_stack::full_registry`): `t2`,
-//! `t2-gc`, `t2-noopt`, `t9`, `t10`, `syscall`, `e2e`, or the
+//! `t2-gc`, `t2-noopt`, `t9`, `t10`, `syscall`, `t-jet`, `t-snap`,
+//! `e2e`, or the
 //! selections `t2` (all three compiler configurations) and `all`
 //! (everything). `--budget` accepts a case count (`--budget 2000`,
 //! deterministic reports) or a wall-clock duration (`--budget 60s`).
@@ -48,7 +49,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|t-jet|e2e|all]\n\
+        "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|t-jet|t-snap|e2e|all]\n\
          \x20                 [--shards N] [--budget N|Ns] [--seed N]\n\
          \x20                 [--replay TARGET:HEX,HEX,...|SEEDFILE] [--triage|--no-triage]\n\
          \x20                 [--corpus DIR] [--report FILE] [--regressions FILE]\n\

@@ -7,6 +7,9 @@
 //!         [--stdin FILE] [--gc] [--no-tail-calls] [--no-direct-calls]
 //!         [--stats] [--trace] [--trace-syscalls] [--vcd FILE]
 //!         [--profile FILE]
+//!         [--checkpoint FILE [--checkpoint-every N]]
+//! silverc --resume SNAP [--engine ref|jet] [--shadow] [--stats]
+//!         [--checkpoint FILE [--checkpoint-every N]]
 //! ```
 //!
 //! The program's standard output/error are forwarded; the process exits
@@ -42,12 +45,30 @@
 //!   instructions on the ISA backend, true clock cycles on the hardware
 //!   backends — and writes flamegraph folded stacks to FILE (`-` for
 //!   stderr).
+//!
+//! Snapshot/replay (ISA backend only; see the "Snapshot/replay" section
+//! of `EXPERIMENTS.md`):
+//!
+//! * `--checkpoint FILE` rewrites FILE with a rolling snapshot of the
+//!   run every `--checkpoint-every N` retires (default 1 000 000),
+//!   atomically — a killed run loses at most one interval of progress.
+//! * `--resume SNAP` resumes a snapshot instead of compiling a source
+//!   file; the program, its arguments and its consumed stdin all live
+//!   inside the snapshot. Either engine can resume a snapshot written
+//!   under the other — theorem J over serialised state. Output streams
+//!   are replayed in full (the snapshot carries the prefix's I/O
+//!   events), so resumed stdout is byte-identical to an uninterrupted
+//!   run's.
+//! * with `--shadow`, a configured checkpoint cadence also anchors the
+//!   divergence forensics: a theorem-J violation replays from the last
+//!   good checkpoint instead of from boot, and the anchor state is
+//!   written to the `--checkpoint` file for `--resume`-based triage.
 
 use std::io::{Read as _, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use silver_stack::{Backend, Engine, ExitStatus, Observe, RunConfig, Stack};
+use silver_stack::{Backend, Engine, ExitStatus, Observations, Observe, RunConfig, Stack};
 
 struct Options {
     file: String,
@@ -61,6 +82,9 @@ struct Options {
     trace_syscalls: bool,
     vcd: Option<PathBuf>,
     profile: Option<String>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    resume: Option<PathBuf>,
     stack: Stack,
 }
 
@@ -69,7 +93,10 @@ fn usage() -> ! {
         "usage: silverc FILE [--backend isa|rtl|verilog] [--engine ref|jet] \
          [--shadow] [--shadow-every N] [--arg ARG]... \
          [--stdin FILE|-] [--gc] [--no-tail-calls] [--no-direct-calls] [--no-const-fold] \
-         [--stats] [--trace] [--trace-syscalls] [--vcd FILE] [--profile FILE|-]"
+         [--stats] [--trace] [--trace-syscalls] [--vcd FILE] [--profile FILE|-] \
+         [--checkpoint FILE] [--checkpoint-every N]\n\
+         \x20      silverc --resume SNAP [--engine ref|jet] [--shadow] [--stats] \
+         [--checkpoint FILE] [--checkpoint-every N]"
     );
     std::process::exit(2)
 }
@@ -88,6 +115,9 @@ fn parse_args() -> Options {
         trace_syscalls: false,
         vcd: None,
         profile: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
         stack: Stack::new(),
     };
     while let Some(a) = args.next() {
@@ -143,13 +173,53 @@ fn parse_args() -> Options {
                 Some(v) => opts.profile = Some(v),
                 None => usage(),
             },
+            "--checkpoint" => match args.next() {
+                Some(v) => opts.checkpoint = Some(PathBuf::from(v)),
+                None => usage(),
+            },
+            "--checkpoint-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => opts.checkpoint_every = Some(n),
+                _ => usage(),
+            },
+            "--resume" => match args.next() {
+                Some(v) => opts.resume = Some(PathBuf::from(v)),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
             _ => usage(),
         }
     }
-    if opts.file.is_empty() {
+    if opts.file.is_empty() && opts.resume.is_none() {
         usage();
+    }
+    if opts.resume.is_some() {
+        if !opts.file.is_empty() || !opts.args.is_empty() || !opts.stdin.is_empty() {
+            eprintln!(
+                "silverc: --resume takes no source file, --arg or --stdin — \
+                 program, arguments and consumed input live inside the snapshot"
+            );
+            std::process::exit(2);
+        }
+        if opts.trace || opts.trace_syscalls || opts.profile.is_some() || opts.vcd.is_some() {
+            eprintln!(
+                "silverc: --trace/--trace-syscalls/--profile/--vcd require a fresh run, \
+                 not --resume (the observers replay from boot)"
+            );
+            std::process::exit(2);
+        }
+        if opts.backend != Backend::Isa {
+            eprintln!("silverc: --resume requires --backend isa");
+            std::process::exit(2);
+        }
+    }
+    if opts.checkpoint.is_some() && opts.backend != Backend::Isa {
+        eprintln!("silverc: --checkpoint requires --backend isa");
+        std::process::exit(2);
+    }
+    if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() && opts.shadow.is_none() {
+        eprintln!("silverc: --checkpoint-every requires --checkpoint or --shadow");
+        std::process::exit(2);
     }
     if opts.vcd.is_some() && opts.backend == Backend::Isa {
         eprintln!("silverc: --vcd requires --backend rtl or --backend verilog");
@@ -180,35 +250,45 @@ fn trace_cap() -> usize {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let src = match std::fs::read_to_string(&opts.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("silverc: cannot read `{}`: {e}", opts.file);
-            return ExitCode::from(2);
-        }
+    let rc = RunConfig {
+        engine: opts.engine,
+        shadow: opts.shadow,
+        checkpoint: opts.checkpoint.clone(),
+        checkpoint_interval: opts.checkpoint_every,
+        ..RunConfig::default()
     };
-    let mut argv: Vec<&str> = vec![opts.file.as_str()];
-    argv.extend(opts.args.iter().map(String::as_str));
 
-    let ocfg = Observe {
-        retire_log: if opts.trace { trace_cap() } else { 0 },
-        profile: opts.profile.is_some(),
-        syscalls: opts.trace_syscalls,
-        vcd: opts.vcd.clone(),
-    };
-    let rc = RunConfig { engine: opts.engine, shadow: opts.shadow, ..RunConfig::default() };
-    let (result, obs) = match opts.stack.run_source_observed(
-        &src,
-        &argv,
-        &opts.stdin,
-        opts.backend,
-        &rc,
-        &ocfg,
-    ) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("silverc: {e}");
-            return ExitCode::from(2);
+    let (result, obs) = if let Some(snap) = &opts.resume {
+        match opts.stack.resume_file(snap, &rc) {
+            Ok(r) => (r, Observations::default()),
+            Err(e) => {
+                eprintln!("silverc: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let src = match std::fs::read_to_string(&opts.file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("silverc: cannot read `{}`: {e}", opts.file);
+                return ExitCode::from(2);
+            }
+        };
+        let mut argv: Vec<&str> = vec![opts.file.as_str()];
+        argv.extend(opts.args.iter().map(String::as_str));
+
+        let ocfg = Observe {
+            retire_log: if opts.trace { trace_cap() } else { 0 },
+            profile: opts.profile.is_some(),
+            syscalls: opts.trace_syscalls,
+            vcd: opts.vcd.clone(),
+        };
+        match opts.stack.run_source_observed(&src, &argv, &opts.stdin, opts.backend, &rc, &ocfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("silverc: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     std::io::stdout().write_all(&result.stdout).expect("stdout");

@@ -62,7 +62,7 @@ impl Target for EndToEndTarget {
                 if let Some(stats) = report.isa_stats {
                     cov.stats = stats;
                 }
-                CaseOutcome { cov, verdict: Verdict::Pass }
+                CaseOutcome { cov, verdict: Verdict::Pass, fuel_saved: None }
             }
             Err(failure) => {
                 let layer = match &failure {
@@ -74,6 +74,7 @@ impl Target for EndToEndTarget {
                 CaseOutcome {
                     cov,
                     verdict: Verdict::Fail { layer, message: format!("{failure}\n{src}") },
+                    fuel_saved: None,
                 }
             }
         }
@@ -107,7 +108,7 @@ mod tests {
 
     #[test]
     fn full_registry_adds_the_stack_target() {
-        assert_eq!(full_registry("all").expect("all").len(), 8);
+        assert_eq!(full_registry("all").expect("all").len(), 9);
         assert_eq!(full_registry("e2e").expect("e2e").len(), 1);
         assert_eq!(full_registry("t2").expect("t2").len(), 3);
         let err = match full_registry("bogus") {

@@ -49,4 +49,8 @@ pub use check::{
     EndToEndReport, Layer, Workload,
 };
 pub use fuzz::{full_registry, EndToEndTarget};
-pub use stack::{Backend, Engine, Observations, Observe, RunConfig, Stack, StackError, StackResult};
+pub use silver::snapshot::{SnapEngine, Snapshot, SnapshotError};
+pub use stack::{
+    Backend, Engine, Observations, Observe, RunConfig, Stack, StackError, StackResult,
+    DEFAULT_CHECKPOINT_EVERY,
+};

@@ -5,13 +5,20 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
 
+use std::path::Path;
+
 use ag32::State;
-use basis::{build_image, extract_streams, run_to_halt, ExitStatus, ImageError};
+use basis::{build_image, classify_exit, extract_streams, run_to_halt, ExitStatus, ImageError};
 use cakeml::{CompileError, CompiledProgram, CompilerConfig, TargetLayout};
 use obs::CycleProfiler;
 use silver::env::{Latency, MemEnvConfig};
 use silver::lockstep::LockstepError;
+use silver::snapshot::{Snapshot, SnapshotError};
 use silver::trace::{PcSampler, RtlVcd, VerilogVcd};
+
+/// Checkpoint cadence used when [`RunConfig::checkpoint`] names a file
+/// but no interval was chosen.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1_000_000;
 
 /// Which layer of Figure 1 executes the program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +78,18 @@ pub struct RunConfig {
     /// divergence surfaces as [`StackError::Divergence`] carrying the
     /// forensics report. Ignored for [`Engine::Ref`].
     pub shadow: Option<u64>,
+    /// Rolling-checkpoint file for [`Backend::Isa`] runs: every
+    /// [`RunConfig::checkpoint_interval`] retires the run's snapshot is
+    /// rewritten here (atomically, via a temp sibling + rename), so a
+    /// killed run resumes from its last checkpoint via
+    /// [`Stack::resume_snapshot`]. `None` (default) writes nothing.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint cadence in retires. Also drives *checkpoint-anchored
+    /// shadow mode*: with [`RunConfig::shadow`] set, a divergence
+    /// replays from the last in-memory anchor instead of from boot,
+    /// even when no checkpoint file was requested. `None` falls back to
+    /// [`DEFAULT_CHECKPOINT_EVERY`] when `checkpoint` names a file.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -81,7 +100,33 @@ impl Default for RunConfig {
             env: MemEnvConfig { mem_latency: Latency::Fixed(0), ..MemEnvConfig::default() },
             engine: Engine::Ref,
             shadow: None,
+            checkpoint: None,
+            checkpoint_interval: None,
         }
+    }
+}
+
+impl RunConfig {
+    /// Sets the checkpoint cadence (builder style): `n` retires between
+    /// rolling checkpoints / shadow anchors.
+    #[must_use]
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_interval = Some(n.max(1));
+        self
+    }
+
+    /// Sets the rolling-checkpoint file (builder style).
+    #[must_use]
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// The `(file, cadence)` pair when checkpointing to disk is on.
+    fn checkpoint_plan(&self) -> Option<(&Path, u64)> {
+        self.checkpoint
+            .as_deref()
+            .map(|p| (p, self.checkpoint_interval.unwrap_or(DEFAULT_CHECKPOINT_EVERY).max(1)))
     }
 }
 
@@ -142,6 +187,9 @@ pub enum StackError {
     /// interpreter — theorem J violated. Carries the full forensics
     /// report (divergent retire index, differing fields, retire tails).
     Divergence(Box<obs::Forensics>),
+    /// Writing a rolling checkpoint or loading a snapshot to resume
+    /// failed (I/O, or a corrupt/incompatible snapshot file).
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for StackError {
@@ -152,6 +200,7 @@ impl fmt::Display for StackError {
             StackError::Hardware(e) => write!(f, "hardware: {e}"),
             StackError::Io(e) => write!(f, "io: {e}"),
             StackError::Divergence(fx) => write!(f, "shadow divergence:\n{}", fx.render()),
+            StackError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -179,6 +228,12 @@ impl From<LockstepError> for StackError {
 impl From<std::io::Error> for StackError {
     fn from(e: std::io::Error) -> Self {
         StackError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for StackError {
+    fn from(e: SnapshotError) -> Self {
+        StackError::Snapshot(e)
     }
 }
 
@@ -292,10 +347,13 @@ impl Stack {
     ) -> Result<StackResult, StackError> {
         match backend {
             Backend::Isa => match rc.engine {
-                Engine::Ref => {
-                    let r = run_to_halt(image, &self.layout, rc.fuel);
-                    Ok(isa_result(r))
-                }
+                Engine::Ref => match rc.checkpoint_plan() {
+                    Some((path, every)) => self.run_ref_checkpointed(image, rc.fuel, every, path),
+                    None => {
+                        let r = run_to_halt(image, &self.layout, rc.fuel);
+                        Ok(isa_result(r))
+                    }
+                },
                 Engine::Jet => self.jet_result(image, rc),
             },
             Backend::Rtl => {
@@ -544,6 +602,106 @@ impl Stack {
         Ok((result, obs))
     }
 
+    /// Resumes a checkpoint on the configured engine — including
+    /// cross-engine resume (a `ref` checkpoint under [`Engine::Jet`]
+    /// and vice versa), which is theorem J restated over serialised
+    /// state. `rc.fuel` is the *total* fuel of the logical run: a
+    /// snapshot taken at retire `C` under fuel `F` resumes with `F − C`
+    /// remaining, so exit classification (`OutOfFuel` in particular)
+    /// matches the uninterrupted run exactly. The result's
+    /// `instructions` count is likewise the total including the
+    /// pre-checkpoint prefix. Rolling checkpoints and shadow mode
+    /// compose with resume.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StackError`]; shadow divergence over the resumed segment
+    /// surfaces as [`StackError::Divergence`].
+    pub fn resume_snapshot(
+        &self,
+        snap: &Snapshot,
+        rc: &RunConfig,
+    ) -> Result<StackResult, StackError> {
+        let remaining = rc.fuel.saturating_sub(snap.retired());
+        match rc.engine {
+            Engine::Ref => match rc.checkpoint_plan() {
+                Some((path, every)) => {
+                    self.run_ref_checkpointed(snap.restore(), remaining, every, path)
+                }
+                None => {
+                    let mut state = snap.restore();
+                    let n = state.run(remaining);
+                    Ok(self.finish_ref(&state, n < remaining))
+                }
+            },
+            Engine::Jet => {
+                if let Some(sample) = rc.shadow {
+                    self.shadow_check(&snap.restore(), remaining, sample, rc)?;
+                }
+                let mut j = snap.restore_jet();
+                match rc.checkpoint_plan() {
+                    Some((path, every)) => self.run_jet_checkpointed(j, remaining, every, path),
+                    None => {
+                        let n = j.run(remaining);
+                        Ok(self.classify_jet(&j, n < remaining))
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`resume_snapshot`](Stack::resume_snapshot) straight from a
+    /// `.snap` file — the `silverc --resume` entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Snapshot`] when the file is unreadable or corrupt,
+    /// otherwise any [`StackError`].
+    pub fn resume_file(&self, path: &Path, rc: &RunConfig) -> Result<StackResult, StackError> {
+        self.resume_snapshot(&Snapshot::read_from(path)?, rc)
+    }
+
+    /// Reference-interpreter run in checkpoint-sized slices, rewriting
+    /// the rolling snapshot after each full slice. Slicing cannot
+    /// change behaviour: `State::run` is deterministic and stops
+    /// pre-step on halt, so N slices of M retires classify exactly like
+    /// one run of N·M — `tests/checkpoint.rs` holds it to that.
+    fn run_ref_checkpointed(
+        &self,
+        mut state: State,
+        fuel: u64,
+        every: u64,
+        path: &Path,
+    ) -> Result<StackResult, StackError> {
+        let mut done = 0u64;
+        while done < fuel {
+            let chunk = every.min(fuel - done);
+            let n = state.run(chunk);
+            done += n;
+            if n < chunk {
+                break;
+            }
+            Snapshot::capture(&state).write_rolling(path)?;
+        }
+        Ok(self.finish_ref(&state, done < fuel))
+    }
+
+    /// Classification + stream extraction off a reference state, shared
+    /// by the chunked and resumed run paths. Delegates the exit verdict
+    /// to [`basis::classify_exit`] — the same function `run_to_halt`
+    /// uses — so every path agrees on `Exited`/`Wedged`/`OutOfFuel`.
+    fn finish_ref(&self, state: &State, fuel_left: bool) -> StackResult {
+        let (stdout, stderr) = extract_streams(&state.io_events);
+        StackResult {
+            exit: classify_exit(state, &self.layout, fuel_left),
+            stdout,
+            stderr,
+            instructions: state.instructions_retired,
+            cycles: None,
+            stats: Some(state.stats.clone()),
+        }
+    }
+
     /// Runs a loaded image on the [`jet`] translation-cache engine,
     /// classifying the end state exactly like the reference machine
     /// runner does. When [`RunConfig::shadow`] is set, a lockstep
@@ -552,16 +710,107 @@ impl Stack {
     /// proceeds once theorem J held over the whole execution.
     fn jet_result(&self, image: State, rc: &RunConfig) -> Result<StackResult, StackError> {
         if let Some(sample) = rc.shadow {
-            jet::run_shadow(&image, rc.fuel, sample, 0).map_err(StackError::Divergence)?;
+            self.shadow_check(&image, rc.fuel, sample, rc)?;
         }
         let mut j = jet::Jet::from_state(&image);
-        let retired = j.run(rc.fuel);
-        // Classify straight off the engine: everything the verdict needs
-        // (halt probe, exit-code word, PC, streams, stats) is readable
-        // without the full `into_state` memory write-back, which would
-        // cost more than the run itself on short workloads.
+        match rc.checkpoint_plan() {
+            Some((path, every)) => self.run_jet_checkpointed(j, rc.fuel, every, path),
+            None => {
+                let retired = j.run(rc.fuel);
+                Ok(self.classify_jet(&j, retired < rc.fuel))
+            }
+        }
+    }
+
+    /// The lockstep shadow oracle, checkpoint-anchored when a cadence
+    /// is configured: on a divergence the last good anchor (a verified
+    /// reference state) is replayed to confirm the bug reproduces from
+    /// the checkpoint — replaying `divergent − anchor` retires instead
+    /// of `divergent` from boot — and, when a checkpoint file is
+    /// configured, the anchor is written there so `silverc --resume`
+    /// can re-enter the failure neighbourhood directly.
+    fn shadow_check(
+        &self,
+        image: &State,
+        fuel: u64,
+        sample: u64,
+        rc: &RunConfig,
+    ) -> Result<(), StackError> {
+        let every = match (rc.checkpoint_interval, &rc.checkpoint) {
+            (Some(n), _) => n.max(1),
+            (None, Some(_)) => DEFAULT_CHECKPOINT_EVERY,
+            (None, None) => {
+                // No anchoring configured: plain whole-run shadow.
+                return jet::run_shadow(image, fuel, sample, 0)
+                    .map(|_| ())
+                    .map_err(StackError::Divergence);
+            }
+        };
+        match jet::run_shadow_anchored(image, fuel, sample, 0, every) {
+            Ok(_) => Ok(()),
+            Err(div) => {
+                let mut fx = div.forensics;
+                if let Some(anchor) = div.anchor.as_deref() {
+                    let step = fx.divergent_step.unwrap_or(div.anchor_retired);
+                    let replay_fuel = step.saturating_sub(div.anchor_retired).saturating_add(8);
+                    let reproduced = jet::run_shadow(anchor, replay_fuel, sample, 0).is_err();
+                    fx.notes.push(format!(
+                        "checkpoint-anchored replay from retire {}: {} within {} retires (saved {} boot retires)",
+                        div.anchor_retired,
+                        if reproduced {
+                            "divergence reproduced"
+                        } else {
+                            "not reproduced (translation-cache history dependent; replay from boot)"
+                        },
+                        replay_fuel,
+                        div.anchor_retired,
+                    ));
+                    if let Some(path) = rc.checkpoint.as_deref() {
+                        Snapshot::capture(anchor).write_rolling(path)?;
+                        fx.notes.push(format!(
+                            "anchor checkpoint written to {} (resume with --resume to replay)",
+                            path.display()
+                        ));
+                    }
+                }
+                Err(StackError::Divergence(fx))
+            }
+        }
+    }
+
+    /// Jet-engine run in checkpoint-sized slices; see
+    /// [`run_ref_checkpointed`](Stack::run_ref_checkpointed). Each
+    /// snapshot goes through [`Snapshot::capture_jet`], whose
+    /// memory write-back makes the bytes identical to a reference
+    /// checkpoint of the same logical state.
+    fn run_jet_checkpointed(
+        &self,
+        mut j: jet::Jet,
+        fuel: u64,
+        every: u64,
+        path: &Path,
+    ) -> Result<StackResult, StackError> {
+        let mut done = 0u64;
+        while done < fuel {
+            let chunk = every.min(fuel - done);
+            let n = j.run(chunk);
+            done += n;
+            if n < chunk {
+                break;
+            }
+            Snapshot::capture_jet(&j).write_rolling(path)?;
+        }
+        Ok(self.classify_jet(&j, done < fuel))
+    }
+
+    /// Classifies the jet engine's end state. Reads straight off the
+    /// engine: everything the verdict needs (halt probe, exit-code
+    /// word, PC, streams, stats) is readable without the full
+    /// `into_state` memory write-back, which would cost more than the
+    /// run itself on short workloads.
+    fn classify_jet(&self, j: &jet::Jet, fuel_left: bool) -> StackResult {
         let (stdout, stderr) = extract_streams(&j.io_events);
-        let exit = if retired == rc.fuel && !j.is_halted() {
+        let exit = if !fuel_left && !j.is_halted() {
             ExitStatus::OutOfFuel
         } else {
             let code = j.mem().read_word(self.layout.exit_code_addr);
@@ -571,14 +820,14 @@ impl Stack {
                 ExitStatus::Wedged
             }
         };
-        Ok(StackResult {
+        StackResult {
             exit,
             stdout,
             stderr,
-            instructions: retired,
+            instructions: j.instructions_retired,
             cycles: None,
-            stats: Some(j.stats),
-        })
+            stats: Some(j.stats.clone()),
+        }
     }
 
     fn rtl_result(

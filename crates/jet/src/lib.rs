@@ -79,4 +79,4 @@ pub mod shadow;
 
 pub use engine::{Jet, JetCounters};
 pub use mem::JetMemory;
-pub use shadow::{run_shadow, ShadowReport};
+pub use shadow::{run_shadow, run_shadow_anchored, AnchoredDivergence, ShadowReport};

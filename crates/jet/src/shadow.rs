@@ -108,6 +108,23 @@ fn first_mem_delta(spec: &ag32::Memory, jet: &ag32::Memory) -> Option<RegDelta> 
     None
 }
 
+/// A shadow divergence together with the last good checkpoint before
+/// it — the raw material for checkpoint-anchored triage: replay the
+/// divergence from `anchor` (a deep copy of the reference state,
+/// correct by definition of the lockstep) instead of from boot.
+#[derive(Debug)]
+pub struct AnchoredDivergence {
+    /// The forensics report; `replay_anchor` is set when an anchor was
+    /// captured before the divergence.
+    pub forensics: Box<Forensics>,
+    /// Reference state at the last checkpoint boundary, `None` when the
+    /// divergence hit before the first boundary.
+    pub anchor: Option<Box<State>>,
+    /// Retire index (relative to this shadow run) the anchor was
+    /// captured at; `0` means boot.
+    pub anchor_retired: u64,
+}
+
 struct Shadow {
     spec: State,
     jet: Jet,
@@ -115,10 +132,12 @@ struct Shadow {
     jet_tail: VecDeque<String>,
     retired: u64,
     full_compares: u64,
+    anchor: Option<Box<State>>,
+    anchor_retired: u64,
 }
 
 impl Shadow {
-    fn forensics(&self, deltas: Vec<RegDelta>, note: Option<String>) -> Box<Forensics> {
+    fn forensics(&mut self, deltas: Vec<RegDelta>, note: Option<String>) -> AnchoredDivergence {
         let mut fx = Forensics::new("theorem J: jet \u{2261} Next", "isa", "jet");
         fx.divergent_step = Some(self.retired);
         fx.deltas = deltas;
@@ -127,7 +146,14 @@ impl Shadow {
         if let Some(n) = note {
             fx.notes.push(n);
         }
-        Box::new(fx)
+        if self.anchor.is_some() {
+            fx.replay_anchor = Some(self.anchor_retired);
+        }
+        AnchoredDivergence {
+            forensics: Box::new(fx),
+            anchor: self.anchor.take(),
+            anchor_retired: self.anchor_retired,
+        }
     }
 }
 
@@ -152,6 +178,27 @@ pub fn run_shadow(
     sample: u64,
     alu_fault_xor: u32,
 ) -> Result<ShadowReport, Box<Forensics>> {
+    run_shadow_anchored(image, fuel, sample, alu_fault_xor, 0).map_err(|d| d.forensics)
+}
+
+/// [`run_shadow`] with checkpoint anchoring: every `checkpoint_every`
+/// retires (0 = never) the reference state is cloned as the current
+/// anchor, and a divergence returns that last good anchor alongside the
+/// forensics so triage can replay `divergent_step − anchor_retired`
+/// instructions from the checkpoint instead of `divergent_step` from
+/// boot. The anchor is the *reference* side, which the lockstep had
+/// verified up to that boundary.
+///
+/// # Errors
+///
+/// The first divergence, with the last checkpoint anchor attached.
+pub fn run_shadow_anchored(
+    image: &State,
+    fuel: u64,
+    sample: u64,
+    alu_fault_xor: u32,
+    checkpoint_every: u64,
+) -> Result<ShadowReport, AnchoredDivergence> {
     let mut sh = Shadow {
         spec: image.clone(),
         jet: Jet::from_state(image),
@@ -159,6 +206,8 @@ pub fn run_shadow(
         jet_tail: VecDeque::new(),
         retired: 0,
         full_compares: 0,
+        anchor: None,
+        anchor_retired: 0,
     };
     sh.jet.alu_fault_xor = alu_fault_xor;
 
@@ -201,6 +250,12 @@ pub fn run_shadow(
             if !deltas.is_empty() {
                 return Err(sh.forensics(deltas, None));
             }
+        }
+        // Anchor only after this retire's comparisons all passed: the
+        // clone is a *verified-good* reference state.
+        if checkpoint_every > 0 && sh.retired % checkpoint_every == 0 {
+            sh.anchor = Some(Box::new(sh.spec.clone()));
+            sh.anchor_retired = sh.retired;
         }
     }
 
@@ -270,5 +325,49 @@ mod tests {
         let text = fx.render();
         assert!(text.contains("divergent step"), "{text}");
         assert!(text.contains("jet"), "{text}");
+    }
+
+    /// A late divergence (the injected fault only bites `Normal` ALU
+    /// ops, and the program's first ALU op sits behind a prefix of
+    /// `li`s spanning two checkpoint boundaries) hands back a
+    /// verified-good reference state from which the divergence replays
+    /// in far fewer retires than from boot.
+    #[test]
+    fn anchored_divergence_carries_a_replayable_checkpoint() {
+        let mut a = Assembler::new(0);
+        for i in 1..=10 {
+            a.li(Reg::new(i), u32::from(i)); // LoadConstant: unaffected by the ALU fault
+        }
+        a.normal(Func::Add, Reg::new(11), Ri::Reg(Reg::new(1)), Ri::Reg(Reg::new(2)));
+        a.halt(Reg::new(61));
+        let mut image = State::new();
+        image.mem.write_bytes(0, &a.assemble().expect("assembles"));
+
+        let fault = 1 << 4;
+        let div = run_shadow_anchored(&image, 10_000, 1, fault, 4)
+            .expect_err("the ALU fault must be caught");
+        let step = div.forensics.divergent_step.expect("divergent retire named");
+        let anchor = div.anchor.as_deref().expect("divergence is past the first boundary");
+        assert_eq!(div.forensics.replay_anchor, Some(div.anchor_retired));
+        assert!(div.anchor_retired > 0 && div.anchor_retired <= step);
+        assert_eq!(anchor.instructions_retired, div.anchor_retired);
+
+        // Replaying from the anchor with the same fault reproduces the
+        // divergence within the remaining fuel — and without the fault
+        // the anchor is a clean state (theorem J holds from there).
+        let remaining = step - div.anchor_retired + 8;
+        run_shadow(anchor, remaining, 1, fault)
+            .expect_err("replay from the anchor reproduces the divergence");
+        run_shadow(anchor, 10_000, 1, 0).expect("anchor itself is a good state");
+    }
+
+    /// An early divergence (before the first checkpoint boundary)
+    /// reports no anchor rather than a stale one.
+    #[test]
+    fn divergence_before_first_boundary_has_no_anchor() {
+        let div = run_shadow_anchored(&looped_image(), 10_000, 1, 1, 1_000)
+            .expect_err("an always-on ALU fault diverges immediately");
+        assert!(div.anchor.is_none());
+        assert_eq!(div.forensics.replay_anchor, None);
     }
 }

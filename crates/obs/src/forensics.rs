@@ -48,6 +48,10 @@ pub struct Forensics {
     /// VCD text covering a window of cycles around the divergence
     /// (empty when waveform capture was off).
     pub vcd_window: String,
+    /// Retire count of the last good checkpoint before the divergence,
+    /// when the run was checkpoint-anchored — triage replays from this
+    /// retire instead of from boot.
+    pub replay_anchor: Option<u64>,
     /// Free-form notes (timeout diagnostics, wedge states, …).
     pub notes: Vec<String>,
 }
@@ -75,6 +79,11 @@ impl Forensics {
             (Some(s), None) => out.push_str(&format!("divergent step: {s} (retire index)\n")),
             (None, Some(c)) => out.push_str(&format!("divergent cycle: {c}\n")),
             (None, None) => {}
+        }
+        if let Some(anchor) = self.replay_anchor {
+            out.push_str(&format!(
+                "replay anchor: retire {anchor} (replay from this checkpoint, not from boot)\n"
+            ));
         }
         if !self.deltas.is_empty() {
             out.push_str(&format!(
@@ -146,8 +155,10 @@ mod tests {
         fx.spec_tail.push("#16 0x00000040 Add r5 <- r5, 1".to_string());
         fx.impl_tail.push("#16 0x00000040 retired, pc -> 0x00000044".to_string());
         fx.vcd_window = "$version silver-stack obs $end".to_string();
+        fx.replay_anchor = Some(16);
         let text = fx.render();
         assert!(text.contains("divergent step: 17"), "{text}");
+        assert!(text.contains("replay anchor: retire 16"), "{text}");
         assert!(text.contains("cycle: 103"));
         assert!(text.contains("r5"));
         assert!(text.contains("isa=0x00000007"));

@@ -44,10 +44,12 @@
 pub mod cpu;
 pub mod env;
 pub mod lockstep;
+pub mod snapshot;
 pub mod trace;
 pub mod verilog_level;
 
 pub use cpu::silver_cpu;
+pub use snapshot::{SnapEngine, Snapshot, SnapshotError};
 pub use env::{Latency, MemEnv, MemEnvConfig};
 pub use lockstep::{
     run_lockstep, run_lockstep_in, run_rtl_program, run_rtl_program_observed, LockstepError,

@@ -23,6 +23,11 @@
 //! * [`par`] — a `std::thread` fan-out helper so differential suites
 //!   can run seeds across cores.
 //!
+//! On top of these, [`crash`] states crash-resume equivalence — "a run
+//! killed at an arbitrary point and resumed from its checkpoint is
+//! indistinguishable from the uninterrupted run" — as a reusable,
+//! format-agnostic obligation for the snapshot/replay layer.
+//!
 //! # Environment knobs
 //!
 //! | variable | effect |
@@ -34,10 +39,12 @@
 //! | `BENCH_OUT` | path for bench JSON-lines output (default `BENCH_<suite>.json`) |
 
 pub mod bench;
+pub mod crash;
 pub mod par;
 pub mod prop;
 pub mod rng;
 
+pub use crash::crash_resume_equiv;
 pub use prop::{check, shrink_choices, Config, Ctx};
 pub use rng::{Rng, SplitMix64, TestRng};
 

@@ -90,6 +90,22 @@ grep -Eq 'rt_|main' "$obs_scratch/rtl.folded"
     --stdin "$obs_scratch/in.txt" --engine jet --shadow \
     > "$obs_scratch/out_jet.txt" 2> "$obs_scratch/err_jet.txt"
 cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_jet.txt"
+# Snapshot/replay: a checkpointed run writes a rolling checkpoint and
+# produces the same stdout as the plain run; the checkpoint resumes on
+# either engine and still produces byte-identical stdout (the CLI face
+# of the crash-resume equivalence the t-snap target fuzzes).
+./target/release/silverc "$obs_scratch/sort.cml" \
+    --stdin "$obs_scratch/in.txt" \
+    --checkpoint "$obs_scratch/ck.snap" --checkpoint-every 2000 \
+    > "$obs_scratch/out_ck.txt" 2> /dev/null
+cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_ck.txt"
+test -f "$obs_scratch/ck.snap"
+./target/release/silverc --resume "$obs_scratch/ck.snap" \
+    > "$obs_scratch/out_resume.txt" 2> /dev/null
+cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_resume.txt"
+./target/release/silverc --resume "$obs_scratch/ck.snap" --engine jet \
+    > "$obs_scratch/out_resume_jet.txt" 2> /dev/null
+cmp -s "$obs_scratch/out.txt" "$obs_scratch/out_resume_jet.txt"
 # Campaign metrics: a tiny seeded campaign must emit latency histograms.
 ./target/release/silver-fuzz --target t2 --budget 30 --seed 1 --no-triage \
     --report "$obs_scratch/BENCH_campaign.json" \
@@ -137,6 +153,22 @@ fi
 grep -q 'run_shadow' tests/engines.rs
 grep -q 'run_shadow' crates/campaign/src/targets.rs
 echo "ok: ref engine default, shadow off by default but exercised in checks"
+
+echo "== snapshot hygiene guard =="
+# The snapshot format must stay deterministic: the writers may not read
+# the clock, and sparse memory must be serialised in canonical page-id
+# order (all-zero pages omitted) so ref and jet captures byte-match.
+if grep -nE 'std::time|SystemTime|Instant' \
+    crates/silver/src/snapshot.rs crates/basis/src/snap.rs; then
+    echo "snapshot writers must not read the clock" >&2
+    exit 1
+fi
+grep -q 'nonzero_resident_page_ids' crates/silver/src/snapshot.rs
+grep -q 'sort_unstable' crates/ag32/src/mem.rs
+# Rolling checkpoints must go through the tmp-plus-rename path so a
+# crash mid-write never leaves a torn file.
+grep -q 'write_rolling' crates/core/src/stack.rs
+echo "ok: snapshot writers are clock-free and canonically ordered"
 
 echo "== engines bench artifact check =="
 # `cargo bench --bench engines` (not run here: it times multi-second
