@@ -10,6 +10,7 @@
 //! | target | relation | paper |
 //! |---|---|---|
 //! | `t2`, `t2-gc`, `t2-noopt` | interpreter ↔ compiled ISA code | theorem (2) |
+//! | `t2@jet` family | the same relation, verdict run on the jet engine under full shadow | theorem (2) ∘ theorem J |
 //! | `t9` | ISA ↔ circuit lockstep | theorem (9) |
 //! | `t10` | circuit ↔ generated Verilog | theorem (10) |
 //! | `syscall` | oracle ↔ system-call machine code | theorems (11)–(13) |
@@ -104,10 +105,13 @@ pub trait Target: Sync {
 
 // ---- theorem (2): interpreter vs compiled ISA code ----
 
-/// Compiler correctness under one [`CompilerConfig`].
+/// Compiler correctness under one [`CompilerConfig`], executed on the
+/// reference interpreter or — the campaign-throughput configuration —
+/// on the jet translation-cache engine under full lockstep shadow.
 pub struct CompilerTarget {
     name: &'static str,
     cfg: CompilerConfig,
+    jet: bool,
 }
 
 impl CompilerTarget {
@@ -117,8 +121,12 @@ impl CompilerTarget {
     pub fn matrix() -> Vec<CompilerTarget> {
         let base = CompilerConfig { prelude: false, ..CompilerConfig::default() };
         vec![
-            CompilerTarget { name: "t2", cfg: base.clone() },
-            CompilerTarget { name: "t2-gc", cfg: CompilerConfig { gc: true, ..base.clone() } },
+            CompilerTarget { name: "t2", cfg: base.clone(), jet: false },
+            CompilerTarget {
+                name: "t2-gc",
+                cfg: CompilerConfig { gc: true, ..base.clone() },
+                jet: false,
+            },
             CompilerTarget {
                 name: "t2-noopt",
                 cfg: CompilerConfig {
@@ -127,8 +135,32 @@ impl CompilerTarget {
                     const_fold: false,
                     ..base
                 },
+                jet: false,
             },
         ]
+    }
+
+    /// The same config matrix sharded onto the jet engine with full
+    /// shadow on: every case is still compared retire-for-retire
+    /// against the reference interpreter (theorem J), but the verdict
+    /// run and the coverage stats come from jet. Comparing this
+    /// family's case rate with [`matrix`](CompilerTarget::matrix)'s is
+    /// the campaign-throughput experiment (`BENCH_campaign.json`
+    /// engine-rate lines).
+    #[must_use]
+    pub fn jet_matrix() -> Vec<CompilerTarget> {
+        Self::matrix()
+            .into_iter()
+            .map(|t| CompilerTarget {
+                name: match t.name {
+                    "t2" => "t2@jet",
+                    "t2-gc" => "t2-gc@jet",
+                    _ => "t2-noopt@jet",
+                },
+                cfg: t.cfg,
+                jet: true,
+            })
+            .collect()
     }
 }
 
@@ -179,6 +211,36 @@ impl Target for CompilerTarget {
             }),
         );
         s.pc = layout.code_base;
+
+        if self.jet {
+            // Full shadow first: theorem J over the whole execution,
+            // with forensics on divergence. Then the jet verdict run
+            // (cheap next to the shadow) for exit code and stats; edge
+            // coverage stays empty — this family is throughput-oriented.
+            if let Err(fx) = jet::run_shadow(&s, 100_000_000, 1, 0) {
+                return CaseOutcome::fail(
+                    cov,
+                    "jet vs isa",
+                    format!("{}\nfor:\n{src}", fx.render()),
+                );
+            }
+            let mut j = jet::Jet::from_state(&s);
+            j.run(100_000_000);
+            cov.stats = j.stats.clone();
+            if !j.is_halted() {
+                return CaseOutcome::fail(cov, "jet", format!("compiled code did not halt\n{src}"));
+            }
+            let got = j.mem().read_word(layout.exit_code_addr) as u8;
+            if got != spec {
+                return CaseOutcome::fail(
+                    cov,
+                    "jet vs source",
+                    format!("exit {got} vs {spec} for:\n{src}"),
+                );
+            }
+            return CaseOutcome::pass(cov);
+        }
+
         s.run_with(100_000_000, &mut cov.edges);
         if !s.is_halted() {
             cov.stats = s.stats.clone();
@@ -632,6 +694,13 @@ pub fn registry(selection: &str) -> Result<Vec<Box<dyn Target>>, String> {
             out.push(Box::new(SnapTarget));
         }
         "t2" => out.extend(CompilerTarget::matrix().into_iter().map(|t| Box::new(t) as _)),
+        "t2@jet" | "t2-jet" => {
+            out.extend(CompilerTarget::jet_matrix().into_iter().map(|t| Box::new(t) as _));
+        }
+        "t2@both" => {
+            out.extend(CompilerTarget::matrix().into_iter().map(|t| Box::new(t) as _));
+            out.extend(CompilerTarget::jet_matrix().into_iter().map(|t| Box::new(t) as _));
+        }
         "t9" | "lockstep" => out.push(Box::new(LockstepTarget)),
         "t10" | "verilog" => out.push(Box::new(VerilogTarget)),
         "syscall" | "ffi" => out.push(Box::new(SyscallTarget)),
@@ -639,7 +708,7 @@ pub fn registry(selection: &str) -> Result<Vec<Box<dyn Target>>, String> {
         "t-snap" | "snap" => out.push(Box::new(SnapTarget)),
         other => {
             return Err(format!(
-                "unknown target {other:?}; expected one of: all, t2, t9, t10, syscall, t-jet, t-snap"
+                "unknown target {other:?}; expected one of: all, t2, t2@jet, t2@both, t9, t10, syscall, t-jet, t-snap"
             ))
         }
     }
@@ -655,6 +724,8 @@ mod tests {
     fn registry_resolves_and_rejects() {
         assert_eq!(registry("all").expect("all").len(), 8);
         assert_eq!(registry("t2").expect("t2").len(), 3);
+        assert_eq!(registry("t2@jet").expect("t2@jet").len(), 3);
+        assert_eq!(registry("t2@both").expect("t2@both").len(), 6);
         assert_eq!(registry("t9").expect("t9").len(), 1);
         assert_eq!(registry("t-jet").expect("t-jet").len(), 1);
         assert_eq!(registry("t-snap").expect("t-snap").len(), 1);
@@ -679,6 +750,26 @@ mod tests {
             assert_eq!(again.verdict, out.verdict);
             assert_eq!(again.cov.stats, out.cov.stats);
         }
+    }
+
+    #[test]
+    fn jet_compiler_target_passes_and_replays_deterministically() {
+        let jets = CompilerTarget::jet_matrix();
+        assert_eq!(
+            jets.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            ["t2@jet", "t2-gc@jet", "t2-noopt@jet"],
+        );
+        let t = &jets[0];
+        let mut rng = TestRng::seed_from_u64(0xCA5E);
+        let mut ctx = Ctx::recording(&mut rng);
+        let out = t.run_case(&mut ctx);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.cov.stats.total() > 0, "no instructions retired on jet");
+
+        let choices = ctx.recorded_choices().to_vec();
+        let again = t.run_case(&mut Ctx::replaying(&choices));
+        assert_eq!(again.verdict, out.verdict);
+        assert_eq!(again.cov.stats, out.cov.stats);
     }
 
     #[test]

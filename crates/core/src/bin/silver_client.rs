@@ -1,0 +1,254 @@
+//! `silver-client` — talk to a `silver-serve` instance.
+//!
+//! ```sh
+//! silver-client (--unix PATH | --tcp ADDR) submit (--app NAME | --source FILE)
+//!               [--tenant NAME] [--arg ARG]... [--stdin FILE|-]
+//!               [--fuel N] [--engine auto|ref|jet] [--shadow] [--meta]
+//! silver-client (--unix PATH | --tcp ADDR) stats
+//! silver-client (--unix PATH | --tcp ADDR) ping
+//! silver-client (--unix PATH | --tcp ADDR) shutdown
+//! silver-client (--unix PATH | --tcp ADDR) loadgen [--tenants N] [--jobs N]
+//!               [--distinct N] [--conns N] [--seed N] [--fuel N]
+//! ```
+//!
+//! `submit` forwards the job's stdout/stderr and exits with its exit
+//! code (2 for any abnormal status); `--meta` additionally prints
+//! `cached=`/`engine=`/`shadowed=`/`instructions=` to stderr. `--app`
+//! picks a program from the built-in corpus (`hello`, `wc`, `cat`,
+//! `sort`, …). `loadgen` replays the seeded mixed workload from
+//! `service::loadgen` — N tenants × M jobs over the app corpus with
+//! deliberate duplicates — and prints a `service-loadgen` JSON summary
+//! line to stdout.
+
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use service::wire::Response;
+use service::{
+    loadgen, Client, Endpoint, EnginePref, JobSpec, JobStatus, LoadgenConfig, ShadowPref,
+};
+use silver_stack::apps;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: silver-client (--unix PATH | --tcp ADDR) COMMAND\n\
+         commands:\n\
+         \x20 submit (--app NAME | --source FILE) [--tenant NAME] [--arg ARG]...\n\
+         \x20        [--stdin FILE|-] [--fuel N] [--engine auto|ref|jet] [--shadow] [--meta]\n\
+         \x20 stats | ping | shutdown\n\
+         \x20 loadgen [--tenants N] [--jobs N] [--distinct N] [--conns N] [--seed N] [--fuel N]"
+    );
+    std::process::exit(2)
+}
+
+fn app_source(name: &str) -> String {
+    match apps::ALL.iter().find(|(n, _)| *n == name) {
+        Some((_, src)) => (*src).to_string(),
+        None => {
+            let known: Vec<&str> = apps::ALL.iter().map(|(n, _)| *n).collect();
+            eprintln!("silver-client: unknown --app `{name}`; known: {}", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Submit {
+    spec: JobSpec,
+    meta: bool,
+}
+
+fn parse_submit(args: &mut impl Iterator<Item = String>) -> Submit {
+    let mut spec = JobSpec::new("default", "");
+    let mut meta = false;
+    let need = |v: Option<String>| v.unwrap_or_else(|| usage());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--app" => spec.source = app_source(&need(args.next())),
+            "--source" => {
+                let path = need(args.next());
+                spec.source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("silver-client: cannot read `{path}`: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--tenant" => spec.tenant = need(args.next()),
+            "--arg" => spec.args.push(need(args.next())),
+            "--stdin" => match need(args.next()).as_str() {
+                "-" => {
+                    std::io::stdin().read_to_end(&mut spec.stdin).expect("read stdin");
+                }
+                path => {
+                    spec.stdin = std::fs::read(path).unwrap_or_else(|e| {
+                        eprintln!("silver-client: cannot read stdin file `{path}`: {e}");
+                        std::process::exit(2);
+                    });
+                }
+            },
+            "--fuel" => {
+                spec.fuel = need(args.next()).parse().unwrap_or_else(|_| usage());
+            }
+            "--engine" => {
+                spec.engine = match need(args.next()).as_str() {
+                    "auto" => EnginePref::Auto,
+                    "ref" => EnginePref::Ref,
+                    "jet" => EnginePref::Jet,
+                    _ => usage(),
+                }
+            }
+            "--shadow" => spec.shadow = ShadowPref::Always,
+            "--meta" => meta = true,
+            _ => usage(),
+        }
+    }
+    if spec.source.is_empty() {
+        eprintln!("silver-client: submit needs --app NAME or --source FILE");
+        std::process::exit(2);
+    }
+    Submit { spec, meta }
+}
+
+fn parse_loadgen(args: &mut impl Iterator<Item = String>) -> LoadgenConfig {
+    let mut cfg = LoadgenConfig::default();
+    let need = |v: Option<String>| v.unwrap_or_else(|| usage());
+    let num = |v: Option<String>| need(v).parse::<u64>().unwrap_or_else(|_| usage());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tenants" => cfg.tenants = num(args.next()).max(1) as usize,
+            "--jobs" => cfg.jobs = num(args.next()) as usize,
+            "--distinct" => cfg.distinct = num(args.next()).max(1) as usize,
+            "--conns" => cfg.conns = num(args.next()).max(1) as usize,
+            "--seed" => cfg.seed = num(args.next()),
+            "--fuel" => cfg.fuel = num(args.next()).max(1),
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn connect(endpoint: &Endpoint) -> Client {
+    Client::connect(endpoint).unwrap_or_else(|e| {
+        eprintln!("silver-client: cannot connect to {endpoint}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn run_submit(endpoint: &Endpoint, sub: &Submit) -> ExitCode {
+    let mut client = connect(endpoint);
+    match client.submit(&sub.spec) {
+        Ok(Response::Done(out)) => {
+            std::io::stdout().write_all(&out.stdout).expect("stdout");
+            std::io::stderr().write_all(&out.stderr).expect("stderr");
+            if sub.meta {
+                eprintln!(
+                    "silver-client: cached={} engine={} shadowed={} migrations={} instructions={}",
+                    out.cached,
+                    out.engine.name(),
+                    out.shadowed,
+                    out.migrations,
+                    out.instructions,
+                );
+            }
+            match out.status {
+                JobStatus::Exited(c) => ExitCode::from(c),
+                other => {
+                    eprintln!("silver-client: abnormal termination: {other}");
+                    if !out.message.is_empty() {
+                        eprintln!("silver-client: {}", out.message);
+                    }
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Ok(Response::Rejected { code, reason }) => {
+            eprintln!("silver-client: rejected (code {code}): {reason}");
+            ExitCode::from(2)
+        }
+        Ok(other) => {
+            eprintln!("silver-client: unexpected response: {other:?}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("silver-client: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut endpoint = None;
+    let mut command = None;
+    let need = |v: Option<String>| v.unwrap_or_else(|| usage());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--unix" => endpoint = Some(Endpoint::Unix(PathBuf::from(need(args.next())))),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(need(args.next()))),
+            "--help" | "-h" => usage(),
+            cmd => {
+                command = Some(cmd.to_string());
+                break;
+            }
+        }
+    }
+    let Some(endpoint) = endpoint else { usage() };
+    let Some(command) = command else { usage() };
+
+    match command.as_str() {
+        "submit" => {
+            let sub = parse_submit(&mut args);
+            run_submit(&endpoint, &sub)
+        }
+        "stats" => match connect(&endpoint).stats() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("silver-client: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "ping" => match connect(&endpoint).ping() {
+            Ok(()) => {
+                eprintln!("silver-client: pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("silver-client: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "shutdown" => match connect(&endpoint).shutdown() {
+            Ok(()) => {
+                eprintln!("silver-client: server acknowledged shutdown");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("silver-client: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "loadgen" => {
+            let cfg = parse_loadgen(&mut args);
+            match loadgen(&endpoint, &cfg, apps::ALL) {
+                Ok(summary) => {
+                    println!("{}", summary.json_line());
+                    if summary.divergences > 0 {
+                        eprintln!(
+                            "silver-client: {} shadow divergences — engine bug!",
+                            summary.divergences
+                        );
+                        return ExitCode::from(1);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("silver-client: loadgen: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -12,9 +12,12 @@
 //! `campaign::registry` and `silver_stack::full_registry`): `t2`,
 //! `t2-gc`, `t2-noopt`, `t9`, `t10`, `syscall`, `t-jet`, `t-snap`,
 //! `e2e`, or the
-//! selections `t2` (all three compiler configurations) and `all`
-//! (everything). `--budget` accepts a case count (`--budget 2000`,
-//! deterministic reports) or a wall-clock duration (`--budget 60s`).
+//! selections `t2` (all three compiler configurations), `t2@jet` (the
+//! same matrix with the verdict run on the jet engine under full
+//! shadow), `t2@both` (both families — the engine-throughput
+//! comparison) and `all` (everything). `--budget` accepts a case count
+//! (`--budget 2000`, deterministic reports) or a wall-clock duration
+//! (`--budget 60s`).
 //! The JSON-lines report is written to `BENCH_campaign.json` (override
 //! with `--report`); the human summary goes to stderr. `--replay`
 //! accepts either `<target>:<hex,hex,...>` (as printed in repro lines)
@@ -27,6 +30,10 @@
 //! utilization — are appended to `BENCH_metrics.json` (override with
 //! `--metrics FILE`, disable with `--no-metrics`); these are wall-clock
 //! observations, deliberately kept out of the deterministic report.
+//! When an engine-comparison family ran (target names containing `@`),
+//! per-target `cases_per_sec` lines are additionally appended to the
+//! report file after its deterministic body — the campaign-throughput
+//! experiment's artifact.
 //!
 //! Exit code: 0 when every case passed, 1 when any failed, 2 on usage
 //! or I/O errors.
@@ -49,7 +56,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: silver-fuzz [--target t2|t2-gc|t2-noopt|t9|t10|syscall|t-jet|t-snap|e2e|all]\n\
+        "usage: silver-fuzz [--target t2|t2@jet|t2@both|t2-gc|t2-noopt|t9|t10|syscall|t-jet|t-snap|e2e|all]\n\
          \x20                 [--shards N] [--budget N|Ns] [--seed N]\n\
          \x20                 [--replay TARGET:HEX,HEX,...|SEEDFILE] [--triage|--no-triage]\n\
          \x20                 [--corpus DIR] [--report FILE] [--regressions FILE]\n\
@@ -158,6 +165,50 @@ fn main() -> ExitCode {
     }
     eprint!("{}", report.summary());
     eprintln!("silver-fuzz: report written to {}", opts.report.display());
+    // Engine-throughput lines: when an engine-comparison family ran,
+    // derive cases/sec per target from the case-latency histograms and
+    // append them to the report file. Wall-clock observations — kept
+    // out of the deterministic report body, appended after it.
+    if targets.iter().any(|t| t.name().contains('@')) {
+        let mut lines = String::new();
+        let mut agg = std::collections::BTreeMap::new();
+        for t in &targets {
+            let h = registry.histogram(&format!("campaign.case_us.{}", t.name()));
+            if h.count() == 0 {
+                continue;
+            }
+            let engine = if t.name().ends_with("@jet") { "jet" } else { "ref" };
+            let rate = 1e6 * h.count() as f64 / h.sum().max(1) as f64;
+            lines.push_str(&format!(
+                "{{\"suite\":\"campaign\",\"engine\":\"{engine}\",\"target\":\"{}\",\"cases\":{},\"cases_per_sec\":{rate:.2}}}\n",
+                t.name(),
+                h.count(),
+            ));
+            let (cases, us) = agg.entry(engine).or_insert((0u64, 0u64));
+            *cases += h.count();
+            *us += h.sum();
+        }
+        for (engine, (cases, us)) in &agg {
+            lines.push_str(&format!(
+                "{{\"suite\":\"campaign\",\"engine\":\"{engine}\",\"target\":\"*\",\"cases\":{cases},\"cases_per_sec\":{:.2}}}\n",
+                1e6 * *cases as f64 / (*us).max(1) as f64,
+            ));
+        }
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&opts.report)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, lines.as_bytes()));
+        match appended {
+            Ok(()) => eprintln!(
+                "silver-fuzz: engine-rate lines appended to {}",
+                opts.report.display()
+            ),
+            Err(e) => {
+                eprintln!("silver-fuzz: cannot append to {}: {e}", opts.report.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
     if let Some(path) = &opts.metrics {
         if let Err(e) = registry.append_to(path) {
             eprintln!("silver-fuzz: cannot write {}: {e}", path.display());

@@ -1,0 +1,101 @@
+//! `silver-serve` — the multi-tenant execution server.
+//!
+//! ```sh
+//! silver-serve (--unix PATH | --tcp ADDR) [--shards N] [--queue N]
+//!              [--cache N] [--shadow-every N] [--shadow-sample N]
+//!              [--checkpoint-every N] [--engine ref|jet]
+//!              [--tenant-fuel N] [--tenant-depth N] [--max-job-fuel N]
+//!              [--bench FILE]
+//! ```
+//!
+//! Accepts compile+run jobs over the length-prefixed wire protocol
+//! (see `EXPERIMENTS.md`, "Silver as a service"), executes them on a
+//! sharded worker pool, and serves until a client sends `shutdown`.
+//! On shutdown the queue drains, workers join, and — with `--bench` —
+//! the metrics registry is written as `BENCH_service.json`.
+//!
+//! Safety defaults: jobs run on the jet engine with shadow sampling
+//! **on** (every 8th job is checked in full lockstep against the
+//! reference interpreter). `--shadow-every 0` turns sampling off;
+//! individual jobs may still force a check but can never opt out of a
+//! sampled one.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use service::{serve, Endpoint, ServeEngine, Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: silver-serve (--unix PATH | --tcp ADDR) [--shards N] [--queue N] [--cache N]\n\
+         \x20                  [--shadow-every N] [--shadow-sample N] [--checkpoint-every N]\n\
+         \x20                  [--engine ref|jet] [--tenant-fuel N] [--tenant-depth N]\n\
+         \x20                  [--max-job-fuel N] [--bench FILE]"
+    );
+    std::process::exit(2)
+}
+
+struct Options {
+    endpoint: Option<Endpoint>,
+    bench: Option<PathBuf>,
+    cfg: ServiceConfig,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options { endpoint: None, bench: None, cfg: ServiceConfig::default() };
+    let need = |v: Option<String>| v.unwrap_or_else(|| usage());
+    let num = |v: Option<String>| need(v).parse::<u64>().unwrap_or_else(|_| usage());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--unix" => opts.endpoint = Some(Endpoint::Unix(PathBuf::from(need(args.next())))),
+            "--tcp" => opts.endpoint = Some(Endpoint::Tcp(need(args.next()))),
+            "--shards" => opts.cfg.shards = num(args.next()).max(1) as usize,
+            "--queue" => opts.cfg.queue_depth = num(args.next()).max(1) as usize,
+            "--cache" => opts.cfg.cache_capacity = num(args.next()) as usize,
+            "--shadow-every" => opts.cfg.shadow.every_jobs = num(args.next()),
+            "--shadow-sample" => opts.cfg.shadow.sample = num(args.next()).max(1),
+            "--checkpoint-every" => opts.cfg.checkpoint_every = num(args.next()).max(1),
+            "--engine" => {
+                opts.cfg.default_engine = match need(args.next()).as_str() {
+                    "ref" => ServeEngine::Ref,
+                    "jet" => ServeEngine::Jet,
+                    _ => usage(),
+                }
+            }
+            "--tenant-fuel" => opts.cfg.tenant.fuel_budget = num(args.next()),
+            "--tenant-depth" => opts.cfg.tenant.max_in_flight = num(args.next()) as usize,
+            "--max-job-fuel" => opts.cfg.tenant.max_job_fuel = num(args.next()),
+            "--bench" => opts.bench = Some(PathBuf::from(need(args.next()))),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let Some(endpoint) = opts.endpoint else { usage() };
+
+    let svc = std::sync::Arc::new(Service::start(opts.cfg.clone()));
+    eprintln!(
+        "silver-serve: listening on {endpoint} ({} shards, engine {}, shadow every {} jobs)",
+        opts.cfg.shards,
+        opts.cfg.default_engine.name(),
+        opts.cfg.shadow.every_jobs,
+    );
+    match serve(&svc, &endpoint, opts.bench.as_deref()) {
+        Ok(()) => {
+            if let Some(path) = &opts.bench {
+                eprintln!("silver-serve: bench written to {}", path.display());
+            }
+            eprintln!("silver-serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("silver-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

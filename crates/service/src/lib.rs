@@ -1,0 +1,111 @@
+//! Silver as a service: a multi-tenant execution server for the
+//! verified stack.
+//!
+//! The paper's stack gives a machine-checked guarantee that every
+//! engine implementing the Silver ISA behaves identically (theorem J,
+//! checked continuously by `jet::run_shadow`). That is exactly the
+//! property that makes it safe to serve untrusted compile+run jobs at
+//! scale on the *fastest* engine with *sampled* lockstep checking: the
+//! contract is one, the implementations are many, and the sampler keeps
+//! the implementations honest in production.
+//!
+//! Architecture (one crate, one process):
+//!
+//! ```text
+//! silver-client ──wire──▶ net::serve ──▶ Service::submit
+//!                                           │  validate → cache → admit
+//!                                           ▼
+//!                                bounded WorkQueue (testkit::pool)
+//!                                           │
+//!                              sharded WorkerPool (N workers)
+//!                                           │  compile → [shadow] → run in
+//!                                           │  checkpoint-sized slices
+//!                                           ▼
+//!                       JobOutcome ──▶ cache + tenant settle + metrics
+//! ```
+//!
+//! A worker stopped mid-job requeues the job at the queue front with
+//! its last rolling checkpoint ([`silver::snapshot::Snapshot`]); any
+//! worker resumes it byte-identically — the crash-resume contract of
+//! `tests/checkpoint.rs`, promoted to live job migration.
+//!
+//! Safety defaults are deliberate and guarded by CI:
+//! * shadow sampling is **on** by default (`every_jobs: 8`);
+//! * a cached result is **never** served without a cache-version check
+//!   ([`cache::ResultCache::lookup`]).
+
+pub mod cache;
+mod exec;
+pub mod client;
+pub mod job;
+pub mod net;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{loadgen, Client, LoadgenConfig, LoadgenSummary};
+pub use job::{
+    job_key, EnginePref, JobOutcome, JobSpec, JobStatus, ServeEngine, ShadowPref, CACHE_VERSION,
+};
+pub use net::{serve, Endpoint};
+pub use server::{RejectReason, Service};
+pub use tenant::{AdmitError, TenantPolicy, TenantTable};
+
+/// Shadow-sampling policy: every `every_jobs`-th executed job runs the
+/// full lockstep shadow oracle over its whole execution before the
+/// serving run (`0` disables sampling; jobs can still force a check
+/// via [`ShadowPref::Always`]). `sample` is the in-run cadence of full
+/// architectural comparisons (the PC is compared on every retire
+/// regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowPolicy {
+    /// Shadow-check every Nth executed job (0 = off).
+    pub every_jobs: u64,
+    /// Full register-file comparison every N retires within a check.
+    pub sample: u64,
+}
+
+impl Default for ShadowPolicy {
+    fn default() -> ShadowPolicy {
+        // Shadow sampling defaults ON: serving jet-by-default is only
+        // safe while theorem J keeps being spot-checked in production.
+        // (scripts/ci.sh pins this default.)
+        ShadowPolicy { every_jobs: 8, sample: 64 }
+    }
+}
+
+/// Service construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker (shard) count.
+    pub shards: usize,
+    /// Bounded shared queue depth (back-pressure bound).
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Shadow-sampling policy.
+    pub shadow: ShadowPolicy,
+    /// Rolling-checkpoint cadence in retires (also the migration
+    /// granularity: a stop is noticed at the next boundary).
+    pub checkpoint_every: u64,
+    /// Per-tenant metering policy.
+    pub tenant: TenantPolicy,
+    /// Engine for [`EnginePref::Auto`] jobs. Jet: the fastest engine is
+    /// the right default precisely because shadow sampling stays on.
+    pub default_engine: ServeEngine,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            shards: 4,
+            queue_depth: 256,
+            cache_capacity: 256,
+            shadow: ShadowPolicy::default(),
+            checkpoint_every: 100_000,
+            tenant: TenantPolicy::default(),
+            default_engine: ServeEngine::Jet,
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The in-process execution service: admission → cache → queue →
+//! sharded worker pool → outcome, with shadow sampling, checkpoint
+//! migration, and metrics.
+//!
+//! Submission path:
+//!
+//! 1. **Validate** the spec (non-empty source, no named files, fuel > 0).
+//! 2. **Cache lookup** by content key — a hit is served immediately
+//!    (after the mandatory cache-version check) without touching the
+//!    tenant's fuel budget.
+//! 3. **Admission** reserves the job's fuel and an in-flight slot
+//!    against the tenant's policy, then the job is enqueued on the
+//!    bounded work queue (back-pressure: a full queue rejects).
+//! 4. A **worker** compiles and runs the job in checkpoint-sized
+//!    slices. Every `shadow.every_jobs`-th executed job first runs the
+//!    full lockstep shadow oracle (theorem J) over its whole execution;
+//!    a divergence fails the job with forensics and is never cached.
+//! 5. A worker stopped mid-job requeues the job *at the front* of the
+//!    queue with its last rolling checkpoint; any worker — including a
+//!    freshly respawned one — resumes it from there. The resumed
+//!    result is byte-identical to an uninterrupted run (the crash-resume
+//!    contract, now as live job migration).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use basis::build_image;
+use cakeml::{compile_source, CompilerConfig, TargetLayout};
+use obs::metrics::Registry;
+use silver::snapshot::Snapshot;
+use testkit::pool::{PushError, WorkQueue, WorkerCtl, WorkerPool};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::exec::{run_sliced, ExecEnd, SliceEnv, Start};
+use crate::job::{job_key, EnginePref, JobOutcome, JobSpec, JobStatus, ServeEngine, ShadowPref};
+use crate::tenant::{AdmitError, TenantPolicy, TenantTable};
+use crate::{ServiceConfig, ShadowPolicy};
+
+/// Why the service refused a job at the door.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Per-job fuel cap exceeded.
+    JobFuel(String),
+    /// Tenant fuel budget exhausted.
+    FuelBudget(String),
+    /// Tenant in-flight cap reached.
+    QueueDepth(String),
+    /// The shared queue is full (global back-pressure).
+    QueueFull,
+    /// Malformed job.
+    BadRequest(String),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl RejectReason {
+    /// The wire code for this rejection.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        use crate::wire::reject_code as rc;
+        match self {
+            RejectReason::JobFuel(_) => rc::JOB_FUEL,
+            RejectReason::FuelBudget(_) => rc::FUEL_BUDGET,
+            RejectReason::QueueDepth(_) => rc::QUEUE_DEPTH,
+            RejectReason::QueueFull => rc::QUEUE_FULL,
+            RejectReason::BadRequest(_) => rc::BAD_REQUEST,
+            RejectReason::ShuttingDown => rc::SHUTTING_DOWN,
+        }
+    }
+
+    /// Human-readable reason.
+    #[must_use]
+    pub fn reason(&self) -> String {
+        match self {
+            RejectReason::JobFuel(s)
+            | RejectReason::FuelBudget(s)
+            | RejectReason::QueueDepth(s)
+            | RejectReason::BadRequest(s) => s.clone(),
+            RejectReason::QueueFull => "shared work queue is full".to_string(),
+            RejectReason::ShuttingDown => "service is shutting down".to_string(),
+        }
+    }
+}
+
+struct Pending {
+    spec: JobSpec,
+    key: u64,
+    engine: ServeEngine,
+    shadowed: bool,
+    resume: Option<Box<Snapshot>>,
+    migrations: u32,
+    tx: mpsc::Sender<JobOutcome>,
+    submitted: Instant,
+}
+
+struct Metrics {
+    registry: Registry,
+    submitted: Arc<obs::metrics::Counter>,
+    completed: Arc<obs::metrics::Counter>,
+    cached: Arc<obs::metrics::Counter>,
+    rejected: Arc<obs::metrics::Counter>,
+    shadow_jobs: Arc<obs::metrics::Counter>,
+    divergences: Arc<obs::metrics::Counter>,
+    migrations: Arc<obs::metrics::Counter>,
+    checkpoints: Arc<obs::metrics::Counter>,
+    cache_hits: Arc<obs::metrics::Counter>,
+    cache_misses: Arc<obs::metrics::Counter>,
+    cache_evictions: Arc<obs::metrics::Counter>,
+    job_us: Arc<obs::metrics::Histogram>,
+    exec_us: Arc<obs::metrics::Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = Registry::new();
+        Metrics {
+            submitted: registry.counter("service.jobs.submitted"),
+            completed: registry.counter("service.jobs.completed"),
+            cached: registry.counter("service.jobs.cached"),
+            rejected: registry.counter("service.jobs.rejected"),
+            shadow_jobs: registry.counter("service.shadow.jobs"),
+            divergences: registry.counter("service.shadow.divergences"),
+            migrations: registry.counter("service.migrations"),
+            checkpoints: registry.counter("service.checkpoints"),
+            cache_hits: registry.counter("service.cache.hits"),
+            cache_misses: registry.counter("service.cache.misses"),
+            cache_evictions: registry.counter("service.cache.evictions"),
+            job_us: registry.histogram("service.job_us"),
+            exec_us: registry.histogram("service.exec_us"),
+            registry,
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    layout: TargetLayout,
+    compiler_cfg: CompilerConfig,
+    queue: Arc<WorkQueue<Pending>>,
+    cache: ResultCache,
+    tenants: TenantTable,
+    m: Metrics,
+    /// Executed-job counter driving `every_jobs` shadow sampling.
+    shadow_seq: AtomicU64,
+    /// Total rolling checkpoints captured (also the clock for the
+    /// deterministic kill tripwire).
+    checkpoint_seq: AtomicU64,
+    /// Fault-injection tripwire for tests: when nonzero, the worker
+    /// that reaches this checkpoint count "dies" (requeues its job and
+    /// stops) — a deterministic stand-in for killing a worker mid-job.
+    kill_at_checkpoint: AtomicU64,
+    /// High-water mark of worker slots ever spawned. Outlives the pool
+    /// so post-shutdown stats still cover every shard that existed.
+    spawned_hwm: AtomicUsize,
+    started: Instant,
+}
+
+/// The multi-tenant execution service. Cheap to share: all state is
+/// behind `Arc`/locks; [`Service::submit`] may be called from any
+/// number of threads (the socket front end spawns one per connection).
+pub struct Service {
+    inner: Arc<Inner>,
+    pool: Mutex<Option<WorkerPool<Pending>>>,
+}
+
+impl Service {
+    /// Starts a service with `cfg.shards` workers.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let queue = WorkQueue::bounded(cfg.queue_depth.max(1));
+        let inner = Arc::new(Inner {
+            layout: TargetLayout::default(),
+            compiler_cfg: CompilerConfig::default(),
+            queue: Arc::clone(&queue),
+            cache: ResultCache::new(cfg.cache_capacity),
+            tenants: TenantTable::new(cfg.tenant),
+            m: Metrics::new(),
+            shadow_seq: AtomicU64::new(0),
+            checkpoint_seq: AtomicU64::new(0),
+            kill_at_checkpoint: AtomicU64::new(0),
+            spawned_hwm: AtomicUsize::new(0),
+            started: Instant::now(),
+            cfg,
+        });
+        let shards = inner.cfg.shards.max(1);
+        inner.spawned_hwm.store(shards, Ordering::Relaxed);
+        let handler_inner = Arc::clone(&inner);
+        let pool = WorkerPool::new(queue, shards, move |ctl, job| {
+            handle_job(&handler_inner, ctl, job);
+        });
+        Service { inner, pool: Mutex::new(Some(pool)) }
+    }
+
+    /// Submits a job and blocks until its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason`] when admission refuses the job.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobOutcome, RejectReason> {
+        let rx = self.submit_async(spec)?;
+        Ok(rx.recv().unwrap_or_else(|_| internal_outcome("worker lost the job channel")))
+    }
+
+    /// Submits a job, returning a receiver for its outcome (already
+    /// filled for cache hits).
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason`] when admission refuses the job.
+    pub fn submit_async(
+        &self,
+        spec: JobSpec,
+    ) -> Result<mpsc::Receiver<JobOutcome>, RejectReason> {
+        let inner = &self.inner;
+        inner.m.submitted.inc();
+        if let Err(r) = validate(&spec) {
+            inner.m.rejected.inc();
+            return Err(r);
+        }
+        let key = job_key(&spec);
+        let (tx, rx) = mpsc::channel();
+
+        // Cache: a hit costs the tenant nothing and touches no worker.
+        if let Some(hit) = inner.cache.lookup(key) {
+            inner.m.cache_hits.inc();
+            inner.m.cached.inc();
+            inner.m.completed.inc();
+            inner.m.job_us.record(0);
+            let _ = tx.send(hit);
+            return Ok(rx);
+        }
+        inner.m.cache_misses.inc();
+
+        if let Err(e) = inner.tenants.admit(&spec.tenant, spec.fuel) {
+            inner.m.rejected.inc();
+            return Err(match e {
+                AdmitError::JobFuel { asked, cap } => {
+                    RejectReason::JobFuel(format!("job fuel {asked} exceeds per-job cap {cap}"))
+                }
+                AdmitError::FuelBudget { asked, remaining } => RejectReason::FuelBudget(format!(
+                    "job fuel {asked} exceeds tenant's remaining budget {remaining}"
+                )),
+                AdmitError::QueueDepth { cap } => {
+                    RejectReason::QueueDepth(format!("tenant already has {cap} jobs in flight"))
+                }
+            });
+        }
+
+        let engine = match spec.engine {
+            EnginePref::Auto => inner.cfg.default_engine,
+            EnginePref::Ref => ServeEngine::Ref,
+            EnginePref::Jet => ServeEngine::Jet,
+        };
+        let shadowed = match spec.shadow {
+            ShadowPref::Always => true,
+            ShadowPref::Default => match inner.cfg.shadow {
+                ShadowPolicy { every_jobs: 0, .. } => false,
+                ShadowPolicy { every_jobs, .. } => {
+                    inner.shadow_seq.fetch_add(1, Ordering::Relaxed) % every_jobs == 0
+                }
+            },
+        };
+
+        let tenant = spec.tenant.clone();
+        let fuel = spec.fuel;
+        let pending = Pending {
+            spec,
+            key,
+            engine,
+            shadowed,
+            resume: None,
+            migrations: 0,
+            tx,
+            submitted: Instant::now(),
+        };
+        match inner.queue.try_push(pending) {
+            Ok(()) => Ok(rx),
+            Err(err) => {
+                inner.tenants.settle(&tenant, fuel, 0);
+                inner.m.rejected.inc();
+                Err(match err {
+                    PushError::Full(_) => RejectReason::QueueFull,
+                    PushError::Closed(_) => RejectReason::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Signals worker `i` to stop; a job in flight is requeued from its
+    /// last rolling checkpoint at the next slice boundary.
+    pub fn kill_worker(&self, i: usize) -> bool {
+        match self.pool.lock().expect("pool lock").as_mut() {
+            Some(p) => p.stop_worker(i),
+            None => false,
+        }
+    }
+
+    /// Spawns a replacement worker; returns its index.
+    pub fn respawn_worker(&self) -> Option<usize> {
+        let idx = self.pool.lock().expect("pool lock").as_mut().map(WorkerPool::spawn_worker);
+        if let Some(i) = idx {
+            self.inner.spawned_hwm.fetch_max(i + 1, Ordering::Relaxed);
+        }
+        idx
+    }
+
+    /// Arms the deterministic kill tripwire: the worker that captures
+    /// rolling checkpoint number `current + n` dies right after it
+    /// (requeueing its job). Test hook — production kills go through
+    /// [`kill_worker`](Service::kill_worker).
+    pub fn inject_kill_after_checkpoints(&self, n: u64) {
+        let at = self.inner.checkpoint_seq.load(Ordering::Relaxed) + n;
+        self.inner.kill_at_checkpoint.store(at.max(1), Ordering::Relaxed);
+    }
+
+    /// Total rolling checkpoints captured so far.
+    #[must_use]
+    pub fn checkpoints(&self) -> u64 {
+        self.inner.checkpoint_seq.load(Ordering::Relaxed)
+    }
+
+    /// Shadow divergences observed so far (0 is the expected value —
+    /// anything else is a found engine bug).
+    #[must_use]
+    pub fn divergences(&self) -> u64 {
+        self.inner.m.divergences.get()
+    }
+
+    /// Cache accounting.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Per-tenant `(name, fuel_spent, jobs_completed, in_flight)`.
+    #[must_use]
+    pub fn tenant_snapshot(&self) -> Vec<(String, u64, u64, usize)> {
+        self.inner.tenants.snapshot()
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn tenant_policy(&self) -> TenantPolicy {
+        *self.inner.tenants.policy()
+    }
+
+    /// One summary JSON line (the `BENCH_service.json` head line)
+    /// followed by the full metrics registry as JSON lines.
+    #[must_use]
+    pub fn stats_text(&self) -> String {
+        let inner = &self.inner;
+        let cache = inner.cache.stats();
+        // Mirror cache-internal accounting into the registry counters
+        // (hits/misses move through submit, evictions only here).
+        let ev = cache.evictions.saturating_sub(inner.m.cache_evictions.get());
+        inner.m.cache_evictions.add(ev);
+
+        let uptime_us = inner.started.elapsed().as_micros().max(1) as u64;
+        let completed = inner.m.completed.get();
+        let qps = completed as f64 / (uptime_us as f64 / 1e6);
+        let lookups = cache.hits + cache.misses;
+        let hit_rate = if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 };
+        inner.m.registry.gauge("service.qps").set(qps);
+        inner.m.registry.gauge("service.cache.hit_rate").set(hit_rate);
+        inner.m.registry.gauge("service.uptime_us").set(uptime_us as f64);
+        for i in 0..self.spawned_workers() {
+            let busy = inner.m.registry.counter(&format!("service.shard_busy_us.{i}")).get();
+            inner
+                .m
+                .registry
+                .gauge(&format!("service.shard_util.{i}"))
+                .set(busy as f64 / uptime_us as f64);
+        }
+
+        let mut out = format!(
+            "{{\"suite\":\"service\",\"shards\":{},\"jobs\":{},\"cached\":{},\"rejected\":{},\"qps\":{:.2},\"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4},\"evictions\":{},\"shadow_jobs\":{},\"divergences\":{},\"migrations\":{},\"checkpoints\":{}}}\n",
+            self.inner.cfg.shards,
+            completed,
+            inner.m.cached.get(),
+            inner.m.rejected.get(),
+            qps,
+            inner.m.job_us.quantile(0.50),
+            inner.m.job_us.quantile(0.99),
+            hit_rate,
+            cache.evictions,
+            inner.m.shadow_jobs.get(),
+            inner.m.divergences.get(),
+            inner.m.migrations.get(),
+            inner.m.checkpoints.get(),
+        );
+        out.push_str(&inner.m.registry.json_lines());
+        out
+    }
+
+    /// Writes [`stats_text`](Service::stats_text) to `path`
+    /// (truncating) — the `BENCH_service.json` artifact.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn write_bench(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.stats_text())
+    }
+
+    /// Worker slots ever spawned (indices are stable, so this is also
+    /// the exclusive upper bound on shard indices in metrics). Survives
+    /// shutdown so the bench artifact covers every shard.
+    #[must_use]
+    pub fn spawned_workers(&self) -> usize {
+        self.inner.spawned_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop admitting, drain every queued job, join
+    /// all workers. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let pool = self.pool.lock().expect("pool lock").take();
+        if let Some(p) = pool {
+            p.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        if let Some(p) = self.pool.lock().expect("pool lock").take() {
+            p.join();
+        }
+    }
+}
+
+fn validate(spec: &JobSpec) -> Result<(), RejectReason> {
+    if spec.source.trim().is_empty() {
+        return Err(RejectReason::BadRequest("empty source".to_string()));
+    }
+    if !spec.files.is_empty() {
+        return Err(RejectReason::BadRequest(
+            "named files are not realised at machine level (std streams only)".to_string(),
+        ));
+    }
+    if spec.fuel == 0 {
+        return Err(RejectReason::BadRequest("zero fuel".to_string()));
+    }
+    Ok(())
+}
+
+fn internal_outcome(msg: &str) -> JobOutcome {
+    JobOutcome {
+        status: JobStatus::Internal,
+        message: msg.to_string(),
+        stdout: Vec::new(),
+        stderr: Vec::new(),
+        instructions: 0,
+        engine: ServeEngine::Ref,
+        cached: false,
+        shadowed: false,
+        migrations: 0,
+    }
+}
+
+/// The worker body: compile (fresh jobs), shadow-check when sampled,
+/// run in slices, and either finish the job or requeue it from its
+/// last checkpoint when stopped.
+fn handle_job(inner: &Arc<Inner>, ctl: &WorkerCtl, mut job: Pending) {
+    let t_exec = Instant::now();
+    let busy = inner.m.registry.counter(&format!("service.shard_busy_us.{}", ctl.index));
+
+    let tripwire_fired = {
+        let inner = Arc::clone(inner);
+        move || {
+            let at = inner.kill_at_checkpoint.load(Ordering::Relaxed);
+            at != 0 && inner.checkpoint_seq.load(Ordering::Relaxed) >= at
+        }
+    };
+    let stop = {
+        let tripwire = tripwire_fired.clone();
+        move || ctl.stop_requested() || tripwire()
+    };
+    let on_checkpoint = || {
+        inner.checkpoint_seq.fetch_add(1, Ordering::Relaxed);
+        inner.m.checkpoints.inc();
+    };
+    let env = SliceEnv {
+        layout: &inner.layout,
+        checkpoint_every: inner.cfg.checkpoint_every.max(1),
+        stop: &stop,
+        on_checkpoint: &on_checkpoint,
+    };
+
+    let end = match &job.resume {
+        Some(snap) => run_sliced(&env, Start::Checkpoint(snap.clone()), job.spec.fuel, job.engine),
+        None => {
+            // Fresh job: compile, build the boot image, shadow-check if
+            // sampled, then run. Resumed segments never re-shadow: the
+            // fresh pass already verified the *whole* execution.
+            match compile_source(&job.spec.source, inner.layout, &inner.compiler_cfg) {
+                Err(e) => {
+                    let mut out = internal_outcome("");
+                    out.status = JobStatus::CompileError;
+                    out.message = e.to_string();
+                    ExecEnd::Done(out)
+                }
+                Ok(compiled) => {
+                    let args: Vec<&str> = job.spec.args.iter().map(String::as_str).collect();
+                    match build_image(&compiled, &args, &job.spec.stdin) {
+                        Err(e) => {
+                            let mut out = internal_outcome("");
+                            out.status = JobStatus::ImageError;
+                            out.message = e.to_string();
+                            ExecEnd::Done(out)
+                        }
+                        Ok(image) => {
+                            let mut diverged = None;
+                            if job.shadowed {
+                                inner.m.shadow_jobs.inc();
+                                let sample = inner.cfg.shadow.sample.max(1);
+                                if let Err(fx) =
+                                    jet::run_shadow(&image, job.spec.fuel, sample, 0)
+                                {
+                                    inner.m.divergences.inc();
+                                    let mut out = internal_outcome("");
+                                    out.status = JobStatus::Divergence;
+                                    out.message = fx.render();
+                                    diverged = Some(ExecEnd::Done(out));
+                                }
+                            }
+                            match diverged {
+                                Some(d) => d,
+                                None => run_sliced(
+                                    &env,
+                                    Start::Image(Box::new(image)),
+                                    job.spec.fuel,
+                                    job.engine,
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    busy.add(t_exec.elapsed().as_micros() as u64);
+
+    match end {
+        ExecEnd::Killed(snap) => {
+            // Disarm a fired tripwire and make this worker actually die,
+            // so the respawn path is exercised exactly like a real kill.
+            if tripwire_fired() {
+                inner.kill_at_checkpoint.store(0, Ordering::Relaxed);
+                ctl.request_stop();
+            }
+            inner.m.migrations.inc();
+            job.migrations += 1;
+            job.resume = Some(snap);
+            if let Err(dropped) = inner.queue.push_front(job) {
+                let _ = dropped.tx.send(internal_outcome(
+                    "worker stopped mid-job after the queue closed; no resume path",
+                ));
+            }
+        }
+        ExecEnd::Done(mut out) => {
+            out.shadowed = job.shadowed;
+            out.migrations = job.migrations;
+            out.engine = job.engine;
+            inner.tenants.settle(&job.spec.tenant, job.spec.fuel, out.instructions);
+            inner.cache.insert(job.key, &out);
+            inner.m.completed.inc();
+            inner.m.job_us.record(job.submitted.elapsed().as_micros() as u64);
+            inner.m.exec_us.record(t_exec.elapsed().as_micros() as u64);
+            let _ = job.tx.send(out);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Crash-resume at the service level: kill a worker mid-job, respawn
+//! it, and assert the migrated job's outcome is byte-identical to an
+//! uninterrupted run — the PR 6 checkpoint contract, now exercised as
+//! live job migration through the shared work queue.
+//!
+//! The kill uses the deterministic tripwire
+//! (`inject_kill_after_checkpoints`): the worker that captures the
+//! armed rolling checkpoint requeues its job *and genuinely stops*, so
+//! the respawn path runs exactly as it would after a real worker death.
+
+use std::time::{Duration, Instant};
+
+use service::{EnginePref, JobSpec, JobStatus, ServeEngine, Service, ServiceConfig};
+
+const SORT: &str = r#"
+val input = read_all ();
+val lines = split_lines input;
+val sorted = merge_sort string_lt lines;
+val _ = print (join_lines sorted);
+"#;
+
+/// Enough work that the job crosses many checkpoint boundaries at
+/// `checkpoint_every = 10_000`.
+fn big_stdin() -> Vec<u8> {
+    let mut s = String::new();
+    for i in 0..64 {
+        s.push_str(&format!("line-{:03}\n", (i * 37) % 100));
+    }
+    s.into_bytes()
+}
+
+fn spec(engine: EnginePref) -> JobSpec {
+    let mut spec = JobSpec::new("crash-tenant", SORT);
+    spec.stdin = big_stdin();
+    spec.engine = engine;
+    spec
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        shards: 1,
+        checkpoint_every: 10_000,
+        cache_capacity: 0, // force real execution on both runs
+        ..ServiceConfig::default()
+    }
+}
+
+fn kill_resume_matches_uninterrupted(engine: EnginePref, expect_engine: ServeEngine) {
+    // Uninterrupted baseline on a fresh service.
+    let baseline_svc = Service::start(cfg());
+    let baseline = baseline_svc.submit(spec(engine)).expect("baseline admitted");
+    assert_eq!(baseline.status, JobStatus::Exited(0), "{baseline:?}");
+    assert_eq!(baseline.engine, expect_engine);
+    assert_eq!(baseline.migrations, 0);
+    baseline_svc.shutdown();
+
+    // Interrupted run: arm the tripwire, submit, wait for the worker to
+    // die mid-job, respawn a replacement, and collect the outcome.
+    let svc = Service::start(cfg());
+    svc.inject_kill_after_checkpoints(3);
+    let rx = svc.submit_async(spec(engine)).expect("job admitted");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while svc.checkpoints() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "job produced only {} checkpoints before the tripwire point — \
+             too short to interrupt?",
+            svc.checkpoints()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The only worker is dead (or dying). A replacement picks the job
+    // back up from its requeued checkpoint.
+    let replacement = svc.respawn_worker().expect("pool still alive");
+    assert_eq!(replacement, 1, "shard 0 died; the replacement is slot 1");
+
+    let resumed = rx.recv_timeout(Duration::from_secs(120)).expect("migrated job completed");
+    assert!(resumed.migrations >= 1, "job was never actually migrated: {resumed:?}");
+    assert_eq!(resumed.status, JobStatus::Exited(0), "{resumed:?}");
+    assert!(
+        resumed.result_bytes_eq(&baseline),
+        "migrated run differs from uninterrupted run:\n  baseline: {baseline:?}\n  resumed: {resumed:?}"
+    );
+    assert_eq!(svc.spawned_workers(), 2);
+    svc.shutdown();
+}
+
+#[test]
+fn killed_ref_job_resumes_byte_identical() {
+    kill_resume_matches_uninterrupted(EnginePref::Ref, ServeEngine::Ref);
+}
+
+#[test]
+fn killed_jet_job_resumes_byte_identical() {
+    kill_resume_matches_uninterrupted(EnginePref::Jet, ServeEngine::Jet);
+}
+
+#[test]
+fn kill_and_respawn_on_an_idle_pool_keeps_serving() {
+    let svc = Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() });
+    assert!(svc.kill_worker(0), "worker 0 exists");
+    svc.respawn_worker().expect("pool alive");
+    let out = svc
+        .submit(JobSpec::new("t", "val _ = print \"still here\\n\";"))
+        .expect("admitted after respawn");
+    assert_eq!(out.status, JobStatus::Exited(0), "{out:?}");
+    assert_eq!(out.stdout, b"still here\n");
+    svc.shutdown();
+}

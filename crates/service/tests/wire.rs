@@ -1,0 +1,144 @@
+//! Wire-protocol contract: every message round-trips byte-exactly,
+//! hostile inputs (truncation, oversize length prefixes, unknown tags,
+//! wrong versions) fail with typed errors instead of misparses.
+
+use service::job::{EnginePref, JobOutcome, JobSpec, JobStatus, ServeEngine, ShadowPref};
+use service::wire::{
+    read_request, read_response, write_request, write_response, Request, Response, WireError,
+    MAX_FRAME,
+};
+
+fn spec() -> JobSpec {
+    JobSpec {
+        tenant: "alice".into(),
+        source: "val _ = print \"hi\";".into(),
+        args: vec!["job".into(), "--flag".into()],
+        stdin: b"line one\nline two\n".to_vec(),
+        files: vec![("data.txt".into(), b"\x00\xff contents".to_vec())],
+        fuel: 123_456_789,
+        engine: EnginePref::Jet,
+        shadow: ShadowPref::Always,
+    }
+}
+
+fn outcome() -> JobOutcome {
+    JobOutcome {
+        status: JobStatus::Exited(3),
+        message: "note".into(),
+        stdout: b"out bytes \xf0".to_vec(),
+        stderr: b"err".to_vec(),
+        instructions: 987_654,
+        engine: ServeEngine::Jet,
+        cached: true,
+        shadowed: true,
+        migrations: 2,
+    }
+}
+
+#[test]
+fn requests_roundtrip() {
+    for req in [Request::Submit(spec()), Request::Stats, Request::Ping, Request::Shutdown] {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).expect("encode");
+        let got = read_request(&mut buf.as_slice()).expect("decode");
+        assert_eq!(got, req);
+    }
+}
+
+#[test]
+fn responses_roundtrip() {
+    let cases = [
+        Response::Done(outcome()),
+        Response::Rejected { code: 4, reason: "queue full".into() },
+        Response::Stats("{\"suite\":\"service\"}\n".into()),
+        Response::Pong,
+        Response::Error("bad frame".into()),
+        Response::ShutdownAck,
+    ];
+    for resp in cases {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).expect("encode");
+        let got = read_response(&mut buf.as_slice()).expect("decode");
+        assert_eq!(got, resp);
+    }
+}
+
+#[test]
+fn every_status_roundtrips() {
+    for status in [
+        JobStatus::Exited(0),
+        JobStatus::Exited(255),
+        JobStatus::OutOfFuel,
+        JobStatus::Wedged,
+        JobStatus::CompileError,
+        JobStatus::ImageError,
+        JobStatus::FfiFailed,
+        JobStatus::Divergence,
+        JobStatus::Internal,
+    ] {
+        let mut out = outcome();
+        out.status = status.clone();
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::Done(out.clone())).expect("encode");
+        match read_response(&mut buf.as_slice()).expect("decode") {
+            Response::Done(got) => assert_eq!(got.status, status),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_frames_are_typed_errors() {
+    let mut buf = Vec::new();
+    write_request(&mut buf, &Request::Submit(spec())).expect("encode");
+    // Every strict prefix must fail as Truncated, never panic or misparse.
+    for cut in 0..buf.len() {
+        match read_request(&mut &buf[..cut]) {
+            Err(WireError::Truncated) => {}
+            other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversize_length_prefix_is_rejected_without_allocation() {
+    let frame = (MAX_FRAME as u32 + 1).to_le_bytes();
+    match read_request(&mut frame.as_slice()) {
+        Err(WireError::TooLarge(n)) => assert_eq!(n, MAX_FRAME + 1),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tag_and_trailing_garbage_are_rejected() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.push(0x7f);
+    match read_request(&mut buf.as_slice()) {
+        Err(WireError::BadTag(0x7f)) => {}
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+
+    // A Ping frame with a trailing byte must not decode.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&2u32.to_le_bytes());
+    buf.push(0x03);
+    buf.push(0xee);
+    match read_request(&mut buf.as_slice()) {
+        Err(WireError::Truncated) => {}
+        other => panic!("expected Truncated for trailing garbage, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let mut buf = Vec::new();
+    write_request(&mut buf, &Request::Submit(spec())).expect("encode");
+    // The version is the first u16 after the 4-byte length + 1-byte tag.
+    buf[5] = 0x63;
+    buf[6] = 0x00;
+    match read_request(&mut buf.as_slice()) {
+        Err(WireError::BadVersion(0x63)) => {}
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+}

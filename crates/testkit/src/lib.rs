@@ -22,6 +22,9 @@
 //!   median/p95) with JSON-lines output for `BENCH_*.json` records.
 //! * [`par`] — a `std::thread` fan-out helper so differential suites
 //!   can run seeds across cores.
+//! * [`pool`] — a bounded work queue plus a restartable worker pool
+//!   (the long-lived dual of [`par`]'s batch shape) for server-style
+//!   consumers such as the execution service.
 //!
 //! On top of these, [`crash`] states crash-resume equivalence — "a run
 //! killed at an arbitrary point and resumed from its checkpoint is
@@ -41,10 +44,12 @@
 pub mod bench;
 pub mod crash;
 pub mod par;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use crash::crash_resume_equiv;
+pub use pool::{WorkQueue, WorkerCtl, WorkerPool};
 pub use prop::{check, shrink_choices, Config, Ctx};
 pub use rng::{Rng, SplitMix64, TestRng};
 

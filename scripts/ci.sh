@@ -117,6 +117,46 @@ grep -q '"metric":"histogram","name":"campaign.case_us.t2"' \
 rm -rf "$obs_scratch"
 echo "ok: trace/syscalls/profile/vcd/metrics all produce their markers"
 
+echo "== service smoke (unix socket, two tenants, one cache hit) =="
+# Boot the execution server on a Unix socket, submit the same program
+# from two tenants (the second must be a cache hit), check stats and the
+# shutdown path, and hold the bench artifact to its schema.
+svc_scratch=$(mktemp -d)
+./target/release/silver-serve --unix "$svc_scratch/svc.sock" --shards 2 \
+    --bench "$svc_scratch/BENCH_service.json" 2> "$svc_scratch/serve.log" &
+svc_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$svc_scratch/svc.sock" ] && break
+    sleep 0.1
+done
+test -S "$svc_scratch/svc.sock"
+./target/release/silver-client --unix "$svc_scratch/svc.sock" submit \
+    --tenant alice --app hello > "$svc_scratch/alice.out"
+grep -q 'Hello from the verified stack!' "$svc_scratch/alice.out"
+./target/release/silver-client --unix "$svc_scratch/svc.sock" submit \
+    --tenant bob --app hello --meta \
+    > "$svc_scratch/bob.out" 2> "$svc_scratch/bob.err"
+cmp -s "$svc_scratch/alice.out" "$svc_scratch/bob.out"
+grep -q 'cached=true' "$svc_scratch/bob.err"
+./target/release/silver-client --unix "$svc_scratch/svc.sock" stats \
+    > "$svc_scratch/stats.txt"
+grep -q '"name":"service.cache.hits","value":1' "$svc_scratch/stats.txt"
+./target/release/silver-client --unix "$svc_scratch/svc.sock" shutdown
+wait "$svc_pid"
+grep -q '"suite":"service"' "$svc_scratch/BENCH_service.json"
+grep -q '"divergences":0' "$svc_scratch/BENCH_service.json"
+grep -q '"qps":' "$svc_scratch/BENCH_service.json"
+rm -rf "$svc_scratch"
+echo "ok: serve/submit/cache-hit/stats/shutdown round-trip over unix socket"
+
+echo "== service hygiene guard =="
+# Serving jet-by-default is only safe while shadow sampling defaults ON,
+# and a cached result may never be served without the cache-version
+# check (a stale-schema hit must read as a miss, not a wrong answer).
+grep -q 'every_jobs: 8' crates/service/src/lib.rs
+grep -q 'entry.version == CACHE_VERSION' crates/service/src/cache.rs
+echo "ok: shadow sampling defaults on; cache lookups are version-checked"
+
 echo "== observability hygiene guard =="
 # Tracing must stay off by default: every plain entry point must
 # delegate to its observed sibling with the no-op sink, the observed
