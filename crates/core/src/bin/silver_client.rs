@@ -9,16 +9,26 @@
 //! silver-client (--unix PATH | --tcp ADDR) shutdown
 //! silver-client (--unix PATH | --tcp ADDR) loadgen [--tenants N] [--jobs N]
 //!               [--distinct N] [--conns N] [--seed N] [--fuel N]
+//! silver-client (--unix PATH | --tcp ADDR) trace JOB_ID [--json | --canonical]
+//! silver-client (--unix PATH | --tcp ADDR) top [--every MS] [--count N]
 //! ```
 //!
 //! `submit` forwards the job's stdout/stderr and exits with its exit
 //! code (2 for any abnormal status); `--meta` additionally prints
-//! `cached=`/`engine=`/`shadowed=`/`instructions=` to stderr. `--app`
-//! picks a program from the built-in corpus (`hello`, `wc`, `cat`,
-//! `sort`, …). `loadgen` replays the seeded mixed workload from
+//! `job=`/`cached=`/`engine=`/`shadowed=`/`instructions=` to stderr.
+//! `--app` picks a program from the built-in corpus (`hello`, `wc`,
+//! `cat`, `sort`, …). `loadgen` replays the seeded mixed workload from
 //! `service::loadgen` — N tenants × M jobs over the app corpus with
 //! deliberate duplicates — and prints a `service-loadgen` JSON summary
 //! line to stdout.
+//!
+//! `trace JOB_ID` fetches a completed job's span tree (the id a
+//! `--meta` submit printed) and renders it as an indented tree —
+//! `--json` emits Chrome trace-event JSON for Perfetto, `--canonical`
+//! the byte-stable logical-clock form the determinism test diffs.
+//! `top` polls the server's stats and prints one live line per poll:
+//! interval QPS, cache hit rate, in-flight jobs, and per-shard
+//! utilization.
 
 use std::io::{Read as _, Write as _};
 use std::path::PathBuf;
@@ -26,7 +36,8 @@ use std::process::ExitCode;
 
 use service::wire::Response;
 use service::{
-    loadgen, Client, Endpoint, EnginePref, JobSpec, JobStatus, LoadgenConfig, ShadowPref,
+    loadgen, parse_stats, Client, Endpoint, EnginePref, JobSpec, JobStatus, LoadgenConfig,
+    ShadowPref, StatsSnapshot,
 };
 use silver_stack::apps;
 
@@ -37,7 +48,9 @@ fn usage() -> ! {
          \x20 submit (--app NAME | --source FILE) [--tenant NAME] [--arg ARG]...\n\
          \x20        [--stdin FILE|-] [--fuel N] [--engine auto|ref|jet] [--shadow] [--meta]\n\
          \x20 stats | ping | shutdown\n\
-         \x20 loadgen [--tenants N] [--jobs N] [--distinct N] [--conns N] [--seed N] [--fuel N]"
+         \x20 loadgen [--tenants N] [--jobs N] [--distinct N] [--conns N] [--seed N] [--fuel N]\n\
+         \x20 trace JOB_ID [--json | --canonical]\n\
+         \x20 top [--every MS] [--count N]"
     );
     std::process::exit(2)
 }
@@ -141,7 +154,8 @@ fn run_submit(endpoint: &Endpoint, sub: &Submit) -> ExitCode {
             std::io::stderr().write_all(&out.stderr).expect("stderr");
             if sub.meta {
                 eprintln!(
-                    "silver-client: cached={} engine={} shadowed={} migrations={} instructions={}",
+                    "silver-client: job={} cached={} engine={} shadowed={} migrations={} instructions={}",
+                    out.job_id,
                     out.cached,
                     out.engine.name(),
                     out.shadowed,
@@ -172,6 +186,82 @@ fn run_submit(endpoint: &Endpoint, sub: &Submit) -> ExitCode {
             eprintln!("silver-client: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Per-shard utilization gauges (`service.shard_util.N`) out of the
+/// stats text's registry lines, in shard order.
+fn shard_utils(text: &str) -> Vec<f64> {
+    let mut utils: Vec<(usize, f64)> = Vec::new();
+    for line in text.lines() {
+        let Some(at) = line.find("\"name\":\"service.shard_util.") else { continue };
+        let rest = &line[at + "\"name\":\"service.shard_util.".len()..];
+        let Some(q) = rest.find('"') else { continue };
+        let Ok(shard) = rest[..q].parse::<usize>() else { continue };
+        let Some(vat) = line.find("\"value\":") else { continue };
+        let vrest = &line[vat + 8..];
+        let vend = vrest.find('}').unwrap_or(vrest.len());
+        let Ok(v) = vrest[..vend].parse::<f64>() else { continue };
+        utils.push((shard, v));
+    }
+    utils.sort_by_key(|&(s, _)| s);
+    utils.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Live-stats mode: poll `stats`, diff consecutive snapshots, print one
+/// line per poll. `count == 0` polls until the connection drops.
+fn run_top(endpoint: &Endpoint, every_ms: u64, count: u64) -> ExitCode {
+    let mut client = connect(endpoint);
+    let mut prev: Option<StatsSnapshot> = None;
+    let mut polls: u64 = 0;
+    loop {
+        let text = match client.stats() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("silver-client: top: {e}");
+                // A dropped connection after at least one poll is a
+                // normal way for a watched server to go away.
+                return if polls > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            }
+        };
+        let Some(snap) = parse_stats(&text) else {
+            eprintln!("silver-client: top: stats text carries no service summary line");
+            return ExitCode::from(2);
+        };
+        // Interval QPS from the delta against the previous poll; first
+        // poll falls back to the lifetime average.
+        let qps = match prev {
+            Some(p) if snap.uptime_us > p.uptime_us => {
+                (snap.jobs - p.jobs) as f64 / ((snap.uptime_us - p.uptime_us) as f64 / 1e6)
+            }
+            _ => snap.qps,
+        };
+        let utils = shard_utils(&text);
+        let util_txt = if utils.is_empty() {
+            String::from("-")
+        } else {
+            utils.iter().map(|u| format!("{:.0}%", u * 100.0)).collect::<Vec<_>>().join(" ")
+        };
+        println!(
+            "seq={} up={:.1}s jobs={} inflight={} qps={:.1} hit={:.1}% p50={}us p99={}us div={} mig={} shards[{}]",
+            snap.seq,
+            snap.uptime_us as f64 / 1e6,
+            snap.jobs,
+            snap.inflight,
+            qps,
+            snap.cache_hit_rate * 100.0,
+            snap.p50_us,
+            snap.p99_us,
+            snap.divergences,
+            snap.migrations,
+            util_txt,
+        );
+        prev = Some(snap);
+        polls += 1;
+        if count != 0 && polls >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(every_ms));
     }
 }
 
@@ -229,6 +319,54 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        "trace" => {
+            let job_id: u64 = need(args.next()).parse().unwrap_or_else(|_| usage());
+            let mut mode = "text";
+            for a in args.by_ref() {
+                match a.as_str() {
+                    "--json" => mode = "json",
+                    "--canonical" => mode = "canonical",
+                    _ => usage(),
+                }
+            }
+            match connect(&endpoint).trace(job_id) {
+                Ok(Some(t)) => {
+                    match mode {
+                        "json" => println!("{}", obs::trace::chrome_trace_json(&[t], &[])),
+                        "canonical" => print!("{}", t.canonical_text()),
+                        _ => print!("{}", t.render_text()),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "silver-client: job {job_id} has no stored trace (unknown id, or \
+                         evicted from the server's bounded trace store)"
+                    );
+                    ExitCode::from(1)
+                }
+                Err(e) => {
+                    eprintln!("silver-client: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "top" => {
+            let mut every_ms: u64 = 1000;
+            let mut count: u64 = 0; // 0 = poll forever
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--every" => {
+                        every_ms = need(args.next()).parse().unwrap_or_else(|_| usage());
+                    }
+                    "--count" => {
+                        count = need(args.next()).parse().unwrap_or_else(|_| usage());
+                    }
+                    _ => usage(),
+                }
+            }
+            run_top(&endpoint, every_ms.max(1), count)
+        }
         "loadgen" => {
             let cfg = parse_loadgen(&mut args);
             match loadgen(&endpoint, &cfg, apps::ALL) {

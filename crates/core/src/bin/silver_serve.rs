@@ -5,14 +5,21 @@
 //!              [--cache N] [--shadow-every N] [--shadow-sample N]
 //!              [--checkpoint-every N] [--engine ref|jet]
 //!              [--tenant-fuel N] [--tenant-depth N] [--max-job-fuel N]
-//!              [--bench FILE]
+//!              [--bench FILE] [--stats-every MS] [--trace-dir DIR]
+//!              [--trace-cap N] [--flight-cap N] [--fault-xor HEX]
 //! ```
 //!
 //! Accepts compile+run jobs over the length-prefixed wire protocol
 //! (see `EXPERIMENTS.md`, "Silver as a service"), executes them on a
-//! sharded worker pool, and serves until a client sends `shutdown`.
-//! On shutdown the queue drains, workers join, and — with `--bench` —
-//! the metrics registry is written as `BENCH_service.json`.
+//! sharded worker pool, and serves until a client sends `shutdown` (or
+//! the process receives SIGINT/SIGTERM — the bench artifact and trace
+//! dumps are flushed either way). With `--bench`, one time-series
+//! stats line is appended every `--stats-every` milliseconds and the
+//! full registry follows on shutdown. With `--trace-dir`, the
+//! per-shard flight recorder dumps Chrome trace-event JSON
+//! (Perfetto-loadable) on shadow divergence, worker death and
+//! shutdown; individual span trees are available live via the client's
+//! `trace` command.
 //!
 //! Safety defaults: jobs run on the jet engine with shadow sampling
 //! **on** (every 8th job is checked in full lockstep against the
@@ -30,7 +37,9 @@ fn usage() -> ! {
         "usage: silver-serve (--unix PATH | --tcp ADDR) [--shards N] [--queue N] [--cache N]\n\
          \x20                  [--shadow-every N] [--shadow-sample N] [--checkpoint-every N]\n\
          \x20                  [--engine ref|jet] [--tenant-fuel N] [--tenant-depth N]\n\
-         \x20                  [--max-job-fuel N] [--bench FILE]"
+         \x20                  [--max-job-fuel N] [--bench FILE] [--stats-every MS]\n\
+         \x20                  [--trace-dir DIR] [--trace-cap N] [--flight-cap N]\n\
+         \x20                  [--fault-xor HEX]"
     );
     std::process::exit(2)
 }
@@ -67,6 +76,17 @@ fn parse_args() -> Options {
             "--tenant-depth" => opts.cfg.tenant.max_in_flight = num(args.next()) as usize,
             "--max-job-fuel" => opts.cfg.tenant.max_job_fuel = num(args.next()),
             "--bench" => opts.bench = Some(PathBuf::from(need(args.next()))),
+            "--stats-every" => opts.cfg.stats_every_ms = num(args.next()),
+            "--trace-dir" => opts.cfg.trace_dir = Some(PathBuf::from(need(args.next()))),
+            "--trace-cap" => opts.cfg.trace_capacity = num(args.next()) as usize,
+            "--flight-cap" => opts.cfg.flight_capacity = num(args.next()).max(1) as usize,
+            // Fault injection for divergence drills (tests/CI only):
+            // XORed into one ALU result inside sampled shadow checks.
+            "--fault-xor" => {
+                opts.cfg.fault_xor =
+                    u32::from_str_radix(need(args.next()).trim_start_matches("0x"), 16)
+                        .unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -78,6 +98,12 @@ fn main() -> ExitCode {
     let opts = parse_args();
     let Some(endpoint) = opts.endpoint else { usage() };
 
+    if let Some(dir) = &opts.cfg.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("silver-serve: cannot create trace dir {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
     let svc = std::sync::Arc::new(Service::start(opts.cfg.clone()));
     eprintln!(
         "silver-serve: listening on {endpoint} ({} shards, engine {}, shadow every {} jobs)",

@@ -24,13 +24,19 @@
 //! * [`profile`] — a flat cycle/retire profiler ([`CycleProfiler`])
 //!   attributing PCs to symbols and emitting flamegraph-compatible
 //!   folded stacks.
+//! * [`trace`] — per-job distributed tracing ([`TraceBuilder`] /
+//!   [`JobTrace`]) with deterministic logical clocks, a bounded
+//!   per-shard lock-free flight recorder ([`FlightRecorder`]), and
+//!   Chrome trace-event JSON export (Perfetto-loadable).
 
 pub mod forensics;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 pub mod vcd;
 
 pub use forensics::{Forensics, RegDelta};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{quantile_sorted, Counter, Gauge, Histogram, Registry};
 pub use profile::CycleProfiler;
+pub use trace::{chrome_trace_json, FlightRecorder, JobTrace, SpanKind, TraceBuilder};
 pub use vcd::{SignalId, VcdWriter};

@@ -303,6 +303,21 @@ impl Registry {
     }
 }
 
+/// Nearest-rank quantile of an already **sorted** sample slice:
+/// `q ∈ [0, 1]` maps to index `⌊q · (len − 1)⌋`; empty slices yield 0.
+///
+/// This is the one shared definition of client-side quantile math —
+/// `silver-client` loadgen and `top` both use it, so their p50/p99
+/// numbers are comparable by construction.
+#[must_use]
+pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)) as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -380,6 +395,18 @@ mod tests {
         assert!(lines[3].contains("\"metric\":\"histogram\""));
         assert!(lines[3].contains("\"count\":1"));
         assert!(lines[3].contains("\"buckets\":[[7,1]]"));
+    }
+
+    #[test]
+    fn quantile_sorted_nearest_rank() {
+        assert_eq!(quantile_sorted(&[], 0.5), 0);
+        assert_eq!(quantile_sorted(&[7], 0.0), 7);
+        assert_eq!(quantile_sorted(&[7], 1.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_sorted(&v, 0.50), 50, "p50 of 1..=100");
+        assert_eq!(quantile_sorted(&v, 0.99), 99);
+        assert_eq!(quantile_sorted(&v, 1.0), 100);
+        assert_eq!(quantile_sorted(&v, -1.0), 1, "q clamps");
     }
 
     #[test]

@@ -1,0 +1,753 @@
+//! Per-job distributed tracing with deterministic logical clocks, and
+//! a bounded lock-free flight recorder.
+//!
+//! Every timestamp in this module is a **logical clock**: a per-job
+//! event sequence number assigned in causal order, annotated with
+//! domain measures (queue sequence numbers, retire counts) — never wall
+//! time. Wall-clock readings may ride along as *optional annotations*
+//! supplied by the caller (this module deliberately never reads the
+//! clock itself), so two runs of the same seeded workload produce
+//! byte-identical span trees once those annotations are stripped.
+//!
+//! Three pieces:
+//!
+//! * [`TraceBuilder`] / [`JobTrace`] — a span tree for one job's
+//!   lifecycle (admit → cache → queue → exec slices → … → reply),
+//!   built incrementally as the job moves through the service.
+//! * [`FlightRecorder`] — a bounded per-shard ring of fixed-size
+//!   events written with a seqlock (single writer per shard, wait-free
+//!   recording, torn reads detected and skipped). When something goes
+//!   wrong — a shadow divergence, a worker death — the last N events
+//!   per shard reconstruct what the machine was doing, like a flight
+//!   data recorder.
+//! * [`chrome_trace_json`] — export as Chrome trace-event JSON, loadable
+//!   in Perfetto / `chrome://tracing` (`ts` carries the logical clock;
+//!   wall annotations appear only under `args`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The span taxonomy: every phase of a job's life in the service, plus
+/// the engine-level slice events. The discriminants are the wire
+/// encoding — append only, never renumber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// The whole job, admit to reply (the root span).
+    Job = 0,
+    /// Validation + job-id assignment at the front door.
+    Admit = 1,
+    /// Result-cache lookup (`arg` = 1 hit, 0 miss).
+    CacheLookup = 2,
+    /// Tenant fuel reservation (`arg` = fuel reserved).
+    TenantReserve = 3,
+    /// Enqueue → dequeue on the shared work queue (`arg` = queue depth
+    /// observed at enqueue).
+    QueueWait = 4,
+    /// Source → machine code (`arg` = 1 on failure).
+    Compile = 5,
+    /// Boot-image construction.
+    ImageBuild = 6,
+    /// Full lockstep shadow check (`arg` = 1 when it found a
+    /// divergence).
+    ShadowCheck = 7,
+    /// The whole engine execution (`arg` = instructions retired).
+    Exec = 8,
+    /// One checkpoint-sized execution slice (`arg` = retire count at
+    /// slice end).
+    Slice = 9,
+    /// A rolling checkpoint capture (`arg` = retire count).
+    Checkpoint = 10,
+    /// The job was interrupted and migrated off a stopping worker
+    /// (`arg` = retire count of the resume checkpoint).
+    Migrate = 11,
+    /// Requeue at the queue front for another worker to resume.
+    Requeue = 12,
+    /// The outcome was settled, cached and sent back.
+    Reply = 13,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (Chrome trace `name`, text renders, CI
+    /// greps).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Job => "job",
+            SpanKind::Admit => "admit",
+            SpanKind::CacheLookup => "cache_lookup",
+            SpanKind::TenantReserve => "tenant_reserve",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Compile => "compile",
+            SpanKind::ImageBuild => "image_build",
+            SpanKind::ShadowCheck => "shadow_check",
+            SpanKind::Exec => "exec",
+            SpanKind::Slice => "slice",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Migrate => "migrate",
+            SpanKind::Requeue => "requeue",
+            SpanKind::Reply => "reply",
+        }
+    }
+
+    /// Decodes a wire byte.
+    #[must_use]
+    pub fn from_u8(b: u8) -> Option<SpanKind> {
+        Some(match b {
+            0 => SpanKind::Job,
+            1 => SpanKind::Admit,
+            2 => SpanKind::CacheLookup,
+            3 => SpanKind::TenantReserve,
+            4 => SpanKind::QueueWait,
+            5 => SpanKind::Compile,
+            6 => SpanKind::ImageBuild,
+            7 => SpanKind::ShadowCheck,
+            8 => SpanKind::Exec,
+            9 => SpanKind::Slice,
+            10 => SpanKind::Checkpoint,
+            11 => SpanKind::Migrate,
+            12 => SpanKind::Requeue,
+            13 => SpanKind::Reply,
+            _ => return None,
+        })
+    }
+}
+
+/// The shard id recorded for events emitted by the service front end
+/// (before a worker owns the job).
+pub const FRONTEND_SHARD: u32 = u32::MAX;
+
+/// One node of a job's span tree. `begin_lc`/`end_lc` are the job-local
+/// logical clock (event sequence numbers); an instant event has
+/// `begin_lc == end_lc`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// What phase this is.
+    pub kind: SpanKind,
+    /// Index of the enclosing span in [`JobTrace::spans`], if any.
+    pub parent: Option<u16>,
+    /// Logical clock at begin.
+    pub begin_lc: u64,
+    /// Logical clock at end (`== begin_lc` until ended / for instants).
+    pub end_lc: u64,
+    /// Worker shard that emitted the span ([`FRONTEND_SHARD`] for the
+    /// front end). Physical placement — excluded from the canonical
+    /// (determinism-checked) form.
+    pub shard: u32,
+    /// Domain measure (retire count, queue depth, hit flag, …; see
+    /// [`SpanKind`]).
+    pub arg: u64,
+    /// Optional wall-clock annotation in µs, supplied by the caller.
+    /// Never used for ordering; stripped from the canonical form.
+    pub wall_us: Option<u64>,
+}
+
+/// A completed (or in-flight) job's causally ordered span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobTrace {
+    /// The job's id (its admit sequence number — a service-global
+    /// logical clock).
+    pub job_id: u64,
+    /// Spans in begin order (`begin_lc` is strictly increasing).
+    pub spans: Vec<Span>,
+}
+
+impl JobTrace {
+    /// The canonical text form: one line per span, logical clocks and
+    /// domain args only — no shard ids, no wall-clock annotations. Two
+    /// runs of the same seeded workload must produce byte-identical
+    /// canonical forms (the determinism contract `tests/trace.rs`
+    /// asserts).
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        let mut out = format!("job {}\n", self.job_id);
+        for s in &self.spans {
+            let parent = match s.parent {
+                Some(p) => self.spans[p as usize].kind.name(),
+                None => "-",
+            };
+            out.push_str(&format!(
+                "  [{}..{}] {} parent={} arg={}\n",
+                s.begin_lc,
+                s.end_lc,
+                s.kind.name(),
+                parent,
+                s.arg,
+            ));
+        }
+        out
+    }
+
+    /// Human-oriented render: the span tree with indentation, wall
+    /// annotations included when present.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!("trace of job {} ({} spans)\n", self.job_id, self.spans.len());
+        for s in &self.spans {
+            let mut depth = 0usize;
+            let mut p = s.parent;
+            while let Some(i) = p {
+                depth += 1;
+                p = self.spans[i as usize].parent;
+            }
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!("{} lc=[{}..{}] arg={}", s.kind.name(), s.begin_lc, s.end_lc, s.arg));
+            if s.shard != FRONTEND_SHARD {
+                out.push_str(&format!(" shard={}", s.shard));
+            }
+            if let Some(us) = s.wall_us {
+                out.push_str(&format!(" wall_us={us}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Appends this trace's spans as Chrome trace-event objects to
+    /// `events` (one `"X"` complete event per span, `"i"` instants for
+    /// zero-length spans). `ts` is the logical clock; `pid` the job id;
+    /// `tid` the shard.
+    fn push_chrome_events(&self, events: &mut Vec<String>) {
+        for s in &self.spans {
+            let tid = if s.shard == FRONTEND_SHARD { 0 } else { u64::from(s.shard) + 1 };
+            let mut args = format!("\"arg\":{}", s.arg);
+            if let Some(us) = s.wall_us {
+                args.push_str(&format!(",\"wall_us\":{us}"));
+            }
+            if s.begin_lc == s.end_lc {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"job\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                    s.kind.name(),
+                    s.begin_lc,
+                    self.job_id,
+                    tid,
+                    args,
+                ));
+            } else {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                    s.kind.name(),
+                    s.begin_lc,
+                    s.end_lc - s.begin_lc,
+                    self.job_id,
+                    tid,
+                    args,
+                ));
+            }
+        }
+    }
+}
+
+/// Opaque handle to an open span in a [`TraceBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(u16);
+
+/// Builds one job's [`JobTrace`] as it moves through the service.
+///
+/// The logical clock is a job-local event counter: `begin`/`end`/
+/// `instant` each consume one tick, so every event in the job has a
+/// distinct, causally ordered timestamp. Parentage is the innermost
+/// span still open at `begin` time. When constructed with a
+/// [`FlightRecorder`], every event is also recorded there.
+pub struct TraceBuilder {
+    job_id: u64,
+    lc: u64,
+    shard: u32,
+    spans: Vec<Span>,
+    open: Vec<u16>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl TraceBuilder {
+    /// A builder for `job_id`, optionally teeing every event into
+    /// `flight`.
+    #[must_use]
+    pub fn new(job_id: u64, flight: Option<Arc<FlightRecorder>>) -> TraceBuilder {
+        TraceBuilder { job_id, lc: 0, shard: FRONTEND_SHARD, spans: Vec::new(), open: Vec::new(), flight }
+    }
+
+    /// Sets the shard recorded on subsequent events (workers call this
+    /// when they pick the job up; [`FRONTEND_SHARD`] until then).
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = shard;
+    }
+
+    /// The job this builder traces.
+    #[must_use]
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    fn tick(&mut self) -> u64 {
+        let lc = self.lc;
+        self.lc += 1;
+        lc
+    }
+
+    fn tee(&self, kind: SpanKind, phase: u8, lc: u64, arg: u64) {
+        if let Some(f) = &self.flight {
+            f.record(FlightEvent { job: self.job_id, kind, phase, shard: self.shard, lc, arg });
+        }
+    }
+
+    /// Opens a span. `wall_us` is an optional wall-clock annotation
+    /// (this module never reads the clock itself).
+    pub fn begin(&mut self, kind: SpanKind, arg: u64, wall_us: Option<u64>) -> SpanId {
+        let lc = self.tick();
+        let parent = self.open.last().copied();
+        let id = self.spans.len() as u16;
+        self.spans.push(Span {
+            kind,
+            parent,
+            begin_lc: lc,
+            end_lc: lc,
+            shard: self.shard,
+            arg,
+            wall_us,
+        });
+        self.open.push(id);
+        self.tee(kind, 0, lc, arg);
+        SpanId(id)
+    }
+
+    /// Closes a span, updating its domain arg and wall annotation.
+    pub fn end(&mut self, id: SpanId, arg: u64, wall_us: Option<u64>) {
+        let lc = self.tick();
+        if let Some(pos) = self.open.iter().rposition(|&i| i == id.0) {
+            self.open.remove(pos);
+        }
+        let kind = if let Some(s) = self.spans.get_mut(id.0 as usize) {
+            s.end_lc = lc;
+            s.arg = arg;
+            if wall_us.is_some() {
+                s.wall_us = wall_us;
+            }
+            // A span's events carry the shard that emitted them; a span
+            // begun on the front end but ended on a worker belongs to
+            // the worker (it did the work).
+            if self.shard != FRONTEND_SHARD {
+                s.shard = self.shard;
+            }
+            s.kind
+        } else {
+            return;
+        };
+        self.tee(kind, 1, lc, arg);
+    }
+
+    /// Records a zero-length event.
+    pub fn instant(&mut self, kind: SpanKind, arg: u64, wall_us: Option<u64>) {
+        let lc = self.tick();
+        let parent = self.open.last().copied();
+        self.spans.push(Span {
+            kind,
+            parent,
+            begin_lc: lc,
+            end_lc: lc,
+            shard: self.shard,
+            arg,
+            wall_us,
+        });
+        self.tee(kind, 2, lc, arg);
+    }
+
+    /// The trace so far (open spans appear with `end_lc == begin_lc`).
+    /// Used for divergence dumps, where the job never completes.
+    #[must_use]
+    pub fn snapshot(&self) -> JobTrace {
+        JobTrace { job_id: self.job_id, spans: self.spans.clone() }
+    }
+
+    /// Finishes the trace, closing any still-open spans at the current
+    /// logical clock.
+    #[must_use]
+    pub fn finish(mut self) -> JobTrace {
+        while let Some(i) = self.open.pop() {
+            let lc = self.tick();
+            self.spans[i as usize].end_lc = lc;
+        }
+        JobTrace { job_id: self.job_id, spans: self.spans }
+    }
+}
+
+/// One fixed-size flight-recorder event. `phase`: 0 begin, 1 end,
+/// 2 instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Job id.
+    pub job: u64,
+    /// Span taxonomy entry.
+    pub kind: SpanKind,
+    /// 0 begin, 1 end, 2 instant.
+    pub phase: u8,
+    /// Emitting shard ([`FRONTEND_SHARD`] for the front end).
+    pub shard: u32,
+    /// Job-local logical clock of the event.
+    pub lc: u64,
+    /// Domain measure.
+    pub arg: u64,
+}
+
+/// One seqlock-guarded slot: `seq` is odd while a write is in flight;
+/// readers retry/skip on odd or changed `seq`. Payload words:
+/// `[job, kind|phase|shard, lc, arg, ring_seq]`.
+struct Slot {
+    seq: AtomicU64,
+    w: [AtomicU64; 5],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot { seq: AtomicU64::new(0), w: [0u64; 5].map(AtomicU64::new) }
+    }
+}
+
+/// A bounded ring of [`Slot`]s with a single logical writer.
+struct ShardRing {
+    slots: Box<[Slot]>,
+    /// Total events ever recorded on this ring — the per-shard logical
+    /// clock flight dumps order by.
+    head: AtomicU64,
+}
+
+impl ShardRing {
+    fn new(cap: usize) -> ShardRing {
+        ShardRing {
+            slots: (0..cap.max(1)).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, ev: FlightEvent) {
+        let ring_seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ring_seq % self.slots.len() as u64) as usize];
+        let s0 = slot.seq.fetch_add(1, Ordering::Acquire); // odd: write in flight
+        let meta = u64::from(ev.kind as u8) | (u64::from(ev.phase) << 8) | (u64::from(ev.shard) << 16);
+        slot.w[0].store(ev.job, Ordering::Relaxed);
+        slot.w[1].store(meta, Ordering::Relaxed);
+        slot.w[2].store(ev.lc, Ordering::Relaxed);
+        slot.w[3].store(ev.arg, Ordering::Relaxed);
+        slot.w[4].store(ring_seq, Ordering::Relaxed);
+        slot.seq.store(s0 + 2, Ordering::Release); // even: write complete
+    }
+
+    /// The resident events, oldest first, paired with their ring seq.
+    /// Torn slots (a write raced the read) are skipped rather than
+    /// misreported.
+    fn snapshot(&self) -> Vec<(u64, FlightEvent)> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::new();
+        for seq in start..head {
+            let slot = &self.slots[(seq % cap) as usize];
+            let s0 = slot.seq.load(Ordering::Acquire);
+            if s0 % 2 != 0 {
+                continue; // write in flight
+            }
+            let w: Vec<u64> = slot.w.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            if slot.seq.load(Ordering::Acquire) != s0 {
+                continue; // torn
+            }
+            if w[4] != seq {
+                continue; // already overwritten by a newer event
+            }
+            let Some(kind) = SpanKind::from_u8((w[1] & 0xff) as u8) else { continue };
+            out.push((
+                seq,
+                FlightEvent {
+                    job: w[0],
+                    kind,
+                    phase: ((w[1] >> 8) & 0xff) as u8,
+                    shard: (w[1] >> 16) as u32,
+                    lc: w[2],
+                    arg: w[3],
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// The flight recorder: one bounded ring per shard (ring 0 is the
+/// service front end, ring `i + 1` is worker shard `i`). Recording is
+/// wait-free for the single writer each ring has in practice; reading
+/// is lock-free with torn reads skipped.
+pub struct FlightRecorder {
+    rings: Vec<ShardRing>,
+}
+
+impl FlightRecorder {
+    /// A recorder with `shards` worker rings (plus the front-end ring)
+    /// of `cap` events each.
+    #[must_use]
+    pub fn new(shards: usize, cap: usize) -> FlightRecorder {
+        FlightRecorder { rings: (0..shards + 1).map(|_| ShardRing::new(cap)).collect() }
+    }
+
+    /// Records `ev` on its shard's ring ([`FRONTEND_SHARD`] → ring 0;
+    /// shard ids past the constructed count wrap rather than panic).
+    pub fn record(&self, ev: FlightEvent) {
+        let idx = if ev.shard == FRONTEND_SHARD {
+            0
+        } else {
+            1 + (ev.shard as usize % (self.rings.len() - 1).max(1))
+        };
+        self.rings[idx.min(self.rings.len() - 1)].record(ev);
+    }
+
+    /// Every resident event as `(ring index, ring seq, event)`, ring by
+    /// ring, oldest first within a ring.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(usize, u64, FlightEvent)> {
+        let mut out = Vec::new();
+        for (ri, ring) in self.rings.iter().enumerate() {
+            for (seq, ev) in ring.snapshot() {
+                out.push((ri, seq, ev));
+            }
+        }
+        out
+    }
+
+    /// The resident events as Chrome trace-event objects. `ts` is the
+    /// per-ring sequence number (a logical clock), `tid` the ring.
+    #[must_use]
+    pub fn chrome_events(&self) -> Vec<String> {
+        let phase_name = |p: u8| match p {
+            0 => "begin",
+            1 => "end",
+            _ => "instant",
+        };
+        self.snapshot()
+            .into_iter()
+            .map(|(ri, seq, ev)| {
+                format!(
+                    "{{\"name\":\"{}:{}\",\"cat\":\"flight\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"lc\":{},\"arg\":{}}}}}",
+                    ev.kind.name(),
+                    phase_name(ev.phase),
+                    seq,
+                    ev.job,
+                    ri,
+                    ev.lc,
+                    ev.arg,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Assembles a complete Chrome trace-event JSON document (the format
+/// Perfetto and `chrome://tracing` load) from completed job traces and
+/// pre-rendered flight-recorder events. Timestamps throughout are
+/// logical clocks.
+#[must_use]
+pub fn chrome_trace_json(traces: &[JobTrace], flight_events: &[String]) -> String {
+    let mut events = Vec::new();
+    for t in traces {
+        t.push_chrome_events(&mut events);
+    }
+    events.extend_from_slice(flight_events);
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_one() -> JobTrace {
+        let mut b = TraceBuilder::new(7, None);
+        let job = b.begin(SpanKind::Job, 0, None);
+        let admit = b.begin(SpanKind::Admit, 0, Some(3));
+        b.end(admit, 0, Some(5));
+        let q = b.begin(SpanKind::QueueWait, 2, None);
+        b.set_shard(1);
+        b.end(q, 2, None);
+        let exec = b.begin(SpanKind::Exec, 0, None);
+        let s = b.begin(SpanKind::Slice, 0, None);
+        b.end(s, 1000, None);
+        b.instant(SpanKind::Checkpoint, 1000, None);
+        b.end(exec, 1000, None);
+        b.end(job, 0, None);
+        b.finish()
+    }
+
+    #[test]
+    fn spans_nest_and_clocks_are_strictly_ordered() {
+        let t = build_one();
+        assert_eq!(t.job_id, 7);
+        let kinds: Vec<SpanKind> = t.spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Job,
+                SpanKind::Admit,
+                SpanKind::QueueWait,
+                SpanKind::Exec,
+                SpanKind::Slice,
+                SpanKind::Checkpoint,
+            ]
+        );
+        // Parentage: admit/queue/exec under job, slice+checkpoint under exec.
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(t.spans[2].parent, Some(0));
+        assert_eq!(t.spans[3].parent, Some(0));
+        assert_eq!(t.spans[4].parent, Some(3));
+        assert_eq!(t.spans[5].parent, Some(3));
+        // Logical clocks: begin order is strictly increasing, ends follow begins.
+        for w in t.spans.windows(2) {
+            assert!(w[0].begin_lc < w[1].begin_lc);
+        }
+        for s in &t.spans {
+            assert!(s.end_lc >= s.begin_lc);
+        }
+        // The checkpoint instant sits inside the slice..exec window.
+        assert!(t.spans[5].begin_lc > t.spans[4].begin_lc);
+        assert!(t.spans[5].begin_lc < t.spans[3].end_lc);
+    }
+
+    #[test]
+    fn canonical_text_strips_wall_and_shard_but_keeps_clocks() {
+        let t = build_one();
+        let canon = t.canonical_text();
+        assert!(!canon.contains("wall"), "{canon}");
+        assert!(!canon.contains("shard"), "{canon}");
+        assert!(canon.contains("admit"), "{canon}");
+        assert!(canon.contains("parent=exec"), "{canon}");
+        // Same events, different wall annotations ⇒ same canonical form.
+        let mut b = TraceBuilder::new(7, None);
+        let job = b.begin(SpanKind::Job, 0, Some(999));
+        let admit = b.begin(SpanKind::Admit, 0, None);
+        b.end(admit, 0, Some(1));
+        let q = b.begin(SpanKind::QueueWait, 2, None);
+        b.set_shard(0); // different shard than build_one
+        b.end(q, 2, None);
+        let exec = b.begin(SpanKind::Exec, 0, None);
+        let s = b.begin(SpanKind::Slice, 0, None);
+        b.end(s, 1000, None);
+        b.instant(SpanKind::Checkpoint, 1000, None);
+        b.end(exec, 1000, None);
+        b.end(job, 0, None);
+        assert_eq!(b.finish().canonical_text(), canon);
+        // The human render keeps the annotations.
+        assert!(t.render_text().contains("wall_us=5"));
+        assert!(t.render_text().contains("shard=1"));
+    }
+
+    #[test]
+    fn finish_closes_open_spans_and_snapshot_leaves_them_open() {
+        let mut b = TraceBuilder::new(1, None);
+        let job = b.begin(SpanKind::Job, 0, None);
+        let exec = b.begin(SpanKind::Exec, 0, None);
+        let snap = b.snapshot();
+        assert_eq!(snap.spans[1].begin_lc, snap.spans[1].end_lc, "open in snapshot");
+        let _ = (job, exec);
+        let t = b.finish();
+        assert!(t.spans[1].end_lc > t.spans[1].begin_lc, "finish closed it");
+        assert!(t.spans[0].end_lc > t.spans[1].end_lc, "outer closes after inner");
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_overwrites_oldest() {
+        let f = FlightRecorder::new(1, 8);
+        for i in 0..20u64 {
+            f.record(FlightEvent {
+                job: i,
+                kind: SpanKind::Slice,
+                phase: 2,
+                shard: 0,
+                lc: i,
+                arg: i,
+            });
+        }
+        let evs = f.snapshot();
+        assert_eq!(evs.len(), 8, "ring keeps exactly cap events");
+        let jobs: Vec<u64> = evs.iter().map(|(_, _, e)| e.job).collect();
+        assert_eq!(jobs, (12..20).collect::<Vec<_>>(), "oldest overwritten, order kept");
+        for (ri, _, _) in &evs {
+            assert_eq!(*ri, 1, "shard 0 events land on ring 1 (ring 0 is the front end)");
+        }
+    }
+
+    #[test]
+    fn frontend_and_worker_events_land_on_their_rings() {
+        let f = FlightRecorder::new(2, 8);
+        f.record(FlightEvent { job: 1, kind: SpanKind::Admit, phase: 0, shard: FRONTEND_SHARD, lc: 0, arg: 0 });
+        f.record(FlightEvent { job: 1, kind: SpanKind::Exec, phase: 0, shard: 1, lc: 1, arg: 0 });
+        let evs = f.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].0, 0, "front-end ring");
+        assert_eq!(evs[1].0, 2, "worker shard 1 → ring 2");
+    }
+
+    #[test]
+    fn builder_tees_into_the_flight_recorder() {
+        let f = Arc::new(FlightRecorder::new(1, 16));
+        let mut b = TraceBuilder::new(42, Some(Arc::clone(&f)));
+        let job = b.begin(SpanKind::Job, 0, None);
+        b.instant(SpanKind::Checkpoint, 500, None);
+        b.end(job, 0, None);
+        let _ = b.finish();
+        let evs = f.snapshot();
+        assert_eq!(evs.len(), 3, "begin + instant + end");
+        assert!(evs.iter().all(|(_, _, e)| e.job == 42));
+        assert_eq!(evs[1].2.kind, SpanKind::Checkpoint);
+        assert_eq!(evs[1].2.arg, 500);
+    }
+
+    #[test]
+    fn chrome_json_is_loadable_shaped_and_clock_timed() {
+        let t = build_one();
+        let f = FlightRecorder::new(1, 8);
+        f.record(FlightEvent { job: 7, kind: SpanKind::Slice, phase: 1, shard: 0, lc: 9, arg: 1000 });
+        let doc = chrome_trace_json(&[t], &f.chrome_events());
+        assert!(doc.starts_with("{\"traceEvents\":["), "{doc}");
+        assert!(doc.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"), "{doc}");
+        assert!(doc.contains("\"ph\":\"X\""), "complete events: {doc}");
+        assert!(doc.contains("\"ph\":\"i\""), "instants: {doc}");
+        assert!(doc.contains("\"name\":\"slice:end\""), "flight events named: {doc}");
+        assert!(doc.contains("\"cat\":\"flight\""), "{doc}");
+        // Every ts is a logical clock (integers), never a float wall reading.
+        for line in doc.lines().filter(|l| l.contains("\"ts\":")) {
+            let ts = line.split("\"ts\":").nth(1).unwrap();
+            let num: String = ts.chars().take_while(char::is_ascii_digit).collect();
+            assert!(!num.is_empty(), "integer ts in {line}");
+            assert!(!ts.starts_with(&format!("{num}.")), "no fractional ts in {line}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_never_tears() {
+        let f = Arc::new(FlightRecorder::new(4, 64));
+        let handles: Vec<_> = (0..4u32)
+            .map(|shard| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        f.record(FlightEvent {
+                            job: u64::from(shard),
+                            kind: SpanKind::Slice,
+                            phase: 2,
+                            shard,
+                            lc: i,
+                            arg: i,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for (_, _, ev) in f.snapshot() {
+                // A torn read would mix fields from different events.
+                assert_eq!(ev.lc, ev.arg, "lc/arg written together must read together");
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = f.snapshot();
+        assert_eq!(evs.len(), 4 * 64, "every ring full");
+    }
+}

@@ -146,6 +146,7 @@ mod tests {
 
     fn outcome(tag: u8) -> JobOutcome {
         JobOutcome {
+            job_id: u64::from(tag),
             status: JobStatus::Exited(tag),
             message: String::new(),
             stdout: vec![tag; 3],

@@ -1,4 +1,5 @@
-//! The wire client and the seeded loadgen.
+//! The wire client, the seeded loadgen, and the stats-line parser
+//! behind `silver-client top`.
 //!
 //! [`Client`] is a thin blocking connection speaking the
 //! [`wire`](crate::wire) protocol. [`loadgen`] replays a seeded mixed
@@ -15,6 +16,8 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use obs::metrics::quantile_sorted;
+use obs::trace::JobTrace;
 use testkit::{Rng, TestRng};
 
 use crate::job::{EnginePref, JobSpec, JobStatus, ShadowPref};
@@ -81,6 +84,21 @@ impl Client {
             Response::Pong => Ok(()),
             other => Err(WireError::Io(std::io::Error::other(format!(
                 "expected Pong, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Fetches the span tree of job `job_id` (`Ok(None)` when the
+    /// server no longer holds it).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind.
+    pub fn trace(&mut self, job_id: u64) -> Result<Option<JobTrace>, WireError> {
+        match self.roundtrip(&Request::Trace(job_id))? {
+            Response::Trace(t) => Ok(t),
+            other => Err(WireError::Io(std::io::Error::other(format!(
+                "expected Trace, got {other:?}"
             )))),
         }
     }
@@ -297,14 +315,101 @@ pub fn loadgen(
     }
     let (mut summary, mut lat) = tally.into_inner().expect("tally lock");
     lat.sort_unstable();
-    let q = |f: f64| -> u64 {
-        if lat.is_empty() {
-            0
-        } else {
-            lat[((lat.len() - 1) as f64 * f) as usize]
-        }
-    };
-    summary.p50_us = q(0.50);
-    summary.p99_us = q(0.99);
+    summary.p50_us = quantile_sorted(&lat, 0.50);
+    summary.p99_us = quantile_sorted(&lat, 0.99);
     Ok(summary)
+}
+
+/// The head summary line of a server's stats text, parsed — what
+/// `silver-client top` polls and diffs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Stats-line sequence number (monotonic per server).
+    pub seq: u64,
+    /// Server uptime, µs.
+    pub uptime_us: u64,
+    /// Worker shard count.
+    pub shards: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Completions served from the cache.
+    pub cached: u64,
+    /// Admission rejections.
+    pub rejected: u64,
+    /// Jobs admitted but not yet completed.
+    pub inflight: u64,
+    /// Completed jobs per second over the whole uptime.
+    pub qps: f64,
+    /// Server-side p50 job latency, µs.
+    pub p50_us: u64,
+    /// Server-side p99 job latency, µs.
+    pub p99_us: u64,
+    /// Cache hit rate over all lookups.
+    pub cache_hit_rate: f64,
+    /// Shadow divergences (anything nonzero is a found engine bug).
+    pub divergences: u64,
+    /// Checkpoint migrations.
+    pub migrations: u64,
+    /// Rolling checkpoints captured.
+    pub checkpoints: u64,
+}
+
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the first `"suite":"service"` summary line out of a stats
+/// text (or a bench file's contents). Returns `None` when no such line
+/// exists or mandatory keys are missing.
+#[must_use]
+pub fn parse_stats(text: &str) -> Option<StatsSnapshot> {
+    let line = text.lines().find(|l| l.contains("\"suite\":\"service\""))?;
+    let num = |k: &str| json_num(line, k);
+    let int = |k: &str| num(k).map(|v| v as u64);
+    Some(StatsSnapshot {
+        seq: int("seq")?,
+        uptime_us: int("uptime_us")?,
+        shards: int("shards")?,
+        jobs: int("jobs")?,
+        cached: int("cached").unwrap_or(0),
+        rejected: int("rejected").unwrap_or(0),
+        inflight: int("inflight")?,
+        qps: num("qps")?,
+        p50_us: int("p50_us").unwrap_or(0),
+        p99_us: int("p99_us").unwrap_or(0),
+        cache_hit_rate: num("cache_hit_rate").unwrap_or(0.0),
+        divergences: int("divergences").unwrap_or(0),
+        migrations: int("migrations").unwrap_or(0),
+        checkpoints: int("checkpoints").unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_stats_reads_the_summary_line() {
+        let text = "{\"suite\":\"service\",\"seq\":7,\"uptime_us\":1000000,\"shards\":4,\"jobs\":42,\"cached\":10,\"rejected\":1,\"inflight\":3,\"qps\":42.00,\"p50_us\":150,\"p99_us\":900,\"cache_hit_rate\":0.2381,\"evictions\":0,\"shadow_jobs\":6,\"divergences\":0,\"migrations\":2,\"checkpoints\":9}\n{\"name\":\"x\",\"kind\":\"counter\",\"value\":1}\n";
+        let s = parse_stats(text).expect("parses");
+        assert_eq!(s.seq, 7);
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.jobs, 42);
+        assert_eq!(s.inflight, 3);
+        assert!((s.qps - 42.0).abs() < 1e-9);
+        assert!((s.cache_hit_rate - 0.2381).abs() < 1e-9);
+        assert_eq!(s.migrations, 2);
+    }
+
+    #[test]
+    fn parse_stats_rejects_other_lines() {
+        assert_eq!(parse_stats("{\"suite\":\"loadgen\"}\n"), None);
+        assert_eq!(parse_stats(""), None);
+    }
 }

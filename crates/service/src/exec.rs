@@ -36,8 +36,13 @@ pub(crate) struct SliceEnv<'a> {
     pub checkpoint_every: u64,
     /// Polled at every slice boundary; `true` interrupts the job.
     pub stop: &'a dyn Fn() -> bool,
-    /// Called once per captured rolling checkpoint.
-    pub on_checkpoint: &'a dyn Fn(),
+    /// Called once per captured rolling checkpoint with the retire
+    /// count it captured at.
+    pub on_checkpoint: &'a dyn Fn(u64),
+    /// Called once per executed slice with the retire counts at slice
+    /// begin and end — the engine-level trace events (`SpanKind::Slice`
+    /// with retire-count logical annotations).
+    pub on_slice: &'a dyn Fn(u64, u64),
 }
 
 fn outcome(
@@ -48,6 +53,7 @@ fn outcome(
     engine: ServeEngine,
 ) -> JobOutcome {
     JobOutcome {
+        job_id: 0,
         status,
         message: String::new(),
         stdout,
@@ -79,12 +85,14 @@ pub(crate) fn run_ref_sliced(env: &SliceEnv<'_>, mut state: State, fuel: u64) ->
             break;
         }
         let chunk = env.checkpoint_every.min(remaining);
+        let before = state.instructions_retired;
         let n = state.run(chunk);
+        (env.on_slice)(before, state.instructions_retired);
         if state.is_halted() || n < chunk {
             break;
         }
         let snap = Snapshot::capture(&state);
-        (env.on_checkpoint)();
+        (env.on_checkpoint)(state.instructions_retired);
         if (env.stop)() {
             return ExecEnd::Killed(Box::new(snap));
         }
@@ -106,12 +114,14 @@ pub(crate) fn run_jet_sliced(env: &SliceEnv<'_>, mut j: Jet, fuel: u64) -> ExecE
             break;
         }
         let chunk = env.checkpoint_every.min(remaining);
+        let before = j.instructions_retired;
         let n = j.run(chunk);
+        (env.on_slice)(before, j.instructions_retired);
         if j.is_halted() || n < chunk {
             break;
         }
         let snap = Snapshot::capture_jet(&j);
-        (env.on_checkpoint)();
+        (env.on_checkpoint)(j.instructions_retired);
         if (env.stop)() {
             return ExecEnd::Killed(Box::new(snap));
         }

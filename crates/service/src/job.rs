@@ -149,6 +149,10 @@ impl fmt::Display for JobStatus {
 /// rest (`engine`, `cached`, `shadowed`, `migrations`) is provenance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JobOutcome {
+    /// The submission's id (its admit sequence number) — the handle the
+    /// `Trace` wire op takes. A cache hit gets a fresh id of its own;
+    /// its (tiny) trace records the hit, not the original computation.
+    pub job_id: u64,
     /// Final classification.
     pub status: JobStatus,
     /// Error / divergence detail (empty on success).

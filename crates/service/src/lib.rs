@@ -40,11 +40,12 @@ pub mod client;
 pub mod job;
 pub mod net;
 pub mod server;
+pub mod signal;
 pub mod tenant;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
-pub use client::{loadgen, Client, LoadgenConfig, LoadgenSummary};
+pub use client::{loadgen, parse_stats, Client, LoadgenConfig, LoadgenSummary, StatsSnapshot};
 pub use job::{
     job_key, EnginePref, JobOutcome, JobSpec, JobStatus, ServeEngine, ShadowPref, CACHE_VERSION,
 };
@@ -94,6 +95,26 @@ pub struct ServiceConfig {
     /// Engine for [`EnginePref::Auto`] jobs. Jet: the fastest engine is
     /// the right default precisely because shadow sampling stays on.
     pub default_engine: ServeEngine,
+    /// Completed-trace store capacity: the newest N job traces are
+    /// retrievable through the `Trace` wire op (0 disables tracing
+    /// retention; the flight recorder still runs).
+    pub trace_capacity: usize,
+    /// Flight-recorder ring capacity, in events per shard ring.
+    pub flight_capacity: usize,
+    /// Where flight-recorder dumps land (Chrome trace-event JSON,
+    /// written automatically on shadow divergence, worker death and
+    /// shutdown). `None` disables dumping; recording still happens.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Cadence of time-series stats lines appended to the bench file by
+    /// the socket front end, in milliseconds (0 = only the shutdown
+    /// lines).
+    pub stats_every_ms: u64,
+    /// Fault-injection hook for tests and CI: XORed into one ALU result
+    /// inside sampled shadow checks so a divergence (and its automatic
+    /// flight-recorder dump) can be provoked on demand. Keep 0 in
+    /// production.
+    #[doc(hidden)]
+    pub fault_xor: u32,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +127,11 @@ impl Default for ServiceConfig {
             checkpoint_every: 100_000,
             tenant: TenantPolicy::default(),
             default_engine: ServeEngine::Jet,
+            trace_capacity: 512,
+            flight_capacity: 4096,
+            trace_dir: None,
+            stats_every_ms: 1000,
+            fault_xor: 0,
         }
     }
 }

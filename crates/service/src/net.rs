@@ -2,9 +2,14 @@
 //! speak the [`wire`](crate::wire) protocol, one thread per connection.
 //!
 //! The accept loop is non-blocking so a `Shutdown` request (observed by
-//! any connection thread) stops accepting promptly; the service then
-//! drains its queue, joins its workers, and — when configured — emits
-//! `BENCH_service.json`.
+//! any connection thread) or a SIGINT/SIGTERM (latched by
+//! [`crate::signal`]) stops accepting promptly; the service then drains
+//! its queue, joins its workers, and — when configured — emits
+//! `BENCH_service.json`. With a bench path set, the loop also appends
+//! one time-series stats line every
+//! [`stats_every_ms`](crate::ServiceConfig::stats_every_ms), so the
+//! artifact is a QPS/cache/utilization time series rather than a single
+//! shutdown blob.
 
 use std::io::{Read, Write};
 use std::net::TcpListener;
@@ -12,9 +17,10 @@ use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::server::Service;
+use crate::signal;
 use crate::wire::{read_request, write_response, Request, Response, WireError};
 
 /// Where to listen.
@@ -68,8 +74,18 @@ pub fn serve(
         }
     };
 
+    signal::install_termination_latch();
+    let stats_every = service.stats_every();
+    let mut last_stats = Instant::now();
+
     let shutdown = Arc::new(AtomicBool::new(false));
-    while !shutdown.load(Ordering::Relaxed) {
+    while !shutdown.load(Ordering::Relaxed) && !signal::termination_requested() {
+        if let (Some(path), Some(every)) = (bench, stats_every) {
+            if last_stats.elapsed() >= every {
+                last_stats = Instant::now();
+                service.append_stats_line(path)?;
+            }
+        }
         let stream: Option<Box<dyn ReadWrite + Send>> = match &listener {
             Listener::Tcp(l) => match l.accept() {
                 Ok((s, _)) => {
@@ -139,6 +155,7 @@ fn serve_conn(
             },
             Request::Stats => Response::Stats(service.stats_text()),
             Request::Ping => Response::Pong,
+            Request::Trace(job_id) => Response::Trace(service.trace(job_id)),
             Request::Shutdown => {
                 let _ = write_response(&mut stream, &Response::ShutdownAck);
                 shutdown.store(true, Ordering::Relaxed);

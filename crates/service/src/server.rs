@@ -1,6 +1,6 @@
 //! The in-process execution service: admission → cache → queue →
 //! sharded worker pool → outcome, with shadow sampling, checkpoint
-//! migration, and metrics.
+//! migration, metrics, and per-job tracing.
 //!
 //! Submission path:
 //!
@@ -20,7 +20,20 @@
 //!    freshly respawned one — resumes it from there. The resumed
 //!    result is byte-identical to an uninterrupted run (the crash-resume
 //!    contract, now as live job migration).
+//!
+//! Every step above also emits a span into the job's
+//! [`obs::trace::JobTrace`] — admit, cache lookup, tenant reserve,
+//! queue wait, compile, shadow check, exec slices, checkpoints,
+//! migration, requeue, reply — timed by **logical clocks** (per-job
+//! event sequence numbers; retire counts and queue depths as span
+//! args). Wall-clock readings ride along only as optional annotations.
+//! The same events tee into a bounded per-shard [`FlightRecorder`]; on
+//! a shadow divergence, a worker death, or shutdown the recorder dumps
+//! Chrome trace-event JSON (Perfetto-loadable) into
+//! [`ServiceConfig::trace_dir`].
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -29,6 +42,7 @@ use std::time::Instant;
 use basis::build_image;
 use cakeml::{compile_source, CompilerConfig, TargetLayout};
 use obs::metrics::Registry;
+use obs::trace::{chrome_trace_json, FlightRecorder, JobTrace, SpanId, SpanKind, TraceBuilder};
 use silver::snapshot::Snapshot;
 use testkit::pool::{PushError, WorkQueue, WorkerCtl, WorkerPool};
 
@@ -87,10 +101,17 @@ impl RejectReason {
 struct Pending {
     spec: JobSpec,
     key: u64,
+    job_id: u64,
     engine: ServeEngine,
     shadowed: bool,
     resume: Option<Box<Snapshot>>,
     migrations: u32,
+    /// The job's span tree under construction (None only transiently
+    /// inside `handle_job`).
+    trace: Option<TraceBuilder>,
+    /// The currently open queue-wait span, ended when a worker picks
+    /// the job up.
+    queue_span: Option<SpanId>,
     tx: mpsc::Sender<JobOutcome>,
     submitted: Instant,
 }
@@ -142,11 +163,16 @@ struct Inner {
     cache: ResultCache,
     tenants: TenantTable,
     m: Metrics,
+    /// Admission sequence: the service-global logical clock that names
+    /// jobs (`job_id`) and orders them causally.
+    admit_seq: AtomicU64,
     /// Executed-job counter driving `every_jobs` shadow sampling.
     shadow_seq: AtomicU64,
     /// Total rolling checkpoints captured (also the clock for the
     /// deterministic kill tripwire).
     checkpoint_seq: AtomicU64,
+    /// Stats-line sequence for the time-series bench lines.
+    stats_seq: AtomicU64,
     /// Fault-injection tripwire for tests: when nonzero, the worker
     /// that reaches this checkpoint count "dies" (requeues its job and
     /// stops) — a deterministic stand-in for killing a worker mid-job.
@@ -154,7 +180,44 @@ struct Inner {
     /// High-water mark of worker slots ever spawned. Outlives the pool
     /// so post-shutdown stats still cover every shard that existed.
     spawned_hwm: AtomicUsize,
+    /// The flight recorder every trace event tees into.
+    flight: Arc<FlightRecorder>,
+    /// The newest `cfg.trace_capacity` completed job traces, oldest
+    /// first — what the `Trace` wire op serves.
+    traces: Mutex<VecDeque<JobTrace>>,
     started: Instant,
+}
+
+impl Inner {
+    /// Wall-clock annotation for spans: µs since service start. Only
+    /// ever attached as an *annotation* — ordering is logical clocks.
+    fn wall_us(&self) -> Option<u64> {
+        Some(self.started.elapsed().as_micros() as u64)
+    }
+
+    fn store_trace(&self, trace: JobTrace) {
+        if self.cfg.trace_capacity == 0 {
+            return;
+        }
+        let mut traces = self.traces.lock().expect("trace lock");
+        while traces.len() >= self.cfg.trace_capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// Writes a Chrome trace-event dump (`traces` plus the flight
+    /// recorder's resident events) into `trace_dir` as
+    /// `TRACE_<label>.json`. No-op without a configured dir.
+    fn dump_flight(&self, label: &str, traces: &[JobTrace]) -> Option<std::path::PathBuf> {
+        let dir = self.cfg.trace_dir.as_ref()?;
+        let doc = chrome_trace_json(traces, &self.flight.chrome_events());
+        let path = dir.join(format!("TRACE_{label}.json"));
+        match std::fs::write(&path, doc) {
+            Ok(()) => Some(path),
+            Err(_) => None,
+        }
+    }
 }
 
 /// The multi-tenant execution service. Cheap to share: all state is
@@ -170,6 +233,7 @@ impl Service {
     #[must_use]
     pub fn start(cfg: ServiceConfig) -> Service {
         let queue = WorkQueue::bounded(cfg.queue_depth.max(1));
+        let flight = Arc::new(FlightRecorder::new(cfg.shards.max(1), cfg.flight_capacity.max(1)));
         let inner = Arc::new(Inner {
             layout: TargetLayout::default(),
             compiler_cfg: CompilerConfig::default(),
@@ -177,10 +241,14 @@ impl Service {
             cache: ResultCache::new(cfg.cache_capacity),
             tenants: TenantTable::new(cfg.tenant),
             m: Metrics::new(),
+            admit_seq: AtomicU64::new(0),
             shadow_seq: AtomicU64::new(0),
             checkpoint_seq: AtomicU64::new(0),
+            stats_seq: AtomicU64::new(0),
             kill_at_checkpoint: AtomicU64::new(0),
             spawned_hwm: AtomicUsize::new(0),
+            flight,
+            traces: Mutex::new(VecDeque::new()),
             started: Instant::now(),
             cfg,
         });
@@ -215,24 +283,41 @@ impl Service {
     ) -> Result<mpsc::Receiver<JobOutcome>, RejectReason> {
         let inner = &self.inner;
         inner.m.submitted.inc();
+
+        // Every submission gets a job id (the admit sequence number —
+        // the service-global logical clock) and a trace builder teeing
+        // into the flight recorder.
+        let job_id = inner.admit_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut tb = TraceBuilder::new(job_id, Some(Arc::clone(&inner.flight)));
+        tb.begin(SpanKind::Job, 0, inner.wall_us());
+        let admit = tb.begin(SpanKind::Admit, 0, inner.wall_us());
+
         if let Err(r) = validate(&spec) {
             inner.m.rejected.inc();
             return Err(r);
         }
+        tb.end(admit, 0, inner.wall_us());
         let key = job_key(&spec);
         let (tx, rx) = mpsc::channel();
 
         // Cache: a hit costs the tenant nothing and touches no worker.
-        if let Some(hit) = inner.cache.lookup(key) {
+        let lookup = tb.begin(SpanKind::CacheLookup, 0, inner.wall_us());
+        if let Some(mut hit) = inner.cache.lookup(key) {
+            tb.end(lookup, 1, inner.wall_us());
             inner.m.cache_hits.inc();
             inner.m.cached.inc();
             inner.m.completed.inc();
             inner.m.job_us.record(0);
+            hit.job_id = job_id;
+            tb.instant(SpanKind::Reply, 0, inner.wall_us());
+            inner.store_trace(tb.finish());
             let _ = tx.send(hit);
             return Ok(rx);
         }
+        tb.end(lookup, 0, inner.wall_us());
         inner.m.cache_misses.inc();
 
+        let reserve = tb.begin(SpanKind::TenantReserve, spec.fuel, inner.wall_us());
         if let Err(e) = inner.tenants.admit(&spec.tenant, spec.fuel) {
             inner.m.rejected.inc();
             return Err(match e {
@@ -247,6 +332,7 @@ impl Service {
                 }
             });
         }
+        tb.end(reserve, spec.fuel, inner.wall_us());
 
         let engine = match spec.engine {
             EnginePref::Auto => inner.cfg.default_engine,
@@ -263,15 +349,22 @@ impl Service {
             },
         };
 
+        // Queue wait: begun here with the observed queue depth, ended
+        // by the worker that dequeues the job.
+        let queue_span = tb.begin(SpanKind::QueueWait, inner.queue.len() as u64, inner.wall_us());
+
         let tenant = spec.tenant.clone();
         let fuel = spec.fuel;
         let pending = Pending {
             spec,
             key,
+            job_id,
             engine,
             shadowed,
             resume: None,
             migrations: 0,
+            trace: Some(tb),
+            queue_span: Some(queue_span),
             tx,
             submitted: Instant::now(),
         };
@@ -346,10 +439,37 @@ impl Service {
         *self.inner.tenants.policy()
     }
 
-    /// One summary JSON line (the `BENCH_service.json` head line)
-    /// followed by the full metrics registry as JSON lines.
+    /// The span tree of job `job_id`, if it is still in the bounded
+    /// trace store (the newest [`ServiceConfig::trace_capacity`]
+    /// completed jobs).
     #[must_use]
-    pub fn stats_text(&self) -> String {
+    pub fn trace(&self, job_id: u64) -> Option<JobTrace> {
+        let traces = self.inner.traces.lock().expect("trace lock");
+        traces.iter().rev().find(|t| t.job_id == job_id).cloned()
+    }
+
+    /// Writes a flight-recorder dump labelled `label` into the
+    /// configured trace dir (Chrome trace-event JSON). Returns the path
+    /// written, or `None` when no trace dir is configured.
+    pub fn dump_flight(&self, label: &str) -> Option<std::path::PathBuf> {
+        self.inner.dump_flight(label, &[])
+    }
+
+    /// The configured cadence of periodic time-series stats lines
+    /// (`None` when [`ServiceConfig::stats_every_ms`] is 0).
+    #[must_use]
+    pub fn stats_every(&self) -> Option<std::time::Duration> {
+        match self.inner.cfg.stats_every_ms {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        }
+    }
+
+    /// One time-series stats line (the `BENCH_service.json` line the
+    /// socket front end appends periodically): the service summary with
+    /// a monotonically increasing `seq` and the current in-flight count.
+    #[must_use]
+    pub fn stats_line(&self) -> String {
         let inner = &self.inner;
         let cache = inner.cache.stats();
         // Mirror cache-internal accounting into the registry counters
@@ -358,13 +478,17 @@ impl Service {
         inner.m.cache_evictions.add(ev);
 
         let uptime_us = inner.started.elapsed().as_micros().max(1) as u64;
+        let submitted = inner.m.submitted.get();
         let completed = inner.m.completed.get();
+        let rejected = inner.m.rejected.get();
+        let inflight = submitted.saturating_sub(completed).saturating_sub(rejected);
         let qps = completed as f64 / (uptime_us as f64 / 1e6);
         let lookups = cache.hits + cache.misses;
         let hit_rate = if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 };
         inner.m.registry.gauge("service.qps").set(qps);
         inner.m.registry.gauge("service.cache.hit_rate").set(hit_rate);
         inner.m.registry.gauge("service.uptime_us").set(uptime_us as f64);
+        inner.m.registry.gauge("service.inflight").set(inflight as f64);
         for i in 0..self.spawned_workers() {
             let busy = inner.m.registry.counter(&format!("service.shard_busy_us.{i}")).get();
             inner
@@ -374,12 +498,15 @@ impl Service {
                 .set(busy as f64 / uptime_us as f64);
         }
 
-        let mut out = format!(
-            "{{\"suite\":\"service\",\"shards\":{},\"jobs\":{},\"cached\":{},\"rejected\":{},\"qps\":{:.2},\"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4},\"evictions\":{},\"shadow_jobs\":{},\"divergences\":{},\"migrations\":{},\"checkpoints\":{}}}\n",
+        format!(
+            "{{\"suite\":\"service\",\"seq\":{},\"uptime_us\":{},\"shards\":{},\"jobs\":{},\"cached\":{},\"rejected\":{},\"inflight\":{},\"qps\":{:.2},\"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4},\"evictions\":{},\"shadow_jobs\":{},\"divergences\":{},\"migrations\":{},\"checkpoints\":{}}}\n",
+            inner.stats_seq.fetch_add(1, Ordering::Relaxed),
+            uptime_us,
             self.inner.cfg.shards,
             completed,
             inner.m.cached.get(),
-            inner.m.rejected.get(),
+            rejected,
+            inflight,
             qps,
             inner.m.job_us.quantile(0.50),
             inner.m.job_us.quantile(0.99),
@@ -389,19 +516,42 @@ impl Service {
             inner.m.divergences.get(),
             inner.m.migrations.get(),
             inner.m.checkpoints.get(),
-        );
-        out.push_str(&inner.m.registry.json_lines());
+        )
+    }
+
+    /// One summary JSON line (a [`stats_line`](Service::stats_line))
+    /// followed by the full metrics registry as JSON lines — what the
+    /// `Stats` wire op returns.
+    #[must_use]
+    pub fn stats_text(&self) -> String {
+        let mut out = self.stats_line();
+        out.push_str(&self.inner.m.registry.json_lines());
         out
     }
 
-    /// Writes [`stats_text`](Service::stats_text) to `path`
-    /// (truncating) — the `BENCH_service.json` artifact.
+    /// Appends one time-series stats line to `path` — the periodic
+    /// `BENCH_service.json` emission.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn append_stats_line(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(self.stats_line().as_bytes())
+    }
+
+    /// Appends the final [`stats_text`](Service::stats_text) to `path`
+    /// — the shutdown tail of the `BENCH_service.json` artifact, after
+    /// the run's periodic time-series lines.
     ///
     /// # Errors
     ///
     /// Filesystem errors.
     pub fn write_bench(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.stats_text())
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(self.stats_text().as_bytes())
     }
 
     /// Worker slots ever spawned (indices are stable, so this is also
@@ -413,12 +563,14 @@ impl Service {
     }
 
     /// Graceful shutdown: stop admitting, drain every queued job, join
-    /// all workers. Safe to call more than once.
+    /// all workers, and dump the flight recorder (when a trace dir is
+    /// configured). Safe to call more than once.
     pub fn shutdown(&self) {
         self.inner.queue.close();
         let pool = self.pool.lock().expect("pool lock").take();
         if let Some(p) = pool {
             p.join();
+            self.inner.dump_flight("shutdown", &[]);
         }
     }
 }
@@ -449,6 +601,7 @@ fn validate(spec: &JobSpec) -> Result<(), RejectReason> {
 
 fn internal_outcome(msg: &str) -> JobOutcome {
     JobOutcome {
+        job_id: 0,
         status: JobStatus::Internal,
         message: msg.to_string(),
         stdout: Vec::new(),
@@ -463,10 +616,20 @@ fn internal_outcome(msg: &str) -> JobOutcome {
 
 /// The worker body: compile (fresh jobs), shadow-check when sampled,
 /// run in slices, and either finish the job or requeue it from its
-/// last checkpoint when stopped.
+/// last checkpoint when stopped. Every phase lands in the job's trace.
 fn handle_job(inner: &Arc<Inner>, ctl: &WorkerCtl, mut job: Pending) {
     let t_exec = Instant::now();
     let busy = inner.m.registry.counter(&format!("service.shard_busy_us.{}", ctl.index));
+
+    // The trace builder moves into a RefCell so the `&dyn Fn` slice and
+    // checkpoint hooks below can record spans.
+    let tb = RefCell::new(
+        job.trace.take().unwrap_or_else(|| TraceBuilder::new(job.job_id, None)),
+    );
+    tb.borrow_mut().set_shard(ctl.index as u32);
+    if let Some(q) = job.queue_span.take() {
+        tb.borrow_mut().end(q, inner.queue.len() as u64, inner.wall_us());
+    }
 
     let tripwire_fired = {
         let inner = Arc::clone(inner);
@@ -479,62 +642,115 @@ fn handle_job(inner: &Arc<Inner>, ctl: &WorkerCtl, mut job: Pending) {
         let tripwire = tripwire_fired.clone();
         move || ctl.stop_requested() || tripwire()
     };
-    let on_checkpoint = || {
+    let on_checkpoint = |retired: u64| {
         inner.checkpoint_seq.fetch_add(1, Ordering::Relaxed);
         inner.m.checkpoints.inc();
+        tb.borrow_mut().instant(SpanKind::Checkpoint, retired, inner.wall_us());
+    };
+    let on_slice = |before: u64, after: u64| {
+        let mut t = tb.borrow_mut();
+        let s = t.begin(SpanKind::Slice, before, None);
+        t.end(s, after, inner.wall_us());
     };
     let env = SliceEnv {
         layout: &inner.layout,
         checkpoint_every: inner.cfg.checkpoint_every.max(1),
         stop: &stop,
         on_checkpoint: &on_checkpoint,
+        on_slice: &on_slice,
     };
 
     let end = match &job.resume {
-        Some(snap) => run_sliced(&env, Start::Checkpoint(snap.clone()), job.spec.fuel, job.engine),
+        Some(snap) => {
+            let resumed_at = snap.retired();
+            let exec = tb.borrow_mut().begin(SpanKind::Exec, resumed_at, inner.wall_us());
+            let end =
+                run_sliced(&env, Start::Checkpoint(snap.clone()), job.spec.fuel, job.engine);
+            let retired = match &end {
+                ExecEnd::Done(out) => out.instructions,
+                ExecEnd::Killed(s) => s.retired(),
+            };
+            tb.borrow_mut().end(exec, retired, inner.wall_us());
+            end
+        }
         None => {
             // Fresh job: compile, build the boot image, shadow-check if
             // sampled, then run. Resumed segments never re-shadow: the
             // fresh pass already verified the *whole* execution.
+            let compile = tb.borrow_mut().begin(SpanKind::Compile, 0, inner.wall_us());
             match compile_source(&job.spec.source, inner.layout, &inner.compiler_cfg) {
                 Err(e) => {
+                    tb.borrow_mut().end(compile, 1, inner.wall_us());
                     let mut out = internal_outcome("");
                     out.status = JobStatus::CompileError;
                     out.message = e.to_string();
                     ExecEnd::Done(out)
                 }
                 Ok(compiled) => {
+                    tb.borrow_mut().end(compile, 0, inner.wall_us());
                     let args: Vec<&str> = job.spec.args.iter().map(String::as_str).collect();
+                    let build = tb.borrow_mut().begin(SpanKind::ImageBuild, 0, inner.wall_us());
                     match build_image(&compiled, &args, &job.spec.stdin) {
                         Err(e) => {
+                            tb.borrow_mut().end(build, 1, inner.wall_us());
                             let mut out = internal_outcome("");
                             out.status = JobStatus::ImageError;
                             out.message = e.to_string();
                             ExecEnd::Done(out)
                         }
                         Ok(image) => {
+                            tb.borrow_mut().end(build, 0, inner.wall_us());
                             let mut diverged = None;
                             if job.shadowed {
                                 inner.m.shadow_jobs.inc();
                                 let sample = inner.cfg.shadow.sample.max(1);
-                                if let Err(fx) =
-                                    jet::run_shadow(&image, job.spec.fuel, sample, 0)
-                                {
-                                    inner.m.divergences.inc();
-                                    let mut out = internal_outcome("");
-                                    out.status = JobStatus::Divergence;
-                                    out.message = fx.render();
-                                    diverged = Some(ExecEnd::Done(out));
+                                let check = tb
+                                    .borrow_mut()
+                                    .begin(SpanKind::ShadowCheck, 0, inner.wall_us());
+                                match jet::run_shadow(
+                                    &image,
+                                    job.spec.fuel,
+                                    sample,
+                                    inner.cfg.fault_xor,
+                                ) {
+                                    Ok(_) => {
+                                        tb.borrow_mut().end(check, 0, inner.wall_us());
+                                    }
+                                    Err(fx) => {
+                                        tb.borrow_mut().end(check, 1, inner.wall_us());
+                                        inner.m.divergences.inc();
+                                        // The flight recorder's reason to
+                                        // exist: dump the record, with this
+                                        // job's lifecycle so far attached.
+                                        inner.dump_flight(
+                                            &format!("divergence_job{}", job.job_id),
+                                            &[tb.borrow().snapshot()],
+                                        );
+                                        let mut out = internal_outcome("");
+                                        out.status = JobStatus::Divergence;
+                                        out.message = fx.render();
+                                        diverged = Some(ExecEnd::Done(out));
+                                    }
                                 }
                             }
                             match diverged {
                                 Some(d) => d,
-                                None => run_sliced(
-                                    &env,
-                                    Start::Image(Box::new(image)),
-                                    job.spec.fuel,
-                                    job.engine,
-                                ),
+                                None => {
+                                    let exec =
+                                        tb.borrow_mut().begin(SpanKind::Exec, 0, inner.wall_us());
+                                    let end = run_sliced(
+                                        &env,
+                                        Start::Image(Box::new(image)),
+                                        job.spec.fuel,
+                                        job.engine,
+                                    );
+                                    let retired = match &end {
+                                        ExecEnd::Done(out) => out.instructions,
+                                        ExecEnd::Killed(s) => s.retired(),
+                                    };
+                                    tb.borrow_mut().end(exec, retired, inner.wall_us());
+                                    end
+                                }
                             }
                         }
                     }
@@ -555,14 +771,32 @@ fn handle_job(inner: &Arc<Inner>, ctl: &WorkerCtl, mut job: Pending) {
             }
             inner.m.migrations.inc();
             job.migrations += 1;
+            {
+                let mut t = tb.borrow_mut();
+                t.instant(SpanKind::Migrate, snap.retired(), inner.wall_us());
+                t.instant(SpanKind::Requeue, u64::from(job.migrations), inner.wall_us());
+                // The resumed segment waits on the queue again.
+                job.queue_span =
+                    Some(t.begin(SpanKind::QueueWait, inner.queue.len() as u64, inner.wall_us()));
+            }
+            // A dying worker is a flight-recorder moment: dump what every
+            // shard was doing when this one stopped mid-job.
+            inner.dump_flight(
+                &format!("worker_death_shard{}", ctl.index),
+                &[tb.borrow().snapshot()],
+            );
             job.resume = Some(snap);
+            job.trace = Some(tb.into_inner());
             if let Err(dropped) = inner.queue.push_front(job) {
-                let _ = dropped.tx.send(internal_outcome(
+                let mut out = internal_outcome(
                     "worker stopped mid-job after the queue closed; no resume path",
-                ));
+                );
+                out.job_id = dropped.job_id;
+                let _ = dropped.tx.send(out);
             }
         }
         ExecEnd::Done(mut out) => {
+            out.job_id = job.job_id;
             out.shadowed = job.shadowed;
             out.migrations = job.migrations;
             out.engine = job.engine;
@@ -571,6 +805,11 @@ fn handle_job(inner: &Arc<Inner>, ctl: &WorkerCtl, mut job: Pending) {
             inner.m.completed.inc();
             inner.m.job_us.record(job.submitted.elapsed().as_micros() as u64);
             inner.m.exec_us.record(t_exec.elapsed().as_micros() as u64);
+            {
+                let mut t = tb.borrow_mut();
+                t.instant(SpanKind::Reply, out.instructions, inner.wall_us());
+            }
+            inner.store_trace(tb.into_inner().finish());
             let _ = job.tx.send(out);
         }
     }

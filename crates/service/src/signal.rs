@@ -1,0 +1,56 @@
+//! Minimal SIGINT/SIGTERM latching, so the socket front end can flush
+//! `BENCH_service.json` and the flight recorder on Ctrl-C instead of
+//! dying with the artifacts unwritten.
+//!
+//! No `libc` crate: `signal(2)` is declared directly (std already links
+//! libc on every supported target) and the handler does the only thing
+//! async-signal-safety allows — a relaxed store into a static flag that
+//! the accept loop polls between accepts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGINT/SIGTERM latch. Idempotent; call once before the
+/// accept loop.
+pub fn install_termination_latch() {
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// True once SIGINT or SIGTERM has been received.
+#[must_use]
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_trips_on_raise() {
+        install_termination_latch();
+        assert!(!termination_requested());
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(termination_requested());
+    }
+}

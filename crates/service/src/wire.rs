@@ -14,20 +14,25 @@
 //! | `0x02` | → | request the metrics/stats text |
 //! | `0x03` | → | ping |
 //! | `0x04` | → | graceful shutdown |
+//! | `0x05` | → | fetch a job's span tree by job id |
 //! | `0x81` | ← | [`JobOutcome`] |
 //! | `0x82` | ← | rejected (code + reason) |
 //! | `0x83` | ← | stats text |
 //! | `0x84` | ← | pong |
 //! | `0x85` | ← | protocol-level error |
 //! | `0x86` | ← | shutdown acknowledged |
+//! | `0x87` | ← | span tree (or not-found) |
 
 use std::fmt;
 use std::io::{Read, Write};
 
+use obs::trace::{JobTrace, Span, SpanKind};
+
 use crate::job::{EnginePref, JobOutcome, JobSpec, JobStatus, ServeEngine, ShadowPref};
 
 /// Protocol version carried in every Submit payload.
-pub const PROTO_VERSION: u16 = 1;
+/// * v2: outcomes carry the job id; `Trace`/span-tree frames added.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Hard cap on one frame's payload, request or response.
 pub const MAX_FRAME: usize = 16 << 20;
@@ -43,6 +48,9 @@ pub enum Request {
     Ping,
     /// Ask the server to shut down gracefully (drain, emit bench).
     Shutdown,
+    /// Fetch the span tree of a completed job by its id (the
+    /// [`JobOutcome::job_id`] a Submit response carried).
+    Trace(u64),
 }
 
 /// Machine-readable rejection codes (mirrors `RejectReason`).
@@ -81,6 +89,9 @@ pub enum Response {
     Error(String),
     /// Shutdown acknowledged; the server drains and exits.
     ShutdownAck,
+    /// A job's span tree — `None` when the id is unknown or already
+    /// evicted from the bounded trace store.
+    Trace(Option<JobTrace>),
 }
 
 /// Decode/transport failures.
@@ -180,6 +191,7 @@ fn encode_spec(buf: &mut Vec<u8>, spec: &JobSpec) {
 }
 
 fn encode_outcome(buf: &mut Vec<u8>, out: &JobOutcome) {
+    put_u64(buf, out.job_id);
     let (status, exit) = match out.status {
         JobStatus::Exited(c) => (0u8, c),
         JobStatus::OutOfFuel => (1, 0),
@@ -225,6 +237,10 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
         Request::Stats => buf.push(0x02),
         Request::Ping => buf.push(0x03),
         Request::Shutdown => buf.push(0x04),
+        Request::Trace(job_id) => {
+            buf.push(0x05);
+            put_u64(&mut buf, *job_id);
+        }
     }
     write_frame(w, &buf)
 }
@@ -256,8 +272,42 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()
             put_str(&mut buf, msg);
         }
         Response::ShutdownAck => buf.push(0x86),
+        Response::Trace(trace) => {
+            buf.push(0x87);
+            match trace {
+                None => buf.push(0),
+                Some(t) => {
+                    buf.push(1);
+                    encode_trace(&mut buf, t);
+                }
+            }
+        }
     }
     write_frame(w, &buf)
+}
+
+/// Span parents are `u16` indices; `NO_PARENT` marks a root span on the
+/// wire (span counts are capped well below it by `TraceBuilder`).
+const NO_PARENT: u16 = u16::MAX;
+
+fn encode_trace(buf: &mut Vec<u8>, t: &JobTrace) {
+    put_u64(buf, t.job_id);
+    put_u32(buf, t.spans.len() as u32);
+    for s in &t.spans {
+        buf.push(s.kind as u8);
+        put_u16(buf, s.parent.unwrap_or(NO_PARENT));
+        put_u64(buf, s.begin_lc);
+        put_u64(buf, s.end_lc);
+        put_u32(buf, s.shard);
+        put_u64(buf, s.arg);
+        match s.wall_us {
+            None => buf.push(0),
+            Some(w) => {
+                buf.push(1);
+                put_u64(buf, w);
+            }
+        }
+    }
 }
 
 // ---- decoding ----
@@ -348,6 +398,7 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
 }
 
 fn decode_outcome(r: &mut Reader<'_>) -> Result<JobOutcome, WireError> {
+    let job_id = r.u64()?;
     let status_b = r.u8()?;
     let exit = r.u8()?;
     let status = match status_b {
@@ -373,6 +424,7 @@ fn decode_outcome(r: &mut Reader<'_>) -> Result<JobOutcome, WireError> {
     let flags = r.u8()?;
     let migrations = r.u32()?;
     Ok(JobOutcome {
+        job_id,
         status,
         message,
         stdout,
@@ -383,6 +435,35 @@ fn decode_outcome(r: &mut Reader<'_>) -> Result<JobOutcome, WireError> {
         shadowed: flags & 2 != 0,
         migrations,
     })
+}
+
+fn decode_trace(r: &mut Reader<'_>) -> Result<JobTrace, WireError> {
+    let job_id = r.u64()?;
+    let nspans = r.u32()?;
+    // A span is ≥ 32 bytes on the wire; reject counts a frame under
+    // MAX_FRAME cannot actually carry before allocating.
+    if nspans as usize > MAX_FRAME / 32 {
+        return Err(WireError::Truncated);
+    }
+    let mut spans = Vec::with_capacity(nspans as usize);
+    for _ in 0..nspans {
+        let kind_b = r.u8()?;
+        let kind =
+            SpanKind::from_u8(kind_b).ok_or(WireError::BadEnum("span-kind", kind_b))?;
+        let parent_raw = r.u16()?;
+        let parent = if parent_raw == NO_PARENT { None } else { Some(parent_raw) };
+        let begin_lc = r.u64()?;
+        let end_lc = r.u64()?;
+        let shard = r.u32()?;
+        let arg = r.u64()?;
+        let wall_us = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            b => return Err(WireError::BadEnum("wall-flag", b)),
+        };
+        spans.push(Span { kind, parent, begin_lc, end_lc, shard, arg, wall_us });
+    }
+    Ok(JobTrace { job_id, spans })
 }
 
 fn read_payload(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
@@ -410,6 +491,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, WireError> {
         0x02 => Request::Stats,
         0x03 => Request::Ping,
         0x04 => Request::Shutdown,
+        0x05 => Request::Trace(rd.u64()?),
         t => return Err(WireError::BadTag(t)),
     };
     rd.done()?;
@@ -435,6 +517,11 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
         0x84 => Response::Pong,
         0x85 => Response::Error(rd.string()?),
         0x86 => Response::ShutdownAck,
+        0x87 => match rd.u8()? {
+            0 => Response::Trace(None),
+            1 => Response::Trace(Some(decode_trace(&mut rd)?)),
+            b => return Err(WireError::BadEnum("trace-presence", b)),
+        },
         t => return Err(WireError::BadTag(t)),
     };
     rd.done()?;

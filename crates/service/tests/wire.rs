@@ -2,6 +2,7 @@
 //! hostile inputs (truncation, oversize length prefixes, unknown tags,
 //! wrong versions) fail with typed errors instead of misparses.
 
+use obs::trace::{JobTrace, Span, SpanKind};
 use service::job::{EnginePref, JobOutcome, JobSpec, JobStatus, ServeEngine, ShadowPref};
 use service::wire::{
     read_request, read_response, write_request, write_response, Request, Response, WireError,
@@ -23,6 +24,7 @@ fn spec() -> JobSpec {
 
 fn outcome() -> JobOutcome {
     JobOutcome {
+        job_id: 41,
         status: JobStatus::Exited(3),
         message: "note".into(),
         stdout: b"out bytes \xf0".to_vec(),
@@ -35,9 +37,41 @@ fn outcome() -> JobOutcome {
     }
 }
 
+fn trace() -> JobTrace {
+    JobTrace {
+        job_id: 41,
+        spans: vec![
+            Span {
+                kind: SpanKind::Job,
+                parent: None,
+                begin_lc: 0,
+                end_lc: 9,
+                shard: u32::MAX,
+                arg: 0,
+                wall_us: Some(1234),
+            },
+            Span {
+                kind: SpanKind::Exec,
+                parent: Some(0),
+                begin_lc: 3,
+                end_lc: 8,
+                shard: 2,
+                arg: 987_654,
+                wall_us: None,
+            },
+        ],
+    }
+}
+
 #[test]
 fn requests_roundtrip() {
-    for req in [Request::Submit(spec()), Request::Stats, Request::Ping, Request::Shutdown] {
+    for req in [
+        Request::Submit(spec()),
+        Request::Stats,
+        Request::Ping,
+        Request::Shutdown,
+        Request::Trace(41),
+    ] {
         let mut buf = Vec::new();
         write_request(&mut buf, &req).expect("encode");
         let got = read_request(&mut buf.as_slice()).expect("decode");
@@ -54,6 +88,8 @@ fn responses_roundtrip() {
         Response::Pong,
         Response::Error("bad frame".into()),
         Response::ShutdownAck,
+        Response::Trace(None),
+        Response::Trace(Some(trace())),
     ];
     for resp in cases {
         let mut buf = Vec::new();
@@ -127,6 +163,91 @@ fn unknown_tag_and_trailing_garbage_are_rejected() {
     match read_request(&mut buf.as_slice()) {
         Err(WireError::Truncated) => {}
         other => panic!("expected Truncated for trailing garbage, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_request_truncations_are_typed_errors() {
+    let mut buf = Vec::new();
+    write_request(&mut buf, &Request::Trace(0xDEAD_BEEF_0BAD_F00D)).expect("encode");
+    for cut in 0..buf.len() {
+        match read_request(&mut &buf[..cut]) {
+            Err(WireError::Truncated) => {}
+            other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+    // A trailing byte after the job id must not decode either.
+    buf[0] = buf[0].wrapping_add(1); // length prefix +1
+    buf.push(0xee);
+    match read_request(&mut buf.as_slice()) {
+        Err(WireError::Truncated) => {}
+        other => panic!("expected Truncated for trailing garbage, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_response_truncations_are_typed_errors() {
+    // Mirrors the Submit coverage: every strict prefix of a span-tree
+    // response must fail Truncated — never panic, never misparse.
+    let mut buf = Vec::new();
+    write_response(&mut buf, &Response::Trace(Some(trace()))).expect("encode");
+    for cut in 0..buf.len() {
+        match read_response(&mut &buf[..cut]) {
+            Err(WireError::Truncated) => {}
+            other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trace_response_bad_bytes_are_typed_errors() {
+    // Presence byte out of range.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&2u32.to_le_bytes());
+    buf.push(0x87);
+    buf.push(9);
+    match read_response(&mut buf.as_slice()) {
+        Err(WireError::BadEnum("trace-presence", 9)) => {}
+        other => panic!("expected BadEnum(trace-presence), got {other:?}"),
+    }
+
+    // Bad span-kind byte. The first span's kind is the first byte after
+    // tag + presence + job id (u64) + span count (u32).
+    let mut buf = Vec::new();
+    write_response(&mut buf, &Response::Trace(Some(trace()))).expect("encode");
+    let kind_at = 4 + 1 + 1 + 8 + 4;
+    buf[kind_at] = 0xfe;
+    match read_response(&mut buf.as_slice()) {
+        Err(WireError::BadEnum("span-kind", 0xfe)) => {}
+        other => panic!("expected BadEnum(span-kind), got {other:?}"),
+    }
+
+    // Bad wall-us presence flag. The first span's flag is its last
+    // byte: kind(1) + parent(2) + begin(8) + end(8) + shard(4) + arg(8).
+    let mut buf = Vec::new();
+    write_response(&mut buf, &Response::Trace(Some(trace()))).expect("encode");
+    let flag_at = kind_at + 1 + 2 + 8 + 8 + 4 + 8;
+    assert_eq!(buf[flag_at], 1, "first test span carries a wall annotation");
+    buf[flag_at] = 7;
+    match read_response(&mut buf.as_slice()) {
+        Err(WireError::BadEnum("wall-flag", 7)) => {}
+        other => panic!("expected BadEnum(wall-flag), got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_response_hostile_span_count_is_rejected() {
+    // A span count far beyond what the frame could carry must be
+    // rejected before any allocation is attempted.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&14u32.to_le_bytes());
+    buf.push(0x87);
+    buf.push(1);
+    buf.extend_from_slice(&1u64.to_le_bytes()); // job id
+    buf.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile span count
+    match read_response(&mut buf.as_slice()) {
+        Err(WireError::Truncated) => {}
+        other => panic!("expected Truncated, got {other:?}"),
     }
 }
 

@@ -118,12 +118,16 @@ rm -rf "$obs_scratch"
 echo "ok: trace/syscalls/profile/vcd/metrics all produce their markers"
 
 echo "== service smoke (unix socket, two tenants, one cache hit) =="
-# Boot the execution server on a Unix socket, submit the same program
-# from two tenants (the second must be a cache hit), check stats and the
-# shutdown path, and hold the bench artifact to its schema.
+# Boot the execution server on a Unix socket with tracing and periodic
+# stats on, submit the same program from two tenants (the second must
+# be a cache hit), fetch both span trees over the Trace op, poll live
+# stats, check the shutdown path, and hold the bench artifact — now a
+# time series — to its schema.
 svc_scratch=$(mktemp -d)
 ./target/release/silver-serve --unix "$svc_scratch/svc.sock" --shards 2 \
-    --bench "$svc_scratch/BENCH_service.json" 2> "$svc_scratch/serve.log" &
+    --bench "$svc_scratch/BENCH_service.json" \
+    --trace-dir "$svc_scratch/traces" --stats-every 150 \
+    2> "$svc_scratch/serve.log" &
 svc_pid=$!
 for _ in $(seq 1 100); do
     [ -S "$svc_scratch/svc.sock" ] && break
@@ -131,7 +135,8 @@ for _ in $(seq 1 100); do
 done
 test -S "$svc_scratch/svc.sock"
 ./target/release/silver-client --unix "$svc_scratch/svc.sock" submit \
-    --tenant alice --app hello > "$svc_scratch/alice.out"
+    --tenant alice --app hello --meta \
+    > "$svc_scratch/alice.out" 2> "$svc_scratch/alice.err"
 grep -q 'Hello from the verified stack!' "$svc_scratch/alice.out"
 ./target/release/silver-client --unix "$svc_scratch/svc.sock" submit \
     --tenant bob --app hello --meta \
@@ -141,13 +146,83 @@ grep -q 'cached=true' "$svc_scratch/bob.err"
 ./target/release/silver-client --unix "$svc_scratch/svc.sock" stats \
     > "$svc_scratch/stats.txt"
 grep -q '"name":"service.cache.hits","value":1' "$svc_scratch/stats.txt"
+# Trace op: alice's (executed) job shows the full lifecycle, bob's
+# (cached) a hit-and-reply; the JSON form is a Chrome trace document.
+alice_job=$(sed -nE 's/.*job=([0-9]+).*/\1/p' "$svc_scratch/alice.err")
+bob_job=$(sed -nE 's/.*job=([0-9]+).*/\1/p' "$svc_scratch/bob.err")
+./target/release/silver-client --unix "$svc_scratch/svc.sock" trace "$alice_job" \
+    > "$svc_scratch/alice.trace"
+for span in admit cache_lookup tenant_reserve queue_wait compile exec reply; do
+    grep -q "$span" "$svc_scratch/alice.trace"
+done
+./target/release/silver-client --unix "$svc_scratch/svc.sock" trace "$bob_job" \
+    > "$svc_scratch/bob.trace"
+grep -q 'cache_lookup' "$svc_scratch/bob.trace"
+if grep -q ' exec ' "$svc_scratch/bob.trace"; then
+    echo "a cache hit must not carry an exec span" >&2
+    exit 1
+fi
+./target/release/silver-client --unix "$svc_scratch/svc.sock" trace "$alice_job" --json \
+    > "$svc_scratch/alice.trace.json"
+grep -q '"traceEvents":\[' "$svc_scratch/alice.trace.json"
+grep -q '"ph":"X"' "$svc_scratch/alice.trace.json"
+# Live stats: two polls print qps / inflight / per-shard utilization.
+./target/release/silver-client --unix "$svc_scratch/svc.sock" top --every 100 --count 2 \
+    > "$svc_scratch/top.out"
+[ "$(wc -l < "$svc_scratch/top.out")" -eq 2 ]
+grep -q 'qps=' "$svc_scratch/top.out"
+grep -q 'inflight=' "$svc_scratch/top.out"
+grep -q 'shards\[' "$svc_scratch/top.out"
+# Let a few periodic stats lines land before shutting down.
+sleep 0.5
 ./target/release/silver-client --unix "$svc_scratch/svc.sock" shutdown
 wait "$svc_pid"
 grep -q '"suite":"service"' "$svc_scratch/BENCH_service.json"
 grep -q '"divergences":0' "$svc_scratch/BENCH_service.json"
 grep -q '"qps":' "$svc_scratch/BENCH_service.json"
+# Time series: multiple summary lines, seq strictly increasing down
+# the file (live `stats`/`top` polls share the snapshot counter, so
+# gaps are fine — the order is the contract, not density).
+[ "$(grep -c '"suite":"service"' "$svc_scratch/BENCH_service.json")" -ge 2 ]
+grep -q '"seq":0' "$svc_scratch/BENCH_service.json"
+grep -o '"seq":[0-9]*' "$svc_scratch/BENCH_service.json" \
+    | cut -d: -f2 | sort -cnu
+grep -q '"inflight":' "$svc_scratch/BENCH_service.json"
+# Shutdown dumped the flight recorder as a Perfetto-loadable document.
+grep -q '"traceEvents":\[' "$svc_scratch/traces/TRACE_shutdown.json"
+grep -q '"cat":"flight"' "$svc_scratch/traces/TRACE_shutdown.json"
 rm -rf "$svc_scratch"
-echo "ok: serve/submit/cache-hit/stats/shutdown round-trip over unix socket"
+echo "ok: serve/submit/cache-hit/trace/top/stats/shutdown round-trip over unix socket"
+
+echo "== divergence drill (fault injection dumps the flight recorder) =="
+# Boot a server with the test-only ALU fault armed and full shadow
+# sampling: the first executed job must fail as a divergence and the
+# flight recorder must auto-dump a trace naming the job's lifecycle.
+div_scratch=$(mktemp -d)
+./target/release/silver-serve --unix "$div_scratch/svc.sock" --shards 1 \
+    --shadow-every 1 --fault-xor 1 --trace-dir "$div_scratch/traces" \
+    2> "$div_scratch/serve.log" &
+div_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$div_scratch/svc.sock" ] && break
+    sleep 0.1
+done
+test -S "$div_scratch/svc.sock"
+if ./target/release/silver-client --unix "$div_scratch/svc.sock" submit \
+    --tenant drill --app hello > /dev/null 2> "$div_scratch/drill.err"; then
+    echo "fault-injected job must not exit cleanly" >&2
+    exit 1
+fi
+grep -q 'divergence' "$div_scratch/drill.err"
+div_dump=$(ls "$div_scratch"/traces/TRACE_divergence_job*.json)
+for span in admit compile image_build shadow_check; do
+    grep -q "\"name\":\"$span\"" "$div_dump"
+done
+grep -q '"cat":"flight"' "$div_dump"
+./target/release/silver-client --unix "$div_scratch/svc.sock" shutdown
+wait "$div_pid"
+rm -rf "$div_scratch"
+echo "ok: injected divergence auto-dumps a lifecycle-complete flight record"
 
 echo "== service hygiene guard =="
 # Serving jet-by-default is only safe while shadow sampling defaults ON,
@@ -156,6 +231,29 @@ echo "== service hygiene guard =="
 grep -q 'every_jobs: 8' crates/service/src/lib.rs
 grep -q 'entry.version == CACHE_VERSION' crates/service/src/cache.rs
 echo "ok: shadow sampling defaults on; cache lookups are version-checked"
+
+echo "== tracing hygiene guard =="
+# Span ordering must come from logical clocks, never wall time: the
+# trace module may not read the clock at all (wall readings enter only
+# as caller-supplied annotations), timestamps in the Chrome dump are
+# the logical clocks, and the canonical determinism form must strip
+# both the wall annotations and the physical shard placement.
+if grep -nE 'std::time|SystemTime|Instant' crates/obs/src/trace.rs; then
+    echo "obs::trace must not read the clock" >&2
+    exit 1
+fi
+# …and the Chrome events' ts fields interpolate those clocks (begin_lc
+# or the flight ring sequence), which the clock-free check above keeps
+# honest: there is no wall reading in the module to leak into ts.
+grep -q '\\"ts\\":{}' crates/obs/src/trace.rs
+if sed -n '/pub fn canonical_text/,/^    }/p' crates/obs/src/trace.rs \
+    | grep -qE 'wall_us|shard'; then
+    echo "canonical trace form must strip wall/shard annotations" >&2
+    exit 1
+fi
+# The builder's wall arguments are annotations, not clocks it takes.
+grep -q 'wall_us: Option<u64>' crates/obs/src/trace.rs
+echo "ok: span ordering is logical-clock only; wall time is annotation-only"
 
 echo "== observability hygiene guard =="
 # Tracing must stay off by default: every plain entry point must
